@@ -1,0 +1,143 @@
+/// \file bench_micro.cpp
+/// \brief google-benchmark micro-benchmarks of the library primitives:
+/// serialization, CRC, SHDF dataset I/O, block marshalling, and
+/// thread-backed message passing.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "comm/thread_comm.h"
+#include "mesh/generators.h"
+#include "rocpanda/wire.h"
+#include "shdf/reader.h"
+#include "shdf/writer.h"
+#include "util/crc64.h"
+#include "util/serialize.h"
+#include "vfs/vfs.h"
+
+namespace {
+
+using namespace roc;
+
+void BM_Crc64(benchmark::State& state) {
+  std::vector<unsigned char> data(static_cast<size_t>(state.range(0)));
+  std::iota(data.begin(), data.end(), 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crc64(data.data(), data.size()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc64)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SerializeVector(benchmark::State& state) {
+  std::vector<double> v(static_cast<size_t>(state.range(0)), 1.5);
+  for (auto _ : state) {
+    ByteWriter w;
+    w.put_vector(v);
+    benchmark::DoNotOptimize(w.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 8);
+}
+BENCHMARK(BM_SerializeVector)->Arg(1 << 8)->Arg(1 << 14);
+
+void BM_ShdfWriteDataset(benchmark::State& state) {
+  const auto kind = state.range(1) == 0 ? shdf::DirectoryKind::kLinear
+                                        : shdf::DirectoryKind::kIndexed;
+  std::vector<double> payload(static_cast<size_t>(state.range(0)), 2.0);
+  vfs::MemFileSystem fs;
+  int file_id = 0;
+  for (auto _ : state) {
+    shdf::Writer w(fs, "f" + std::to_string(file_id++), kind);
+    for (int i = 0; i < 32; ++i)
+      w.add("ds_" + std::to_string(i), payload);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 32 *
+                          state.range(0) * 8);
+}
+BENCHMARK(BM_ShdfWriteDataset)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({16384, 0})
+    ->Args({16384, 1});
+
+void BM_ShdfReadDataset(benchmark::State& state) {
+  vfs::MemFileSystem fs;
+  std::vector<double> payload(static_cast<size_t>(state.range(0)), 2.0);
+  {
+    shdf::Writer w(fs, "f");
+    for (int i = 0; i < 32; ++i)
+      w.add("ds_" + std::to_string(i), payload);
+  }
+  shdf::Reader r(fs, "f");
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.read<double>("ds_" + std::to_string(i % 32)));
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0) * 8);
+}
+BENCHMARK(BM_ShdfReadDataset)->Arg(256)->Arg(16384);
+
+void BM_MeshBlockSerialize(benchmark::State& state) {
+  auto b = mesh::MeshBlock::structured(
+      0, {static_cast<int>(state.range(0)), static_cast<int>(state.range(0)),
+          static_cast<int>(state.range(0))});
+  mesh::add_fluid_schema(b);
+  for (auto _ : state) benchmark::DoNotOptimize(b.serialize());
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(b.payload_bytes()));
+}
+BENCHMARK(BM_MeshBlockSerialize)->Arg(8)->Arg(16);
+
+void BM_WireBlockRoundTrip(benchmark::State& state) {
+  auto b = mesh::MeshBlock::structured(0, {12, 12, 12});
+  mesh::add_fluid_schema(b);
+  for (auto _ : state) {
+    const auto wb = rocpanda::WireBlock::from_block(b, "all");
+    const auto bytes = wb.serialize();
+    benchmark::DoNotOptimize(rocpanda::WireBlock::deserialize(bytes));
+  }
+}
+BENCHMARK(BM_WireBlockRoundTrip);
+
+void BM_ThreadCommPingPong(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    comm::World::run(2, [bytes](comm::Comm& comm) {
+      std::vector<unsigned char> buf(bytes);
+      for (int i = 0; i < 50; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(1, 1, buf.data(), buf.size());
+          (void)comm.recv(1, 2);
+        } else {
+          (void)comm.recv(0, 1);
+          comm.send(0, 2, buf.data(), buf.size());
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ThreadCommPingPong)->Arg(64)->Arg(65536);
+
+void BM_Allgather(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    comm::World::run(n, [](comm::Comm& comm) {
+      std::vector<unsigned char> mine(128,
+                                      static_cast<unsigned char>(comm.rank()));
+      for (int i = 0; i < 10; ++i)
+        benchmark::DoNotOptimize(comm.allgather(mine));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_Allgather)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/// \file adaptive_io.cpp
+/// \brief Demonstrates the paper's core flexibility claim: the set of mesh
+/// blocks changes at runtime (adaptive refinement) and the I/O layer needs
+/// NO redefinition — no file views, no re-declared data distributions.
+/// Compare with MPI-IO, where each change would force every processor to
+/// recompute its file view (paper §3.2).
+///
+/// Two compute processes run the mini-GENx with aggressive refinement and
+/// T-Rochdf background I/O; after the run the snapshot files are scanned to
+/// show how the block population grew while every snapshot stayed
+/// self-describing and readable.
+///
+///   $ ./adaptive_io
+///
+/// Files are written under ./adaptive_out/.
+
+#include <cstdio>
+
+#include "comm/env.h"
+#include "comm/thread_comm.h"
+#include "genx/orchestrator.h"
+#include "roccom/blockio.h"
+#include "rochdf/rochdf.h"
+#include "shdf/reader.h"
+#include "vfs/vfs.h"
+
+int main() {
+  using namespace roc;
+  vfs::PosixFileSystem fs("adaptive_out");
+
+  comm::World::run(2, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    rochdf::Options options;
+    options.threaded = true;
+    rochdf::Rochdf io(comm, env, fs, options);
+
+    genx::GenxConfig cfg;
+    cfg.mesh_spec.fluid_blocks = 4;
+    cfg.mesh_spec.solid_blocks = 3;
+    cfg.mesh_spec.base_block_nodes = 6;
+    cfg.steps = 30;
+    cfg.snapshot_interval = 10;
+    cfg.refine_every = 6;  // split a block on each client every 6 steps
+    cfg.run_name = "adaptive";
+
+    genx::GenxRun run(comm, env, io, cfg);
+    run.init_fresh();
+    const size_t before = run.local_block_count();
+    run.run();
+    std::printf("[rank %d] blocks: %zu -> %zu (refinement while running)\n",
+                comm.rank(), before, run.local_block_count());
+  });
+
+  // Post-mortem: how the block population evolved across snapshots.
+  std::printf("\nsnapshot block populations (per window, both ranks):\n");
+  for (int step : {0, 10, 20, 30}) {
+    size_t fluid = 0, solid = 0, burn = 0;
+    for (int rank = 0; rank < 2; ++rank) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "adaptive_snap_%06d_p%04d.shdf", step,
+                    rank);
+      shdf::Reader r(fs, name);
+      fluid += roccom::pane_ids_in_file(r, "fluid").size();
+      solid += roccom::pane_ids_in_file(r, "solid").size();
+      burn += roccom::pane_ids_in_file(r, "burn").size();
+    }
+    std::printf("  step %3d: fluid=%zu solid=%zu burn=%zu\n", step, fluid,
+                solid, burn);
+  }
+  std::printf("\nevery snapshot was written through the SAME unchanged I/O "
+              "calls -- no distribution redefinition.\n");
+  return 0;
+}

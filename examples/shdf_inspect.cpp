@@ -1,0 +1,104 @@
+/// \file shdf_inspect.cpp
+/// \brief Rocketeer-lite: lists the contents of an SHDF file (the role the
+/// paper's visualization tool plays as the downstream consumer of the
+/// output layout).
+///
+///   $ ./shdf_inspect <file.shdf> [--data <dataset>]
+///
+/// Without --data it prints the directory: every dataset with type, dims,
+/// attributes and checksum.  With --data it also dumps the first values of
+/// one dataset.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "shdf/reader.h"
+#include "vfs/vfs.h"
+
+namespace {
+
+void print_attr(const roc::shdf::Attribute& a) {
+  std::printf("      @%s = ", a.name.c_str());
+  std::visit(
+      [](const auto& v) {
+        using V = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<V, int64_t>) {
+          std::printf("%lld\n", static_cast<long long>(v));
+        } else if constexpr (std::is_same_v<V, double>) {
+          std::printf("%g\n", v);
+        } else if constexpr (std::is_same_v<V, std::string>) {
+          std::printf("\"%s\"\n", v.c_str());
+        } else if constexpr (std::is_same_v<V, std::vector<int64_t>>) {
+          std::printf("[");
+          for (size_t i = 0; i < v.size(); ++i)
+            std::printf("%s%lld", i ? ", " : "",
+                        static_cast<long long>(v[i]));
+          std::printf("]\n");
+        } else {
+          std::printf("[");
+          for (size_t i = 0; i < v.size() && i < 8; ++i)
+            std::printf("%s%g", i ? ", " : "", v[i]);
+          std::printf(v.size() > 8 ? ", ...]\n" : "]\n");
+        }
+      },
+      a.value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.shdf> [--data <dataset>]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::string dump_dataset;
+  if (argc >= 4 && std::strcmp(argv[2], "--data") == 0) dump_dataset = argv[3];
+
+  try {
+    roc::vfs::PosixFileSystem fs;
+    roc::shdf::Reader r(fs, path);
+    std::printf("%s: %zu dataset(s), %s directory\n", path.c_str(),
+                r.dataset_count(),
+                r.directory_kind() == roc::shdf::DirectoryKind::kLinear
+                    ? "linear (HDF4-like)"
+                    : "indexed (HDF5-like)");
+    for (size_t i = 0; i < r.dataset_count(); ++i) {
+      const auto& info = r.info(i);
+      std::printf("  %s\n    type=%s dims=[", info.def.name.c_str(),
+                  roc::shdf::type_name(info.def.type));
+      for (size_t d = 0; d < info.def.dims.size(); ++d)
+        std::printf("%s%llu", d ? ", " : "",
+                    static_cast<unsigned long long>(info.def.dims[d]));
+      std::printf("] bytes=%llu crc64=%016llx\n",
+                  static_cast<unsigned long long>(info.data_bytes),
+                  static_cast<unsigned long long>(info.checksum));
+      for (const auto& a : info.def.attributes) print_attr(a);
+    }
+
+    if (!dump_dataset.empty()) {
+      const auto& info = r.info(dump_dataset);
+      std::printf("\ndata of %s:\n  ", dump_dataset.c_str());
+      if (info.def.type == roc::shdf::DataType::kFloat64) {
+        const auto v = r.read<double>(dump_dataset);
+        for (size_t i = 0; i < v.size() && i < 16; ++i)
+          std::printf("%g ", v[i]);
+        if (v.size() > 16) std::printf("... (%zu values)", v.size());
+      } else if (info.def.type == roc::shdf::DataType::kInt32) {
+        const auto v = r.read<int32_t>(dump_dataset);
+        for (size_t i = 0; i < v.size() && i < 16; ++i)
+          std::printf("%d ", v[i]);
+        if (v.size() > 16) std::printf("... (%zu values)", v.size());
+      } else {
+        std::printf("(dump supports float64/int32 only)");
+      }
+      std::printf("\n");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

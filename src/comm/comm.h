@@ -1,0 +1,150 @@
+#pragma once
+/// \file comm.h
+/// \brief Message-passing interface used by every parallel component.
+///
+/// This is the project's MPI substitute (see DESIGN.md §2).  The interface
+/// follows the MPI model: a communicator names an ordered group of
+/// processes; point-to-point messages carry a tag; receives match on
+/// (source, tag) with wildcards; collectives are called by every member.
+/// Two implementations exist:
+///   * roc::comm::ThreadComm — each process is a std::thread (real mode),
+///   * roc::sim::SimComm     — cooperative processes on a virtual clock
+///     (simulated mode, used by the benchmarks).
+///
+/// Tags >= kReservedTagBase are reserved for the collectives implemented in
+/// the base class; user code must use smaller tags.
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/error.h"
+
+namespace roc::comm {
+
+/// Wildcard for recv/probe source matching.
+inline constexpr int kAnySource = -1;
+/// Wildcard for recv/probe tag matching.
+inline constexpr int kAnyTag = -1;
+/// First tag value reserved for internal collective protocols.
+inline constexpr int kReservedTagBase = 1 << 28;
+
+/// Result of a probe: who sent what.
+struct Status {
+  int source = kAnySource;  ///< Rank of the sender within this communicator.
+  int tag = kAnyTag;
+  size_t bytes = 0;  ///< Payload size of the pending message.
+};
+
+/// A received message (payload owned by the receiver).
+struct Message {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::vector<unsigned char> payload;
+};
+
+/// An ordered group of processes with point-to-point and collective
+/// operations.  Each process owns its own Comm object; the object is not
+/// shared across threads.
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  /// This process's rank in [0, size()).
+  [[nodiscard]] virtual int rank() const = 0;
+  /// Number of processes in the communicator.
+  [[nodiscard]] virtual int size() const = 0;
+
+  /// Blocking standard-mode send (buffered: returns once the payload is
+  /// copied out of `data`; the caller may reuse the buffer immediately).
+  virtual void send(int dest, int tag, const void* data, size_t n) = 0;
+
+  void send(int dest, int tag, const std::vector<unsigned char>& data) {
+    send(dest, tag, data.data(), data.size());
+  }
+
+  /// Sends an empty message (pure signal).
+  void signal(int dest, int tag) { send(dest, tag, nullptr, 0); }
+
+  /// Blocking receive; `source`/`tag` may be wildcards.  Messages between a
+  /// fixed (source, tag) pair are non-overtaking.
+  [[nodiscard]] virtual Message recv(int source, int tag) = 0;
+
+  /// Non-blocking probe: true (and fills `st`) if a matching message is
+  /// pending.
+  virtual bool iprobe(int source, int tag, Status* st) = 0;
+
+  /// Blocking probe: waits for a matching message and describes it.
+  virtual Status probe(int source, int tag) = 0;
+
+  /// Splits this communicator; all members must call collectively.  Members
+  /// passing the same `color` form a new communicator, ordered by
+  /// (key, old rank).  A negative color yields a null result (the process
+  /// joins no new communicator).
+  [[nodiscard]] virtual std::unique_ptr<Comm> split(int color, int key) = 0;
+
+  // -- Collectives (implemented generically over p2p; every member calls) --
+
+  virtual void barrier();
+
+  /// Broadcast root's payload to all; on non-roots `data` is replaced.
+  virtual void bcast(std::vector<unsigned char>& data, int root);
+
+  /// Gather each member's payload at `root`; result indexed by rank, empty
+  /// elsewhere.
+  virtual std::vector<std::vector<unsigned char>> gather(
+      const std::vector<unsigned char>& mine, int root);
+
+  /// Gather at everyone.
+  virtual std::vector<std::vector<unsigned char>> allgather(
+      const std::vector<unsigned char>& mine);
+
+  /// Scatter: root provides one payload per rank (indexed by rank; must
+  /// have size() entries at root, ignored elsewhere); every member gets
+  /// its own.
+  virtual std::vector<unsigned char> scatter(
+      const std::vector<std::vector<unsigned char>>& parts, int root);
+
+  /// All-to-all personalized exchange: `parts[i]` goes to rank i; the
+  /// result's element i came from rank i.
+  virtual std::vector<std::vector<unsigned char>> alltoall(
+      const std::vector<std::vector<unsigned char>>& parts);
+};
+
+// -- Typed reduction helpers layered on the collectives --------------------
+
+/// Reduces one scalar per rank with `op`; every rank gets the result.
+template <typename T, typename BinaryOp>
+T allreduce(Comm& comm, T value, BinaryOp op) {
+  std::vector<unsigned char> mine(sizeof(T));
+  std::memcpy(mine.data(), &value, sizeof(T));
+  auto all = comm.allgather(mine);
+  T acc{};
+  bool first = true;
+  for (const auto& bytes : all) {
+    T v;
+    std::memcpy(&v, bytes.data(), sizeof(T));
+    acc = first ? v : op(acc, v);
+    first = false;
+  }
+  return acc;
+}
+
+template <typename T>
+T allreduce_sum(Comm& comm, T value) {
+  return allreduce(comm, value, [](T a, T b) { return a + b; });
+}
+
+template <typename T>
+T allreduce_max(Comm& comm, T value) {
+  return allreduce(comm, value, [](T a, T b) { return a > b ? a : b; });
+}
+
+template <typename T>
+T allreduce_min(Comm& comm, T value) {
+  return allreduce(comm, value, [](T a, T b) { return a < b ? a : b; });
+}
+
+}  // namespace roc::comm

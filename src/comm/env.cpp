@@ -1,0 +1,62 @@
+#include "comm/env.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace roc::comm {
+
+namespace {
+
+class RealGate final : public Gate {
+ public:
+  void lock() override { lock_.lock(); }
+  void unlock() override { lock_.unlock(); }
+  void wait() override {
+    // The caller holds lock_ per the Gate contract; adopt it for the wait.
+    std::unique_lock<std::mutex> lk(lock_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // Caller still owns the lock after wait() returns.
+  }
+  void notify_all() override { cv_.notify_all(); }
+
+ private:
+  std::mutex lock_;
+  std::condition_variable cv_;
+};
+
+class RealWorker final : public Worker {
+ public:
+  explicit RealWorker(std::function<void()> body)
+      : thread_(std::move(body)) {}
+  ~RealWorker() override {
+    if (thread_.joinable()) thread_.join();
+  }
+  void join() override { thread_.join(); }
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace
+
+double RealEnv::now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealEnv::compute(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+std::unique_ptr<Worker> RealEnv::spawn_worker(std::function<void()> body) {
+  return std::make_unique<RealWorker>(std::move(body));
+}
+
+std::unique_ptr<Gate> RealEnv::make_gate() {
+  return std::make_unique<RealGate>();
+}
+
+}  // namespace roc::comm

@@ -1,0 +1,95 @@
+#pragma once
+/// \file env.h
+/// \brief Execution-environment services beyond message passing.
+///
+/// The I/O libraries need a few host services: a clock, a way to consume
+/// CPU time (workload modelling), an auxiliary worker "thread" on the same
+/// processor (T-Rochdf's background I/O thread), and a monitor (mutex +
+/// condition variable) to coordinate with it.  Real mode backs these with
+/// std::thread primitives; the simulator backs them with virtual-time
+/// equivalents so the identical library code runs on both substrates
+/// (DESIGN.md §5).
+
+#include <functional>
+#include <memory>
+
+namespace roc::comm {
+
+/// A monitor: mutual exclusion + condition waiting, in the style of
+/// std::condition_variable.  Users must follow the predicate-loop idiom:
+///
+///   gate->lock();
+///   while (!pred) gate->wait();
+///   ...
+///   gate->unlock();
+///
+/// notify_all() may be called with or without the lock held.
+class Gate {
+ public:
+  virtual ~Gate() = default;
+  virtual void lock() = 0;
+  virtual void unlock() = 0;
+  /// Atomically releases the lock, waits for a notify, re-acquires.
+  virtual void wait() = 0;
+  virtual void notify_all() = 0;
+};
+
+/// RAII lock for a Gate.
+class GateLock {
+ public:
+  explicit GateLock(Gate& g) : g_(g) { g_.lock(); }
+  ~GateLock() { g_.unlock(); }
+  GateLock(const GateLock&) = delete;
+  GateLock& operator=(const GateLock&) = delete;
+
+ private:
+  Gate& g_;
+};
+
+/// A joinable auxiliary worker running on the same processor as its
+/// spawner.
+class Worker {
+ public:
+  virtual ~Worker() = default;
+  /// Blocks until the worker body returns.  Must be called exactly once.
+  virtual void join() = 0;
+};
+
+/// Per-process environment.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Seconds since an arbitrary epoch (wall clock or virtual clock).
+  [[nodiscard]] virtual double now() = 0;
+
+  /// Consumes `seconds` of CPU time on this processor.  In the simulator
+  /// this is where the SMP/OS-noise node model applies (DESIGN.md §2).
+  virtual void compute(double seconds) = 0;
+
+  /// Accounts for a local memory copy of `bytes` (buffering, marshalling).
+  /// Real mode: no-op — the copy itself already took wall time.  Simulated
+  /// mode: advances the virtual clock by bytes / memory-bandwidth.
+  virtual void charge_local_copy(uint64_t bytes) = 0;
+
+  /// Spawns a worker sharing memory with the caller.  The worker must be
+  /// joined before the Env is destroyed.
+  [[nodiscard]] virtual std::unique_ptr<Worker> spawn_worker(
+      std::function<void()> body) = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<Gate> make_gate() = 0;
+};
+
+/// Real-mode environment: wall clock, sleeping compute, std::thread
+/// workers, std::mutex/condition_variable gates.
+class RealEnv final : public Env {
+ public:
+  [[nodiscard]] double now() override;
+  void compute(double seconds) override;
+  void charge_local_copy(uint64_t) override {}
+  [[nodiscard]] std::unique_ptr<Worker> spawn_worker(
+      std::function<void()> body) override;
+  [[nodiscard]] std::unique_ptr<Gate> make_gate() override;
+};
+
+}  // namespace roc::comm

@@ -1,0 +1,233 @@
+#include "comm/thread_comm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "util/serialize.h"
+
+namespace roc::comm {
+
+namespace detail {
+
+/// One pending message in a mailbox.
+struct Envelope {
+  uint64_t comm_id;
+  int source;  ///< Sender's rank within the communicator `comm_id`.
+  int tag;
+  std::vector<unsigned char> payload;
+};
+
+/// Per-process mailbox: FIFO of envelopes + wakeup signalling.
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Envelope> queue;
+};
+
+/// Shared state of one World: mailboxes indexed by global rank.
+struct WorldState {
+  explicit WorldState(int n) : mailboxes(static_cast<size_t>(n)) {}
+  std::vector<Mailbox> mailboxes;
+  std::atomic<uint64_t> next_comm_id{1};
+};
+
+namespace {
+
+bool matches(const Envelope& e, uint64_t comm_id, int source, int tag) {
+  return e.comm_id == comm_id &&
+         (source == kAnySource || e.source == source) &&
+         (tag == kAnyTag || e.tag == tag);
+}
+
+}  // namespace
+}  // namespace detail
+
+using detail::Envelope;
+using detail::Mailbox;
+using detail::WorldState;
+
+ThreadComm::ThreadComm(std::shared_ptr<WorldState> world, uint64_t comm_id,
+                       std::vector<int> members, int rank)
+    : world_(std::move(world)),
+      comm_id_(comm_id),
+      members_(std::move(members)),
+      rank_(rank) {}
+
+void ThreadComm::send(int dest, int tag, const void* data, size_t n) {
+  require(dest >= 0 && dest < size(), "send: dest rank out of range");
+  Mailbox& box = world_->mailboxes[static_cast<size_t>(
+      members_[static_cast<size_t>(dest)])];
+  Envelope e;
+  e.comm_id = comm_id_;
+  e.source = rank_;
+  e.tag = tag;
+  e.payload.assign(static_cast<const unsigned char*>(data),
+                   static_cast<const unsigned char*>(data) + n);
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(std::move(e));
+  }
+  box.cv.notify_all();
+}
+
+Message ThreadComm::recv(int source, int tag) {
+  require(source == kAnySource || (source >= 0 && source < size()),
+          "recv: source rank out of range");
+  Mailbox& box =
+      world_->mailboxes[static_cast<size_t>(members_[static_cast<size_t>(rank_)])];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [&](const Envelope& e) {
+                             return detail::matches(e, comm_id_, source, tag);
+                           });
+    if (it != box.queue.end()) {
+      Message m;
+      m.source = it->source;
+      m.tag = it->tag;
+      m.payload = std::move(it->payload);
+      box.queue.erase(it);
+      return m;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+bool ThreadComm::iprobe(int source, int tag, Status* st) {
+  Mailbox& box =
+      world_->mailboxes[static_cast<size_t>(members_[static_cast<size_t>(rank_)])];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                         [&](const Envelope& e) {
+                           return detail::matches(e, comm_id_, source, tag);
+                         });
+  if (it == box.queue.end()) return false;
+  if (st) {
+    st->source = it->source;
+    st->tag = it->tag;
+    st->bytes = it->payload.size();
+  }
+  return true;
+}
+
+Status ThreadComm::probe(int source, int tag) {
+  Mailbox& box =
+      world_->mailboxes[static_cast<size_t>(members_[static_cast<size_t>(rank_)])];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [&](const Envelope& e) {
+                             return detail::matches(e, comm_id_, source, tag);
+                           });
+    if (it != box.queue.end()) {
+      Status st;
+      st.source = it->source;
+      st.tag = it->tag;
+      st.bytes = it->payload.size();
+      return st;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+std::unique_ptr<Comm> ThreadComm::split(int color, int key) {
+  // Collective: everyone contributes (color, key, rank); every member then
+  // derives the same group memberships locally.
+  ByteWriter w;
+  w.put<int32_t>(color);
+  w.put<int32_t>(key);
+  w.put<int32_t>(rank_);
+  auto all = allgather(w.take());
+
+  struct Entry {
+    int color, key, rank;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(all.size());
+  for (const auto& bytes : all) {
+    ByteReader r(bytes.data(), bytes.size());
+    Entry e;
+    e.color = r.get<int32_t>();
+    e.key = r.get<int32_t>();
+    e.rank = r.get<int32_t>();
+    entries.push_back(e);
+  }
+
+  // Deterministic new comm ids: distinct colors get consecutive ids claimed
+  // from the world counter by the overall lowest-ranked member, broadcast
+  // implicitly by recomputing the same ordering everywhere.  To avoid an
+  // extra round-trip we derive ids from a collectively-agreed base: rank 0
+  // of the parent claims a contiguous block and broadcasts the base.
+  std::vector<int> colors;
+  for (const auto& e : entries)
+    if (e.color >= 0) colors.push_back(e.color);
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+
+  std::vector<unsigned char> base_bytes;
+  if (rank_ == 0) {
+    uint64_t base = world_->next_comm_id.fetch_add(colors.size() + 1);
+    ByteWriter bw;
+    bw.put<uint64_t>(base);
+    base_bytes = bw.take();
+  }
+  bcast(base_bytes, 0);
+  ByteReader br(base_bytes.data(), base_bytes.size());
+  const uint64_t base = br.get<uint64_t>();
+
+  if (color < 0) return nullptr;
+
+  // Build my group, ordered by (key, old rank).
+  std::vector<Entry> group;
+  for (const auto& e : entries)
+    if (e.color == color) group.push_back(e);
+  std::stable_sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+  });
+
+  std::vector<int> members;
+  int my_new_rank = -1;
+  for (const auto& e : group) {
+    if (e.rank == rank_) my_new_rank = static_cast<int>(members.size());
+    // Translate parent rank -> global rank.
+    members.push_back(members_[static_cast<size_t>(e.rank)]);
+  }
+
+  const auto color_index = static_cast<uint64_t>(
+      std::lower_bound(colors.begin(), colors.end(), color) - colors.begin());
+  const uint64_t new_id = base + color_index;
+
+  return std::unique_ptr<Comm>(
+      new ThreadComm(world_, new_id, std::move(members), my_new_rank));
+}
+
+void World::run(int n, const Body& body) {
+  require(n > 0, "World::run needs at least one process");
+  auto state = std::make_shared<WorldState>(n);
+
+  std::vector<int> members(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) members[static_cast<size_t>(i)] = i;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        ThreadComm comm(state, /*comm_id=*/0, members, r);
+        body(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace roc::comm

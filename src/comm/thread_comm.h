@@ -1,0 +1,61 @@
+#pragma once
+/// \file thread_comm.h
+/// \brief Thread-backed implementation of the Comm interface ("real mode").
+///
+/// A World hosts N processes, each a std::thread with a mailbox.  Every
+/// communicator (the world communicator and the products of split()) shares
+/// the mailboxes; envelopes carry a communicator id so that traffic on
+/// different communicators never cross-matches.
+///
+/// Usage:
+///   roc::comm::World::run(8, [](roc::comm::Comm& comm) { ... });
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "comm/comm.h"
+
+namespace roc::comm {
+
+namespace detail {
+struct WorldState;
+}  // namespace detail
+
+/// Comm implementation over shared-memory mailboxes.  See file comment.
+class ThreadComm final : public Comm {
+ public:
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override {
+    return static_cast<int>(members_.size());
+  }
+
+  void send(int dest, int tag, const void* data, size_t n) override;
+  [[nodiscard]] Message recv(int source, int tag) override;
+  bool iprobe(int source, int tag, Status* st) override;
+  Status probe(int source, int tag) override;
+  [[nodiscard]] std::unique_ptr<Comm> split(int color, int key) override;
+
+ private:
+  friend class World;
+  ThreadComm(std::shared_ptr<detail::WorldState> world, uint64_t comm_id,
+             std::vector<int> members, int rank);
+
+  std::shared_ptr<detail::WorldState> world_;
+  uint64_t comm_id_;
+  std::vector<int> members_;  ///< Global (world) rank of each member.
+  int rank_;                  ///< My rank within this communicator.
+};
+
+/// Launches `n` processes (threads); each runs `body` with its own world
+/// communicator.  Blocks until all processes return.  If any process throws,
+/// the first exception is re-thrown here after all threads have been joined.
+class World {
+ public:
+  using Body = std::function<void(Comm&)>;
+
+  static void run(int n, const Body& body);
+};
+
+}  // namespace roc::comm

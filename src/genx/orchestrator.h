@@ -1,0 +1,138 @@
+#pragma once
+/// \file orchestrator.h
+/// \brief Rocman-lite: orchestrates the multi-component time loop, the
+/// periodic snapshot output, adaptive refinement, and restart (paper §3.1).
+///
+/// One GenxRun object lives on each compute process.  It generates (or
+/// restores) the mesh, partitions blocks across the clients, registers
+/// them as panes in three Roccom windows ("fluid", "solid", "burn"), and
+/// advances the coupled physics in discrete time steps, writing a snapshot
+/// of every window through the loaded I/O service every
+/// `snapshot_interval` steps — the paper's periodic-output pattern of
+/// several back-to-back write_attribute calls between long computation
+/// phases.
+
+#include <list>
+#include <memory>
+
+#include "comm/comm.h"
+#include "comm/env.h"
+#include "genx/solvers.h"
+#include "mesh/generators.h"
+#include "roccom/io_service.h"
+
+namespace roc::genx {
+
+struct GenxConfig {
+  mesh::LabScaleSpec mesh_spec;  ///< Problem geometry (fixed total size).
+  int steps = 100;               ///< Time steps to run.
+  int snapshot_interval = 50;    ///< Output every k steps (0 = never).
+  bool write_initial_snapshot = true;  ///< The paper's 5th snapshot.
+  double dt = 1e-3;
+
+  /// Split the largest splittable local block every k steps (0 = never):
+  /// the paper's "mesh blocks change as the propellant burns".
+  int refine_every = 0;
+
+  /// Couple the fluid and solid windows through the Rocface-lite
+  /// interface transfer each step (fills the solids' surface_load field).
+  bool use_rocface = false;
+
+  /// Migrate blocks to even the per-client payload every k steps
+  /// (0 = never): the paper's dynamic load balancing (§4.1), which "in
+  /// turn benefits parallel I/O performance" by keeping the servers'
+  /// assignments balanced.
+  int rebalance_every = 0;
+
+  /// Modeled compute per client per step, fed to Env::compute (used on the
+  /// simulated substrate; leave 0 for real runs whose math takes real
+  /// time).
+  double compute_seconds_per_step = 0.0;
+
+  std::string run_name = "genx";
+};
+
+/// Timing observed by the driver (virtual seconds on the simulator, wall
+/// seconds in real mode).
+struct RunStats {
+  double compute_seconds = 0;   ///< Physics + modeled compute (local work).
+  double coupling_seconds = 0;  ///< Inter-module data exchange incl. the
+                                ///< wait for staggered peers.
+  double visible_output_seconds = 0;  ///< Time inside write_attribute.
+  double sync_seconds = 0;            ///< Time inside final sync.
+  double restart_read_seconds = 0;    ///< Time restoring state on restart.
+  int snapshots_written = 0;
+};
+
+class GenxRun {
+ public:
+  /// `clients` is the compute communicator (no I/O servers in it);
+  /// `io` is the loaded I/O service.  All references must outlive the run.
+  GenxRun(comm::Comm& clients, comm::Env& env, roccom::IoService& io,
+          GenxConfig config);
+  ~GenxRun();
+
+  /// Generates the mesh, partitions it over the clients and registers the
+  /// panes (a fresh run starting at step 0).
+  void init_fresh();
+
+  /// Restores blocks from the snapshot written as `snapshot_base` (any
+  /// previous deployment shape), redistributes them round-robin over the
+  /// current clients and resumes from the stored step.
+  void init_restart(const std::string& snapshot_base);
+
+  /// Advances the remaining time steps, producing periodic snapshots.
+  void run();
+
+  /// Collective: order-independent fingerprint of the entire distributed
+  /// state (used by restart-equivalence tests).
+  [[nodiscard]] uint64_t global_state_checksum();
+
+  [[nodiscard]] int current_step() const { return step_; }
+  [[nodiscard]] const RunStats& stats() const { return stats_; }
+  [[nodiscard]] roccom::Roccom& com() { return com_; }
+  [[nodiscard]] size_t local_block_count() const;
+  [[nodiscard]] size_t local_payload_bytes() const;
+
+  /// Snapshot basename for a step: "<run_name>_snap_<step, 6 digits>".
+  [[nodiscard]] std::string snapshot_base(int step) const;
+
+  /// Collective: migrates whole blocks between clients until no single
+  /// move improves the payload balance (dynamic load balancing, §4.1).
+  /// Panes move with their blocks; the physical state is bit-identical
+  /// afterwards.  Returns the number of blocks this client sent+received.
+  size_t rebalance();
+
+  /// Load imbalance max/mean of the current distribution (collective).
+  [[nodiscard]] double load_imbalance();
+
+ private:
+  void register_block(mesh::MeshBlock&& block);
+  /// Advances every local block one step (no communication).
+  void step_local_physics();
+  InterfaceState exchange_coupling();
+  void write_snapshot(int step);
+  void maybe_refine(int step);
+  /// Allgathers (id, bytes, owner) of every block (sorted by id).
+  struct GlobalBlock {
+    int id;
+    uint64_t bytes;
+    int owner;
+  };
+  [[nodiscard]] std::vector<GlobalBlock> gather_block_table();
+  [[nodiscard]] static const char* window_of(const mesh::MeshBlock& block);
+
+  comm::Comm& clients_;
+  comm::Env& env_;
+  roccom::IoService& io_;
+  GenxConfig cfg_;
+  roccom::Roccom com_;
+
+  /// Stable storage for pane-registered blocks.
+  std::list<mesh::MeshBlock> blocks_;
+  InterfaceState coupling_;
+  int step_ = 0;
+  RunStats stats_;
+};
+
+}  // namespace roc::genx

@@ -1,0 +1,150 @@
+#include "genx/rocface.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/serialize.h"
+
+namespace roc::genx {
+
+using mesh::MeshBlock;
+using roccom::Pane;
+using roccom::Roccom;
+
+namespace {
+
+double radius_of(const MeshBlock& b, size_t node) {
+  const double x = b.coords()[3 * node];
+  const double y = b.coords()[3 * node + 1];
+  return std::sqrt(x * x + y * y);
+}
+
+/// Min/max node radius of a block.
+std::pair<double, double> radial_extent(const MeshBlock& b) {
+  double lo = 1e300, hi = -1e300;
+  for (size_t n = 0; n < b.node_count(); ++n) {
+    const double r = radius_of(b, n);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  return {lo, hi};
+}
+
+/// Mean of an element field (the block's surface pressure sample).
+double field_mean(const MeshBlock& b, const std::string& name) {
+  const auto& d = b.field(name).data;
+  if (d.empty()) return 0;
+  double s = 0;
+  for (double v : d) s += v;
+  return s / static_cast<double>(d.size());
+}
+
+}  // namespace
+
+std::vector<InterfacePoint> fluid_interface_samples(
+    Roccom& com, const std::string& fluid_window, double tolerance) {
+  std::vector<InterfacePoint> samples;
+  for (const Pane* p : com.window(fluid_window).panes()) {
+    const MeshBlock& b = *p->block;
+    const auto [lo, hi] = radial_extent(b);
+    const double band = std::max(1e-12, (hi - lo) * tolerance);
+    const double pressure = field_mean(b, "pressure");
+    for (size_t n = 0; n < b.node_count(); ++n) {
+      if (hi - radius_of(b, n) > band) continue;  // not on the outer surface
+      InterfacePoint pt;
+      pt.block_id = b.id();
+      pt.node_index = static_cast<int>(n);
+      pt.x = b.coords()[3 * n];
+      pt.y = b.coords()[3 * n + 1];
+      pt.z = b.coords()[3 * n + 2];
+      pt.value = pressure;
+      samples.push_back(pt);
+    }
+  }
+  return samples;
+}
+
+std::vector<int> solid_interface_nodes(const MeshBlock& block,
+                                       double tolerance) {
+  const auto [lo, hi] = radial_extent(block);
+  const double band = std::max(1e-12, (hi - lo) * tolerance);
+  std::vector<int> nodes;
+  for (size_t n = 0; n < block.node_count(); ++n)
+    if (radius_of(block, n) - lo <= band)  // inner surface
+      nodes.push_back(static_cast<int>(n));
+  return nodes;
+}
+
+size_t transfer_fluid_to_solid(comm::Comm& clients, Roccom& com,
+                               const std::string& fluid_window,
+                               const std::string& solid_window,
+                               double tolerance) {
+  // 1-2. Gather every process's fluid samples; order them canonically so
+  // the candidate list is identical everywhere.
+  const auto local = fluid_interface_samples(com, fluid_window, tolerance);
+  ByteWriter w;
+  w.put<uint32_t>(static_cast<uint32_t>(local.size()));
+  for (const auto& s : local) {
+    w.put<int32_t>(s.block_id);
+    w.put<int32_t>(s.node_index);
+    w.put<double>(s.x);
+    w.put<double>(s.y);
+    w.put<double>(s.z);
+    w.put<double>(s.value);
+  }
+  auto all = clients.allgather(w.take());
+
+  std::vector<InterfacePoint> candidates;
+  for (const auto& bytes : all) {
+    ByteReader r(bytes.data(), bytes.size());
+    const auto n = r.get<uint32_t>();
+    for (uint32_t i = 0; i < n; ++i) {
+      InterfacePoint s;
+      s.block_id = r.get<int32_t>();
+      s.node_index = r.get<int32_t>();
+      s.x = r.get<double>();
+      s.y = r.get<double>();
+      s.z = r.get<double>();
+      s.value = r.get<double>();
+      candidates.push_back(s);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const InterfacePoint& a, const InterfacePoint& b) {
+              return a.block_id != b.block_id
+                         ? a.block_id < b.block_id
+                         : a.node_index < b.node_index;
+            });
+
+  // 3. Nearest-neighbour mapping onto the solid inner surfaces.  Strict
+  // less-than over the canonical order makes ties deterministic.
+  size_t mapped = 0;
+  for (const Pane* p : com.window(solid_window).panes()) {
+    MeshBlock& b = *p->block;
+    auto& load = b.field(kSurfaceLoadField);
+    require(load.ncomp == 1, "surface_load must be a scalar node field");
+    std::fill(load.data.begin(), load.data.end(), 0.0);
+    if (candidates.empty()) continue;
+
+    for (int n : solid_interface_nodes(b, tolerance)) {
+      const double x = b.coords()[3 * n];
+      const double y = b.coords()[3 * n + 1];
+      const double z = b.coords()[3 * n + 2];
+      double best = 1e300;
+      double value = 0;
+      for (const auto& c : candidates) {
+        const double d2 = (c.x - x) * (c.x - x) + (c.y - y) * (c.y - y) +
+                          (c.z - z) * (c.z - z);
+        if (d2 < best) {
+          best = d2;
+          value = c.value;
+        }
+      }
+      load.data[static_cast<size_t>(n)] = value;
+      ++mapped;
+    }
+  }
+  return mapped;
+}
+
+}  // namespace roc::genx

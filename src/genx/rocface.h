@@ -1,0 +1,59 @@
+#pragma once
+/// \file rocface.h
+/// \brief Rocface-lite: data transfer at the fluid-solid interface
+/// (paper §3.1: "Rocface is responsible for transferring data at the
+/// fluid-solid interface").
+///
+/// The chamber geometry puts the fluid blocks' outer surface against the
+/// propellant blocks' inner surface.  The transfer:
+///   1. each process samples its fluid blocks' outer-surface nodes,
+///      tagging them with the block's surface pressure;
+///   2. the samples are allgathered and ordered by (block id, node index)
+///      so every process sees the identical candidate list;
+///   3. every solid block's inner-surface node takes the value of its
+///      nearest fluid sample (deterministic tie-breaking), stored in the
+///      node field "surface_load".
+///
+/// The mapping is partition-independent: the candidate list and the
+/// nearest-neighbour choice do not depend on which process owns which
+/// block, so coupled runs restart bit-exactly under any redistribution.
+
+#include <string>
+#include <vector>
+
+#include "comm/comm.h"
+#include "roccom/roccom.h"
+
+namespace roc::genx {
+
+/// One interface sample: a surface node with its carried value.
+struct InterfacePoint {
+  int block_id = -1;
+  int node_index = -1;
+  double x = 0, y = 0, z = 0;
+  double value = 0;
+};
+
+/// Name of the node field the transfer writes on solid blocks.
+inline constexpr const char* kSurfaceLoadField = "surface_load";
+
+/// Local pass: outer-surface nodes of this process's fluid panes, each
+/// carrying its block's mean pressure.  `tolerance` is the relative radial
+/// band counted as "surface".
+std::vector<InterfacePoint> fluid_interface_samples(
+    roccom::Roccom& com, const std::string& fluid_window,
+    double tolerance = 0.05);
+
+/// Local pass: inner-surface node indices of one solid block.
+std::vector<int> solid_interface_nodes(const mesh::MeshBlock& block,
+                                       double tolerance = 0.05);
+
+/// Collective: maps fluid surface pressure onto every solid pane's
+/// kSurfaceLoadField (which must exist in the solid window schema).
+/// Returns the number of solid surface nodes this process mapped.
+size_t transfer_fluid_to_solid(comm::Comm& clients, roccom::Roccom& com,
+                               const std::string& fluid_window,
+                               const std::string& solid_window,
+                               double tolerance = 0.05);
+
+}  // namespace roc::genx

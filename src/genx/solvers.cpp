@@ -1,0 +1,121 @@
+#include "genx/solvers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roc::genx {
+
+using mesh::Centering;
+using mesh::Field;
+using mesh::MeshBlock;
+
+void add_burn_schema(MeshBlock& block) {
+  block.add_field("burn_rate", Centering::kElement, 1);
+  block.add_field("temperature", Centering::kNode, 1);
+}
+
+void fluid_step(MeshBlock& b, double dt, const InterfaceState& s) {
+  const auto& d = b.node_dims();
+  Field& vel = b.field("velocity");
+  Field& p = b.field("pressure");
+  Field& temp = b.field("temperature");
+
+  // Velocity: diffuse along the i-direction lattice (cheap stand-in for
+  // the momentum update) plus axial acceleration from the chamber
+  // pressure.
+  const size_t nn = b.node_count();
+  const int ni = d[0];
+  for (size_t n = 0; n < nn; ++n) {
+    const int i = static_cast<int>(n) % ni;
+    const size_t left = (i > 0) ? n - 1 : n;
+    const size_t right = (i + 1 < ni) ? n + 1 : n;
+    for (int c = 0; c < 3; ++c) {
+      const double lap = vel.data[3 * left + c] - 2 * vel.data[3 * n + c] +
+                         vel.data[3 * right + c];
+      vel.data[3 * n + c] += 0.2 * lap;
+    }
+    // Axial (z) acceleration from combustion.
+    vel.data[3 * n + 2] += dt * 50.0 * (s.mean_pressure - 1.0 + s.burn_rate);
+  }
+
+  // Pressure relaxes toward the burn-driven source; temperature follows.
+  const double target = 1.0 + 4.0 * s.burn_rate;
+  for (double& v : p.data) v += dt * 3.0 * (target - v);
+  for (double& v : temp.data) v += dt * (300.0 * s.mean_pressure - v) * 0.05;
+}
+
+void solid_step(MeshBlock& b, double dt, const InterfaceState& s) {
+  Field& disp = b.field("displacement");
+  Field& stress = b.field("stress");
+  const Field* surface = b.find_field("surface_load");
+
+  // Displacement: radial response to the chamber pressure plus the local
+  // interface load mapped by Rocface (zero when uncoupled), with elastic
+  // restoring force.
+  const size_t nn = b.node_count();
+  for (size_t n = 0; n < nn; ++n) {
+    const double x = b.coords()[3 * n];
+    const double y = b.coords()[3 * n + 1];
+    const double r = std::sqrt(x * x + y * y) + 1e-12;
+    const double local = surface != nullptr ? surface->data[n] : 0.0;
+    const double load = 1e-4 * (s.mean_pressure - 1.0) + 5e-5 * local;
+    for (int c = 0; c < 2; ++c) {
+      const double dir = (c == 0 ? x : y) / r;
+      double& u = disp.data[3 * n + c];
+      u += dt * (load * dir - 0.5 * u);
+    }
+  }
+
+  // Stress relaxes toward the pressure load (normal components) and decays
+  // (shear components).
+  const double target = 2.0 * (s.mean_pressure - 1.0);
+  const size_t ne = stress.data.size() / 6;
+  for (size_t e = 0; e < ne; ++e) {
+    for (int c = 0; c < 3; ++c)
+      stress.data[6 * e + c] += dt * 4.0 * (target - stress.data[6 * e + c]);
+    for (int c = 3; c < 6; ++c) stress.data[6 * e + c] *= (1.0 - 0.3 * dt);
+  }
+}
+
+void burn_step(MeshBlock& b, double dt, const InterfaceState& s) {
+  Field& rate = b.field("burn_rate");
+  Field& temp = b.field("temperature");
+
+  // APN propellant law r = a * P^n with a first-order thermal lag.
+  constexpr double kA = 0.04, kN = 0.7;
+  const double p = std::max(1e-6, s.mean_pressure);
+  const double steady = kA * std::pow(p, kN);
+  for (double& r : rate.data) r += dt * 20.0 * (steady - r);
+  for (double& t : temp.data) t += dt * (500.0 * steady - 0.2 * t);
+}
+
+CouplingContribution coupling_contribution(const MeshBlock& b) {
+  CouplingContribution c;
+  c.block_id = b.id();
+  if (const Field* p = b.find_field("pressure")) {
+    for (double v : p->data) c.pressure_sum += v;
+    c.pressure_count = static_cast<double>(p->data.size());
+  }
+  if (const Field* r = b.find_field("burn_rate")) {
+    for (double v : r->data) c.burn_sum += v;
+    c.burn_count = static_cast<double>(r->data.size());
+  }
+  return c;
+}
+
+InterfaceState reduce_coupling(
+    const std::vector<CouplingContribution>& sorted) {
+  InterfaceState s;
+  double psum = 0, pcount = 0, bsum = 0, bcount = 0;
+  for (const auto& c : sorted) {
+    psum += c.pressure_sum;
+    pcount += c.pressure_count;
+    bsum += c.burn_sum;
+    bcount += c.burn_count;
+  }
+  s.mean_pressure = pcount > 0 ? psum / pcount : 1.0;
+  s.burn_rate = bcount > 0 ? bsum / bcount : 0.0;
+  return s;
+}
+
+}  // namespace roc::genx

@@ -1,0 +1,59 @@
+#pragma once
+/// \file solvers.h
+/// \brief Miniature physics modules mirroring GENx's component structure
+/// (paper §3.1): a structured-mesh gas-dynamics solver (Rocflo-like), an
+/// unstructured-mesh structural solver (Rocfrac-like), and a burn-rate
+/// combustion model (Rocburn-like) coupled through an interface-transfer
+/// step (Rocface-like).
+///
+/// The numerics are deliberately simple — explicit relaxation/advection
+/// updates and the a·P^n propellant burn law — but they are deterministic,
+/// state-evolving and *partition-independent*: a block's update depends
+/// only on that block's state plus globally reduced coupling quantities
+/// that are summed in block-id order (bit-exact regardless of how blocks
+/// are distributed).  That property is what the restart-equivalence tests
+/// rely on.
+
+#include "mesh/mesh_block.h"
+
+namespace roc::genx {
+
+/// Global coupling state exchanged between the modules each step.
+struct InterfaceState {
+  double mean_pressure = 1.0;  ///< Chamber pressure fed to solid + burn.
+  double burn_rate = 0.0;      ///< Mean regression rate fed back to fluid.
+};
+
+/// Gas dynamics on one structured block: advect/diffuse velocity, relax
+/// pressure toward the combustion source, heat the gas.
+void fluid_step(mesh::MeshBlock& block, double dt, const InterfaceState& s);
+
+/// Structural mechanics on one unstructured block: displacement responds
+/// to the pressure load; stress relaxes toward the load state.
+void solid_step(mesh::MeshBlock& block, double dt, const InterfaceState& s);
+
+/// 1-D burn-rate model on one (thin) burn block: r = a * P^n with thermal
+/// lag, updating the block's burn_rate and temperature fields.
+void burn_step(mesh::MeshBlock& block, double dt, const InterfaceState& s);
+
+/// Per-block contributions to the global coupling reduction.
+struct CouplingContribution {
+  int block_id = -1;
+  double pressure_sum = 0;   ///< Sum of fluid pressure over elements.
+  double pressure_count = 0;
+  double burn_sum = 0;       ///< Sum of burn rate over elements.
+  double burn_count = 0;
+};
+
+/// Extracts this block's contribution (zero for kinds without the fields).
+CouplingContribution coupling_contribution(const mesh::MeshBlock& block);
+
+/// Combines contributions — MUST be called with the list sorted by
+/// block id so the floating-point sum is partition-independent.
+InterfaceState reduce_coupling(
+    const std::vector<CouplingContribution>& sorted_contributions);
+
+/// Field schema of the burn window's blocks.
+void add_burn_schema(mesh::MeshBlock& block);
+
+}  // namespace roc::genx

@@ -1,0 +1,208 @@
+#include "mesh/generators.h"
+
+#include <cmath>
+
+namespace roc::mesh {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Jittered block dimension: nominal n, varied by +-jitter (at least 3).
+int jittered_dim(Rng& rng, int nominal, double jitter) {
+  const double f = 1.0 + jitter * (2.0 * rng.next_double() - 1.0);
+  return std::max(3, static_cast<int>(std::lround(nominal * f)));
+}
+
+/// Fills a structured block's coordinates as an annular sector:
+/// i -> radial [r0, r1], j -> angular [a0, a1], k -> axial [z0, z1].
+/// `lobe` perturbs the inner radius to suggest a star grain.
+void fill_annular_sector(MeshBlock& b, double r0, double r1, double a0,
+                         double a1, double z0, double z1, int star_points,
+                         double lobe_depth) {
+  const auto& d = b.node_dims();
+  auto& xyz = b.coords();
+  size_t n = 0;
+  for (int k = 0; k < d[2]; ++k) {
+    const double z = z0 + (z1 - z0) * k / (d[2] - 1);
+    for (int j = 0; j < d[1]; ++j) {
+      const double a = a0 + (a1 - a0) * j / (d[1] - 1);
+      const double star =
+          1.0 - lobe_depth * 0.5 * (1.0 + std::cos(star_points * a));
+      const double inner = r0 * star;
+      for (int i = 0; i < d[0]; ++i) {
+        const double r = inner + (r1 - inner) * i / (d[0] - 1);
+        xyz[n++] = r * std::cos(a);
+        xyz[n++] = r * std::sin(a);
+        xyz[n++] = z;
+      }
+    }
+  }
+}
+
+/// Builds an unstructured tetrahedral block by splitting an (nx,ny,nz) hex
+/// lattice into 5 tets per hex.
+MeshBlock make_tet_lattice(int block_id, int nx, int ny, int nz) {
+  const size_t nodes = static_cast<size_t>(nx) * ny * nz;
+  auto node_id = [&](int i, int j, int k) {
+    return static_cast<int32_t>((static_cast<size_t>(k) * ny + j) * nx + i);
+  };
+  std::vector<int32_t> conn;
+  conn.reserve(static_cast<size_t>(nx - 1) * (ny - 1) * (nz - 1) * 20);
+  for (int k = 0; k + 1 < nz; ++k) {
+    for (int j = 0; j + 1 < ny; ++j) {
+      for (int i = 0; i + 1 < nx; ++i) {
+        const int32_t c[8] = {
+            node_id(i, j, k),         node_id(i + 1, j, k),
+            node_id(i, j + 1, k),     node_id(i + 1, j + 1, k),
+            node_id(i, j, k + 1),     node_id(i + 1, j, k + 1),
+            node_id(i, j + 1, k + 1), node_id(i + 1, j + 1, k + 1)};
+        // 5-tet decomposition of a hexahedron; parity flip keeps faces
+        // conforming between neighbouring hexes.
+        const bool flip = (i + j + k) % 2 == 1;
+        static const int kEven[5][4] = {
+            {0, 1, 3, 5}, {0, 3, 2, 6}, {0, 5, 4, 6}, {3, 5, 6, 7},
+            {0, 3, 6, 5}};
+        static const int kOdd[5][4] = {
+            {1, 0, 2, 4}, {1, 2, 3, 7}, {1, 4, 5, 7}, {2, 4, 7, 6},
+            {1, 2, 7, 4}};
+        const auto& tets = flip ? kOdd : kEven;
+        for (int t = 0; t < 5; ++t)
+          for (int v = 0; v < 4; ++v) conn.push_back(c[tets[t][v]]);
+      }
+    }
+  }
+  return MeshBlock::unstructured(block_id, nodes, std::move(conn));
+}
+
+/// Fills tet-lattice coordinates over an annular sector (same mapping as
+/// fill_annular_sector, lattice ordering (i fastest)).
+void fill_tet_lattice_coords(MeshBlock& b, int nx, int ny, int nz, double r0,
+                             double r1, double a0, double a1, double z0,
+                             double z1) {
+  auto& xyz = b.coords();
+  size_t n = 0;
+  for (int k = 0; k < nz; ++k) {
+    const double z = z0 + (z1 - z0) * k / (nz - 1);
+    for (int j = 0; j < ny; ++j) {
+      const double a = a0 + (a1 - a0) * j / (ny - 1);
+      for (int i = 0; i < nx; ++i) {
+        const double r = r0 + (r1 - r0) * i / (nx - 1);
+        xyz[n++] = r * std::cos(a);
+        xyz[n++] = r * std::sin(a);
+        xyz[n++] = z;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+size_t RocketMesh::total_payload_bytes() const {
+  size_t n = 0;
+  for (const auto& b : fluid) n += b.payload_bytes();
+  for (const auto& b : solid) n += b.payload_bytes();
+  return n;
+}
+
+void add_fluid_schema(MeshBlock& b) {
+  b.add_field("velocity", Centering::kNode, 3);
+  b.add_field("pressure", Centering::kElement, 1);
+  b.add_field("temperature", Centering::kElement, 1);
+}
+
+void add_solid_schema(MeshBlock& b) {
+  b.add_field("displacement", Centering::kNode, 3);
+  b.add_field("stress", Centering::kElement, 6);
+  // Filled by the interface transfer (Rocface-lite); zero when uncoupled.
+  b.add_field("surface_load", Centering::kNode, 1);
+}
+
+RocketMesh make_lab_scale_rocket(const LabScaleSpec& spec) {
+  require(spec.fluid_blocks > 0 && spec.solid_blocks > 0,
+          "lab-scale mesh needs fluid and solid blocks");
+  Rng rng(spec.seed);
+  RocketMesh mesh;
+  int next_id = 0;
+
+  // Fluid: the chamber bore, annular sectors tiled angularly and axially.
+  // Choose an (angular x axial) tiling close to square.
+  const int nang = std::max(1, static_cast<int>(std::lround(
+                                   std::sqrt(spec.fluid_blocks))));
+  const int nax = (spec.fluid_blocks + nang - 1) / nang;
+  int made = 0;
+  for (int ax = 0; ax < nax && made < spec.fluid_blocks; ++ax) {
+    for (int an = 0; an < nang && made < spec.fluid_blocks; ++an, ++made) {
+      std::array<int, 3> d = {jittered_dim(rng, spec.base_block_nodes,
+                                           spec.size_jitter),
+                              jittered_dim(rng, spec.base_block_nodes,
+                                           spec.size_jitter),
+                              jittered_dim(rng, spec.base_block_nodes,
+                                           spec.size_jitter)};
+      MeshBlock b = MeshBlock::structured(next_id++, d);
+      const double a0 = 2 * kPi * an / nang;
+      const double a1 = 2 * kPi * (an + 1) / nang;
+      const double z0 = spec.length * ax / nax;
+      const double z1 = spec.length * (ax + 1) / nax;
+      fill_annular_sector(b, 0.15 * spec.radius, 0.6 * spec.radius, a0, a1,
+                          z0, z1, spec.star_points, 0.35);
+      add_fluid_schema(b);
+      mesh.fluid.push_back(std::move(b));
+    }
+  }
+
+  // Solid: the propellant shell, tetrahedral sectors.
+  const int sang = std::max(1, static_cast<int>(std::lround(
+                                   std::sqrt(spec.solid_blocks))));
+  const int sax = (spec.solid_blocks + sang - 1) / sang;
+  made = 0;
+  for (int ax = 0; ax < sax && made < spec.solid_blocks; ++ax) {
+    for (int an = 0; an < sang && made < spec.solid_blocks; ++an, ++made) {
+      const int nx = jittered_dim(rng, spec.base_block_nodes * 2 / 3,
+                                  spec.size_jitter);
+      const int ny = jittered_dim(rng, spec.base_block_nodes,
+                                  spec.size_jitter);
+      const int nz = jittered_dim(rng, spec.base_block_nodes,
+                                  spec.size_jitter);
+      MeshBlock b = make_tet_lattice(next_id++, nx, ny, nz);
+      const double a0 = 2 * kPi * an / sang;
+      const double a1 = 2 * kPi * (an + 1) / sang;
+      const double z0 = spec.length * ax / sax;
+      const double z1 = spec.length * (ax + 1) / sax;
+      fill_tet_lattice_coords(b, nx, ny, nz, 0.6 * spec.radius, spec.radius,
+                              a0, a1, z0, z1);
+      add_solid_schema(b);
+      mesh.solid.push_back(std::move(b));
+    }
+  }
+  return mesh;
+}
+
+std::vector<MeshBlock> make_extendible_cylinder(const ScalabilitySpec& spec) {
+  require(spec.segments > 0 && spec.blocks_per_segment > 0,
+          "scalability mesh needs at least one segment and block");
+  Rng rng(spec.seed);
+  std::vector<MeshBlock> blocks;
+  blocks.reserve(static_cast<size_t>(spec.segments) *
+                 spec.blocks_per_segment);
+  int next_id = 0;
+  for (int s = 0; s < spec.segments; ++s) {
+    const double z0 = spec.segment_length * s;
+    const double z1 = spec.segment_length * (s + 1);
+    for (int q = 0; q < spec.blocks_per_segment; ++q) {
+      std::array<int, 3> d = {spec.block_nodes, spec.block_nodes,
+                              spec.block_nodes};
+      MeshBlock b = MeshBlock::structured(next_id++, d);
+      const double a0 = 2 * kPi * q / spec.blocks_per_segment;
+      const double a1 = 2 * kPi * (q + 1) / spec.blocks_per_segment;
+      fill_annular_sector(b, 0.2 * spec.radius, spec.radius, a0, a1, z0, z1,
+                          /*star_points=*/0, /*lobe_depth=*/0.0);
+      add_fluid_schema(b);
+      blocks.push_back(std::move(b));
+    }
+  }
+  (void)rng;
+  return blocks;
+}
+
+}  // namespace roc::mesh

@@ -1,0 +1,74 @@
+#pragma once
+/// \file generators.h
+/// \brief Synthetic mesh generators for the paper's two test problems.
+///
+/// The paper evaluates on (a) a lab-scale solid rocket motor (fixed total
+/// problem size, partitioned across more or fewer processors) and (b) a
+/// "scalability" test simulating an extendible cylinder of the rocket body
+/// (fixed data per processor).  We generate geometrically faithful stand-ins
+/// (DESIGN.md §2): an annular star-grain chamber meshed with structured
+/// fluid blocks and unstructured (tetrahedral) propellant blocks, and an
+/// extendible cylinder of uniform segments.
+///
+/// Block sizes are deliberately varied (deterministically, per seed) so the
+/// distribution is irregular — the property the paper's I/O design exists
+/// to serve.
+
+#include <vector>
+
+#include "mesh/mesh_block.h"
+#include "util/rng.h"
+
+namespace roc::mesh {
+
+/// A generated multi-material mesh: fluid (structured) + solid
+/// (unstructured) blocks, mirroring GENx's Rocflo + Rocfrac pairing.
+struct RocketMesh {
+  std::vector<MeshBlock> fluid;
+  std::vector<MeshBlock> solid;
+
+  [[nodiscard]] size_t total_blocks() const {
+    return fluid.size() + solid.size();
+  }
+  [[nodiscard]] size_t total_payload_bytes() const;
+};
+
+/// Parameters of the lab-scale motor mesh.
+struct LabScaleSpec {
+  int fluid_blocks = 48;     ///< Structured chamber-flow blocks.
+  int solid_blocks = 32;     ///< Unstructured propellant blocks.
+  int base_block_nodes = 12; ///< Nominal nodes per block dimension.
+  double size_jitter = 0.4;  ///< Relative block-size variation in [0,1).
+  double radius = 0.1;       ///< Motor radius (m).
+  double length = 0.5;       ///< Motor length (m).
+  int star_points = 5;       ///< Star-grain lobes (perturbs inner radius).
+  uint64_t seed = 20030422;  ///< Determinism (IPDPS'03 week, why not).
+};
+
+/// Generates the lab-scale motor; block ids are dense starting at 0
+/// (fluid first, then solid).
+RocketMesh make_lab_scale_rocket(const LabScaleSpec& spec);
+
+/// Parameters of the extendible-cylinder scalability mesh.
+struct ScalabilitySpec {
+  int segments = 16;           ///< One segment per compute processor.
+  int blocks_per_segment = 4;  ///< Fluid blocks per segment.
+  int block_nodes = 16;        ///< Nodes per block dimension.
+  double radius = 0.1;
+  double segment_length = 0.25;
+  uint64_t seed = 7;
+};
+
+/// Generates `segments * blocks_per_segment` structured blocks; segment s
+/// owns ids [s*blocks_per_segment, (s+1)*blocks_per_segment).
+std::vector<MeshBlock> make_extendible_cylinder(const ScalabilitySpec& spec);
+
+/// Registers the standard GENx-like field schema on a fluid block
+/// (node-centred velocity[3] + element-centred pressure, temperature).
+void add_fluid_schema(MeshBlock& b);
+
+/// Standard solid schema (node-centred displacement[3] + surface_load[1]
+/// + element-centred stress[6]).
+void add_solid_schema(MeshBlock& b);
+
+}  // namespace roc::mesh

@@ -1,0 +1,102 @@
+#include "mesh/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace roc::mesh {
+
+Partition partition_blocks(const std::vector<MeshBlock>& blocks, int nproc) {
+  require(nproc > 0, "partition needs at least one processor");
+  Partition part(static_cast<size_t>(nproc));
+
+  // Sort block indices by payload, largest first.
+  std::vector<size_t> order(blocks.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return blocks[a].payload_bytes() > blocks[b].payload_bytes();
+  });
+
+  // Min-heap of (load, proc).
+  using Bin = std::pair<size_t, int>;
+  std::priority_queue<Bin, std::vector<Bin>, std::greater<>> heap;
+  for (int p = 0; p < nproc; ++p) heap.emplace(0, p);
+
+  for (size_t idx : order) {
+    auto [load, p] = heap.top();
+    heap.pop();
+    part[static_cast<size_t>(p)].push_back(idx);
+    heap.emplace(load + blocks[idx].payload_bytes(), p);
+  }
+  // Keep each processor's list in block-index order (stable, readable).
+  for (auto& lst : part) std::sort(lst.begin(), lst.end());
+  return part;
+}
+
+std::vector<size_t> partition_loads(const std::vector<MeshBlock>& blocks,
+                                    const Partition& partition) {
+  std::vector<size_t> loads(partition.size(), 0);
+  for (size_t p = 0; p < partition.size(); ++p)
+    for (size_t idx : partition[p]) loads[p] += blocks[idx].payload_bytes();
+  return loads;
+}
+
+double partition_imbalance(const std::vector<MeshBlock>& blocks,
+                           const Partition& partition) {
+  const auto loads = partition_loads(blocks, partition);
+  const size_t max_load = *std::max_element(loads.begin(), loads.end());
+  const double mean =
+      static_cast<double>(std::accumulate(loads.begin(), loads.end(),
+                                          size_t{0})) /
+      static_cast<double>(loads.size());
+  return mean > 0 ? static_cast<double>(max_load) / mean : 1.0;
+}
+
+std::vector<Migration> plan_rebalance(const std::vector<MeshBlock>& blocks,
+                                      Partition& partition) {
+  std::vector<size_t> sizes(blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i)
+    sizes[i] = blocks[i].payload_bytes();
+  return plan_rebalance(sizes, partition);
+}
+
+std::vector<Migration> plan_rebalance(const std::vector<size_t>& sizes,
+                                      Partition& partition) {
+  std::vector<Migration> moves;
+  std::vector<size_t> loads(partition.size(), 0);
+  for (size_t p = 0; p < partition.size(); ++p)
+    for (size_t idx : partition[p]) loads[p] += sizes[idx];
+
+  for (;;) {
+    const auto max_it = std::max_element(loads.begin(), loads.end());
+    const auto min_it = std::min_element(loads.begin(), loads.end());
+    const auto from = static_cast<size_t>(max_it - loads.begin());
+    const auto to = static_cast<size_t>(min_it - loads.begin());
+    if (from == to) break;
+
+    // Best single block to move: largest one that still improves the gap.
+    const size_t gap = *max_it - *min_it;
+    size_t best = SIZE_MAX, best_bytes = 0;
+    for (size_t i = 0; i < partition[from].size(); ++i) {
+      const size_t bytes = sizes[partition[from][i]];
+      if (bytes * 2 < gap && bytes > best_bytes) {
+        best = i;
+        best_bytes = bytes;
+      }
+    }
+    if (best == SIZE_MAX) break;
+
+    const size_t idx = partition[from][best];
+    partition[from].erase(partition[from].begin() +
+                          static_cast<ptrdiff_t>(best));
+    partition[to].push_back(idx);
+    std::sort(partition[to].begin(), partition[to].end());
+    loads[from] -= best_bytes;
+    loads[to] += best_bytes;
+    moves.push_back(Migration{idx, static_cast<int>(from),
+                              static_cast<int>(to)});
+  }
+  return moves;
+}
+
+}  // namespace roc::mesh

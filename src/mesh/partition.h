@@ -1,0 +1,53 @@
+#pragma once
+/// \file partition.h
+/// \brief Block-to-processor assignment (the paper's pre-partitioning).
+///
+/// GENx pre-partitions the simulation object into many mesh blocks and
+/// assigns each processor a number of blocks.  We implement the standard
+/// longest-processing-time greedy bin packing over block payload sizes,
+/// which yields the "likely balanced" per-processor data volume the paper
+/// relies on (§4.1), plus a migration planner used to emulate dynamic load
+/// balancing.
+
+#include <vector>
+
+#include "mesh/mesh_block.h"
+
+namespace roc::mesh {
+
+/// partition[p] lists indices (into `blocks`) assigned to processor p.
+using Partition = std::vector<std::vector<size_t>>;
+
+/// Greedy LPT assignment of blocks to `nproc` processors balancing
+/// payload_bytes.  Every processor appears in the result (possibly with an
+/// empty list when there are fewer blocks than processors).
+Partition partition_blocks(const std::vector<MeshBlock>& blocks, int nproc);
+
+/// Bytes assigned to each processor under `partition`.
+std::vector<size_t> partition_loads(const std::vector<MeshBlock>& blocks,
+                                    const Partition& partition);
+
+/// Load imbalance = max_load / mean_load (1.0 is perfect).
+double partition_imbalance(const std::vector<MeshBlock>& blocks,
+                           const Partition& partition);
+
+/// One planned block move.
+struct Migration {
+  size_t block_index;
+  int from;
+  int to;
+};
+
+/// Plans migrations that move blocks from overloaded to underloaded
+/// processors until no single move improves the imbalance.  Mutates
+/// `partition` in place and returns the moves in order.
+std::vector<Migration> plan_rebalance(const std::vector<MeshBlock>& blocks,
+                                      Partition& partition);
+
+/// Size-only variant: `sizes[i]` is the payload of block index i.  Used
+/// when the blocks themselves are distributed and only their sizes were
+/// gathered (the runtime load-balancing path).
+std::vector<Migration> plan_rebalance(const std::vector<size_t>& sizes,
+                                      Partition& partition);
+
+}  // namespace roc::mesh

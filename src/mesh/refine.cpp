@@ -1,0 +1,195 @@
+#include "mesh/refine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace roc::mesh {
+
+namespace {
+
+/// Copies the sub-box [lo[a], hi[a]) of nodes (hi exclusive) from `src`
+/// into a fresh structured block, along with all node fields; element
+/// fields are copied for elements wholly inside the node box.
+MeshBlock extract_structured(const MeshBlock& src, std::array<int, 3> lo,
+                             std::array<int, 3> hi, int id) {
+  const auto& d = src.node_dims();
+  std::array<int, 3> nd = {hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]};
+  MeshBlock out = MeshBlock::structured(id, nd);
+
+  auto src_node = [&](int i, int j, int k) {
+    return (static_cast<size_t>(k) * d[1] + j) * d[0] + i;
+  };
+  auto dst_node = [&](int i, int j, int k) {
+    return (static_cast<size_t>(k) * nd[1] + j) * nd[0] + i;
+  };
+
+  for (int k = 0; k < nd[2]; ++k)
+    for (int j = 0; j < nd[1]; ++j)
+      for (int i = 0; i < nd[0]; ++i) {
+        const size_t s = src_node(i + lo[0], j + lo[1], k + lo[2]);
+        const size_t t = dst_node(i, j, k);
+        for (int c = 0; c < 3; ++c)
+          out.coords()[3 * t + c] = src.coords()[3 * s + c];
+      }
+
+  auto src_elem = [&](int i, int j, int k) {
+    return (static_cast<size_t>(k) * (d[1] - 1) + j) * (d[0] - 1) + i;
+  };
+  auto dst_elem = [&](int i, int j, int k) {
+    return (static_cast<size_t>(k) * (nd[1] - 1) + j) * (nd[0] - 1) + i;
+  };
+
+  for (const auto& f : src.fields()) {
+    Field& g = out.add_field(f.name, f.centering, f.ncomp);
+    if (f.centering == Centering::kNode) {
+      for (int k = 0; k < nd[2]; ++k)
+        for (int j = 0; j < nd[1]; ++j)
+          for (int i = 0; i < nd[0]; ++i) {
+            const size_t s = src_node(i + lo[0], j + lo[1], k + lo[2]);
+            const size_t t = dst_node(i, j, k);
+            for (int c = 0; c < f.ncomp; ++c)
+              g.data[t * f.ncomp + c] = f.data[s * f.ncomp + c];
+          }
+    } else {
+      for (int k = 0; k + 1 < nd[2]; ++k)
+        for (int j = 0; j + 1 < nd[1]; ++j)
+          for (int i = 0; i + 1 < nd[0]; ++i) {
+            const size_t s = src_elem(i + lo[0], j + lo[1], k + lo[2]);
+            const size_t t = dst_elem(i, j, k);
+            for (int c = 0; c < f.ncomp; ++c)
+              g.data[t * f.ncomp + c] = f.data[s * f.ncomp + c];
+          }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::pair<MeshBlock, MeshBlock> split_structured(const MeshBlock& block,
+                                                 int& next_id) {
+  require(block.kind() == MeshKind::kStructured,
+          "split_structured needs a structured block");
+  const auto& d = block.node_dims();
+  // Longest node dimension; must leave >= 2 nodes on each side.
+  int axis = 0;
+  for (int a = 1; a < 3; ++a)
+    if (d[a] > d[axis]) axis = a;
+  require(d[axis] >= 3, "block too small to split");
+  const int cut = d[axis] / 2;  // split-plane node index (shared)
+
+  std::array<int, 3> lo0 = {0, 0, 0}, hi0 = {d[0], d[1], d[2]};
+  hi0[axis] = cut + 1;
+  std::array<int, 3> lo1 = {0, 0, 0}, hi1 = {d[0], d[1], d[2]};
+  lo1[axis] = cut;
+
+  MeshBlock a = extract_structured(block, lo0, hi0, next_id++);
+  MeshBlock b = extract_structured(block, lo1, hi1, next_id++);
+  return {std::move(a), std::move(b)};
+}
+
+std::pair<MeshBlock, MeshBlock> split_unstructured(const MeshBlock& block,
+                                                   int& next_id) {
+  require(block.kind() == MeshKind::kUnstructured,
+          "split_unstructured needs an unstructured block");
+  const size_t nelem = block.element_count();
+  require(nelem >= 2, "block too small to split");
+  const auto& conn = block.connectivity();
+  const auto& xyz = block.coords();
+
+  // Axis of largest coordinate extent.
+  double lo[3] = {1e300, 1e300, 1e300}, hi[3] = {-1e300, -1e300, -1e300};
+  for (size_t n = 0; n < block.node_count(); ++n)
+    for (int c = 0; c < 3; ++c) {
+      lo[c] = std::min(lo[c], xyz[3 * n + c]);
+      hi[c] = std::max(hi[c], xyz[3 * n + c]);
+    }
+  int axis = 0;
+  for (int c = 1; c < 3; ++c)
+    if (hi[c] - lo[c] > hi[axis] - lo[axis]) axis = c;
+
+  // Median element centroid along the axis decides membership; the median
+  // (not the mid-point) guarantees both children are non-empty.
+  std::vector<double> centroid(nelem);
+  for (size_t e = 0; e < nelem; ++e) {
+    double s = 0;
+    for (int v = 0; v < 4; ++v)
+      s += xyz[3 * static_cast<size_t>(conn[4 * e + v]) + axis];
+    centroid[e] = s / 4.0;
+  }
+  std::vector<double> sorted = centroid;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<ptrdiff_t>(nelem / 2),
+                   sorted.end());
+  const double pivot = sorted[nelem / 2];
+
+  std::vector<uint8_t> side(nelem);
+  size_t count0 = 0;
+  for (size_t e = 0; e < nelem; ++e) {
+    side[e] = centroid[e] < pivot ? 0 : 1;
+    if (side[e] == 0) ++count0;
+  }
+  // Degenerate pivot (many equal centroids): force a non-empty split by
+  // element index.
+  if (count0 == 0 || count0 == nelem)
+    for (size_t e = 0; e < nelem; ++e) side[e] = e < nelem / 2 ? 0 : 1;
+
+  // Build each child: renumber nodes, copy fields.
+  auto build_child = [&](uint8_t which, int id) {
+    std::unordered_map<int32_t, int32_t> remap;
+    std::vector<int32_t> old_nodes;  // child-local -> parent node id
+    std::vector<int32_t> child_conn;
+    std::vector<size_t> child_elems;  // child-local -> parent element id
+    for (size_t e = 0; e < nelem; ++e) {
+      if (side[e] != which) continue;
+      child_elems.push_back(e);
+      for (int v = 0; v < 4; ++v) {
+        const int32_t pn = conn[4 * e + v];
+        auto [it, inserted] =
+            remap.emplace(pn, static_cast<int32_t>(old_nodes.size()));
+        if (inserted) old_nodes.push_back(pn);
+        child_conn.push_back(it->second);
+      }
+    }
+    MeshBlock child =
+        MeshBlock::unstructured(id, old_nodes.size(), std::move(child_conn));
+    for (size_t n = 0; n < old_nodes.size(); ++n)
+      for (int c = 0; c < 3; ++c)
+        child.coords()[3 * n + c] =
+            xyz[3 * static_cast<size_t>(old_nodes[n]) + c];
+    for (const auto& f : block.fields()) {
+      Field& g = child.add_field(f.name, f.centering, f.ncomp);
+      if (f.centering == Centering::kNode) {
+        for (size_t n = 0; n < old_nodes.size(); ++n)
+          for (int c = 0; c < f.ncomp; ++c)
+            g.data[n * f.ncomp + c] =
+                f.data[static_cast<size_t>(old_nodes[n]) * f.ncomp + c];
+      } else {
+        for (size_t e = 0; e < child_elems.size(); ++e)
+          for (int c = 0; c < f.ncomp; ++c)
+            g.data[e * f.ncomp + c] = f.data[child_elems[e] * f.ncomp + c];
+      }
+    }
+    return child;
+  };
+
+  MeshBlock a = build_child(0, next_id++);
+  MeshBlock b = build_child(1, next_id++);
+  return {std::move(a), std::move(b)};
+}
+
+std::pair<MeshBlock, MeshBlock> split_block(const MeshBlock& block,
+                                            int& next_id) {
+  return block.kind() == MeshKind::kStructured
+             ? split_structured(block, next_id)
+             : split_unstructured(block, next_id);
+}
+
+double field_sum(const MeshBlock& block, const std::string& field_name) {
+  const Field& f = block.field(field_name);
+  double s = 0;
+  for (double v : f.data) s += v;
+  return s;
+}
+
+}  // namespace roc::mesh

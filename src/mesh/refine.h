@@ -1,0 +1,38 @@
+#pragma once
+/// \file refine.h
+/// \brief Adaptive refinement: blocks split (and appear) as the propellant
+/// burns (paper §3.2: "these mesh blocks change as the propellant burns in
+/// the simulation, requiring adaptive refinement over time").
+///
+/// The refinement operations preserve geometry exactly at the split plane
+/// and carry all fields across (node/element values are distributed to the
+/// child that owns the entity), so the set of blocks — and therefore the
+/// I/O layout — changes while the physical state is preserved.
+
+#include <utility>
+
+#include "mesh/mesh_block.h"
+
+namespace roc::mesh {
+
+/// Splits a structured block into two along its longest node dimension.
+/// The split plane's nodes are duplicated into both children.  `next_id`
+/// is consumed for the two child ids (incremented by 2).
+std::pair<MeshBlock, MeshBlock> split_structured(const MeshBlock& block,
+                                                 int& next_id);
+
+/// Splits an unstructured block into two by element-centroid position along
+/// the axis of largest extent.  Nodes are renumbered per child; shared
+/// interface nodes are duplicated.
+std::pair<MeshBlock, MeshBlock> split_unstructured(const MeshBlock& block,
+                                                   int& next_id);
+
+/// Dispatches on block kind.
+std::pair<MeshBlock, MeshBlock> split_block(const MeshBlock& block,
+                                            int& next_id);
+
+/// Sum of field values (per field name) across blocks — a conservation
+/// fingerprint used to test that refinement neither loses nor invents data.
+double field_sum(const MeshBlock& block, const std::string& field_name);
+
+}  // namespace roc::mesh

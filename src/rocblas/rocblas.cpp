@@ -1,0 +1,232 @@
+#include "rocblas/rocblas.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/serialize.h"
+
+namespace roc::rocblas {
+
+using roccom::Arg;
+using roccom::Pane;
+using roccom::Roccom;
+using roccom::Window;
+
+namespace {
+
+/// Applies `fn(field_data)` to the named field of every local pane.
+template <typename Fn>
+void for_each_field(Roccom& com, const std::string& window,
+                    const std::string& field, Fn&& fn) {
+  for (const Pane* p : com.window(window).panes())
+    fn(p->block->field(field).data);
+}
+
+/// Per-block partial reductions combined in block-id order: bit-identical
+/// results under any distribution of blocks to processes.
+double ordered_reduce(comm::Comm& clients, Roccom& com,
+                      const std::string& window,
+                      const std::function<double(const Pane&)>& partial,
+                      const std::function<double(double, double)>& combine,
+                      double init) {
+  ByteWriter w;
+  const auto panes = com.window(window).panes();
+  w.put<uint32_t>(static_cast<uint32_t>(panes.size()));
+  for (const Pane* p : panes) {
+    w.put<int32_t>(p->id);
+    w.put<double>(partial(*p));
+  }
+  auto all = clients.allgather(w.take());
+
+  std::vector<std::pair<int, double>> parts;
+  for (const auto& bytes : all) {
+    ByteReader r(bytes.data(), bytes.size());
+    const auto n = r.get<uint32_t>();
+    for (uint32_t i = 0; i < n; ++i) {
+      const int id = r.get<int32_t>();
+      const double v = r.get<double>();
+      parts.emplace_back(id, v);
+    }
+  }
+  std::sort(parts.begin(), parts.end());
+  double acc = init;
+  for (const auto& [id, v] : parts) acc = combine(acc, v);
+  return acc;
+}
+
+}  // namespace
+
+void fill(Roccom& com, const std::string& window, const std::string& field,
+          double value) {
+  for_each_field(com, window, field,
+                 [&](std::vector<double>& d) { d.assign(d.size(), value); });
+}
+
+void copy(Roccom& com, const std::string& window, const std::string& src,
+          const std::string& dst) {
+  for (const Pane* p : com.window(window).panes()) {
+    const auto& s = p->block->field(src).data;
+    auto& d = p->block->field(dst).data;
+    require(s.size() == d.size(),
+            "rocblas::copy: field shapes differ on pane " +
+                std::to_string(p->id));
+    d = s;
+  }
+}
+
+void scale(Roccom& com, const std::string& window, const std::string& field,
+           double a) {
+  for_each_field(com, window, field, [&](std::vector<double>& d) {
+    for (double& v : d) v *= a;
+  });
+}
+
+void axpy(Roccom& com, const std::string& window, double a,
+          const std::string& x, const std::string& y) {
+  for (const Pane* p : com.window(window).panes()) {
+    const auto& xs = p->block->field(x).data;
+    auto& ys = p->block->field(y).data;
+    require(xs.size() == ys.size(),
+            "rocblas::axpy: field shapes differ on pane " +
+                std::to_string(p->id));
+    for (size_t i = 0; i < ys.size(); ++i) ys[i] += a * xs[i];
+  }
+}
+
+void jump(Roccom& com, const std::string& window, double a,
+          const std::string& x, double b, const std::string& y) {
+  for (const Pane* p : com.window(window).panes()) {
+    const auto& xs = p->block->field(x).data;
+    auto& ys = p->block->field(y).data;
+    require(xs.size() == ys.size(),
+            "rocblas::jump: field shapes differ on pane " +
+                std::to_string(p->id));
+    for (size_t i = 0; i < ys.size(); ++i) ys[i] = a * xs[i] + b;
+  }
+}
+
+double global_sum(comm::Comm& clients, Roccom& com,
+                  const std::string& window, const std::string& field) {
+  return ordered_reduce(
+      clients, com, window,
+      [&](const Pane& p) {
+        double s = 0;
+        for (double v : p.block->field(field).data) s += v;
+        return s;
+      },
+      [](double a, double b) { return a + b; }, 0.0);
+}
+
+double dot(comm::Comm& clients, Roccom& com, const std::string& window,
+           const std::string& x, const std::string& y) {
+  return ordered_reduce(
+      clients, com, window,
+      [&](const Pane& p) {
+        const auto& xs = p.block->field(x).data;
+        const auto& ys = p.block->field(y).data;
+        require(xs.size() == ys.size(),
+                "rocblas::dot: field shapes differ on pane " +
+                    std::to_string(p.id));
+        double s = 0;
+        for (size_t i = 0; i < xs.size(); ++i) s += xs[i] * ys[i];
+        return s;
+      },
+      [](double a, double b) { return a + b; }, 0.0);
+}
+
+double norm2(comm::Comm& clients, Roccom& com, const std::string& window,
+             const std::string& field) {
+  return std::sqrt(dot(clients, com, window, field, field));
+}
+
+double global_min(comm::Comm& clients, Roccom& com,
+                  const std::string& window, const std::string& field) {
+  return ordered_reduce(
+      clients, com, window,
+      [&](const Pane& p) {
+        const auto& d = p.block->field(field).data;
+        double m = std::numeric_limits<double>::infinity();
+        for (double v : d) m = std::min(m, v);
+        return m;
+      },
+      [](double a, double b) { return std::min(a, b); },
+      std::numeric_limits<double>::infinity());
+}
+
+double global_max(comm::Comm& clients, Roccom& com,
+                  const std::string& window, const std::string& field) {
+  return ordered_reduce(
+      clients, com, window,
+      [&](const Pane& p) {
+        const auto& d = p.block->field(field).data;
+        double m = -std::numeric_limits<double>::infinity();
+        for (double v : d) m = std::max(m, v);
+        return m;
+      },
+      [](double a, double b) { return std::max(a, b); },
+      -std::numeric_limits<double>::infinity());
+}
+
+RocblasModuleHandle::RocblasModuleHandle(Roccom& com, comm::Comm& clients,
+                                         std::string window_name)
+    : com_(com), window_name_(std::move(window_name)) {
+  Window& w = com_.create_window(window_name_);
+  Roccom* comp = &com_;
+  comm::Comm* cl = &clients;
+
+  w.register_function("fill", [comp](std::span<const Arg> a) {
+    require(a.size() == 3, "fill(window, field, value)");
+    fill(*comp, std::get<std::string>(a[0]), std::get<std::string>(a[1]),
+         std::get<double>(a[2]));
+  });
+  w.register_function("copy", [comp](std::span<const Arg> a) {
+    require(a.size() == 3, "copy(window, src, dst)");
+    copy(*comp, std::get<std::string>(a[0]), std::get<std::string>(a[1]),
+         std::get<std::string>(a[2]));
+  });
+  w.register_function("scale", [comp](std::span<const Arg> a) {
+    require(a.size() == 3, "scale(window, field, a)");
+    scale(*comp, std::get<std::string>(a[0]), std::get<std::string>(a[1]),
+          std::get<double>(a[2]));
+  });
+  w.register_function("axpy", [comp](std::span<const Arg> a) {
+    require(a.size() == 4, "axpy(window, a, x, y)");
+    axpy(*comp, std::get<std::string>(a[0]), std::get<double>(a[1]),
+         std::get<std::string>(a[2]), std::get<std::string>(a[3]));
+  });
+  w.register_function("jump", [comp](std::span<const Arg> a) {
+    require(a.size() == 5, "jump(window, a, x, b, y)");
+    jump(*comp, std::get<std::string>(a[0]), std::get<double>(a[1]),
+         std::get<std::string>(a[2]), std::get<double>(a[3]),
+         std::get<std::string>(a[4]));
+  });
+  w.register_function("dot", [comp, cl](std::span<const Arg> a) {
+    require(a.size() == 4, "dot(window, x, y, out)");
+    auto* out = static_cast<double*>(std::get<void*>(a[3]));
+    *out = dot(*cl, *comp, std::get<std::string>(a[0]),
+               std::get<std::string>(a[1]), std::get<std::string>(a[2]));
+  });
+  w.register_function("norm2", [comp, cl](std::span<const Arg> a) {
+    require(a.size() == 3, "norm2(window, field, out)");
+    auto* out = static_cast<double*>(std::get<void*>(a[2]));
+    *out = norm2(*cl, *comp, std::get<std::string>(a[0]),
+                 std::get<std::string>(a[1]));
+  });
+  loaded_ = true;
+}
+
+RocblasModuleHandle::~RocblasModuleHandle() {
+  try {
+    unload();
+  } catch (...) {
+  }
+}
+
+void RocblasModuleHandle::unload() {
+  if (!loaded_) return;
+  com_.delete_window(window_name_);
+  loaded_ = false;
+}
+
+}  // namespace roc::rocblas

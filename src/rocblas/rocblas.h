@@ -1,0 +1,98 @@
+#pragma once
+/// \file rocblas.h
+/// \brief Rocblas-lite: parallel algebraic operators over window
+/// attributes (paper §3.1: "Rocblas provides parallel algebraic operators
+/// for jump conditions").
+///
+/// Every operator applies element-wise across ALL panes of a window (each
+/// process its local panes); reductions are global over the client
+/// communicator and are computed in block-id order, so results are
+/// bit-identical under any block distribution — the same partition-
+/// independence contract the solvers rely on.
+///
+/// The module can also be loaded into a Roccom window
+/// (load_rocblas_module), exposing the operators as registered functions
+/// invoked via COM_call_function-style dispatch with Arg packs — the way
+/// heterogeneous GENx modules actually call each other.
+
+#include <memory>
+#include <string>
+
+#include "comm/comm.h"
+#include "roccom/roccom.h"
+
+namespace roc::rocblas {
+
+// --- element-wise (local panes; no communication) ---------------------------
+
+/// x := value
+void fill(roccom::Roccom& com, const std::string& window,
+          const std::string& field, double value);
+
+/// dst := src (both fields must exist on every pane with equal shape).
+void copy(roccom::Roccom& com, const std::string& window,
+          const std::string& src, const std::string& dst);
+
+/// x := a * x
+void scale(roccom::Roccom& com, const std::string& window,
+           const std::string& field, double a);
+
+/// y := a * x + y
+void axpy(roccom::Roccom& com, const std::string& window, double a,
+          const std::string& x, const std::string& y);
+
+/// y := a * x + b   (the affine "jump condition" update)
+void jump(roccom::Roccom& com, const std::string& window, double a,
+          const std::string& x, double b, const std::string& y);
+
+// --- global reductions (collective over `clients`) ---------------------------
+
+/// Sum over every element of the field, all panes, all processes.
+double global_sum(comm::Comm& clients, roccom::Roccom& com,
+                  const std::string& window, const std::string& field);
+
+/// <x, y> over all elements (partition-independent).
+double dot(comm::Comm& clients, roccom::Roccom& com,
+           const std::string& window, const std::string& x,
+           const std::string& y);
+
+/// sqrt(<x, x>)
+double norm2(comm::Comm& clients, roccom::Roccom& com,
+             const std::string& window, const std::string& field);
+
+double global_min(comm::Comm& clients, roccom::Roccom& com,
+                  const std::string& window, const std::string& field);
+double global_max(comm::Comm& clients, roccom::Roccom& com,
+                  const std::string& window, const std::string& field);
+
+// --- module loading -----------------------------------------------------------
+
+/// Loads the operators into window `window_name` as registered functions:
+///
+///   fill(window, field, value)            Args: {str, str, f64}
+///   copy(window, src, dst)                Args: {str, str, str}
+///   scale(window, field, a)               Args: {str, str, f64}
+///   axpy(window, a, x, y)                 Args: {str, f64, str, str}
+///   jump(window, a, x, b, y)              Args: {str, f64, str, f64, str}
+///   dot(window, x, y, out double*)        Args: {str, str, str, void*}
+///   norm2(window, field, out double*)     Args: {str, str, void*}
+///
+/// The handle removes the window when destroyed or unloaded.
+class RocblasModuleHandle {
+ public:
+  RocblasModuleHandle(roccom::Roccom& com, comm::Comm& clients,
+                      std::string window_name);
+  ~RocblasModuleHandle();
+
+  RocblasModuleHandle(const RocblasModuleHandle&) = delete;
+  RocblasModuleHandle& operator=(const RocblasModuleHandle&) = delete;
+
+  void unload();
+
+ private:
+  roccom::Roccom& com_;
+  std::string window_name_;
+  bool loaded_ = false;
+};
+
+}  // namespace roc::rocblas

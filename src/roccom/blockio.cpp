@@ -1,0 +1,196 @@
+#include "roccom/blockio.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace roc::roccom {
+
+namespace {
+
+using mesh::Centering;
+using mesh::MeshBlock;
+using mesh::MeshKind;
+using shdf::Attribute;
+using shdf::DatasetDef;
+using shdf::DataType;
+
+std::string field_dataset(const std::string& window, int pane_id,
+                          const std::string& field) {
+  return block_prefix(window, pane_id) + "field:" + field;
+}
+
+DatasetDef coords_def(const std::string& window, const MeshBlock& b,
+                      double time) {
+  DatasetDef def;
+  def.name = block_prefix(window, b.id()) + "coords";
+  def.type = DataType::kFloat64;
+  def.dims = {b.node_count(), 3};
+  def.attributes.push_back(
+      Attribute{"kind", static_cast<int64_t>(b.kind())});
+  def.attributes.push_back(Attribute{"pane_id", static_cast<int64_t>(b.id())});
+  def.attributes.push_back(Attribute{"time", time});
+  const auto& d = b.node_dims();
+  def.attributes.push_back(Attribute{
+      "node_dims", std::vector<int64_t>{d[0], d[1], d[2]}});
+  return def;
+}
+
+void write_mesh(shdf::Writer& w, const std::string& window,
+                const MeshBlock& b, double time) {
+  const DatasetDef cdef = coords_def(window, b, time);
+  w.add_dataset(cdef, b.coords().data());
+  if (b.kind() == MeshKind::kUnstructured) {
+    DatasetDef def;
+    def.name = block_prefix(window, b.id()) + "connectivity";
+    def.type = DataType::kInt32;
+    def.dims = {b.element_count(), 4};
+    w.add_dataset(def, b.connectivity().data());
+  }
+}
+
+void write_field(shdf::Writer& w, const std::string& window,
+                 const MeshBlock& b, const mesh::Field& f, double time,
+                 shdf::Codec codec) {
+  DatasetDef def;
+  def.name = field_dataset(window, b.id(), f.name);
+  def.type = DataType::kFloat64;
+  def.codec = codec;
+  // Entity count derived from the data itself, so partially-populated
+  // marshalling blocks (field-only transfers) write correct datasets.
+  def.dims = {f.data.size() / static_cast<uint64_t>(f.ncomp),
+              static_cast<uint64_t>(f.ncomp)};
+  def.attributes.push_back(
+      Attribute{"centering", static_cast<int64_t>(f.centering)});
+  def.attributes.push_back(Attribute{"time", time});
+  w.add_dataset(def, f.data.data());
+}
+
+int64_t int_attr(const shdf::Reader& r, const std::string& dataset,
+                 const std::string& attr) {
+  auto v = r.attribute(dataset, attr);
+  if (!v || !std::holds_alternative<int64_t>(*v))
+    throw FormatError("dataset '" + dataset + "' lacks integer attribute '" +
+                      attr + "'");
+  return std::get<int64_t>(*v);
+}
+
+}  // namespace
+
+std::string block_prefix(const std::string& window, int pane_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/block_%06d/", pane_id);
+  return window + buf;
+}
+
+void write_block(shdf::Writer& w, const std::string& window,
+                 const MeshBlock& block, const std::string& attribute,
+                 double time, shdf::Codec codec) {
+  if (attribute == "all") {
+    write_mesh(w, window, block, time);
+    for (const auto& f : block.fields())
+      write_field(w, window, block, f, time, codec);
+  } else if (attribute == "mesh") {
+    write_mesh(w, window, block, time);
+  } else {
+    write_field(w, window, block, block.field(attribute), time, codec);
+  }
+}
+
+std::vector<int> pane_ids_in_file(const shdf::Reader& r,
+                                  const std::string& window) {
+  std::vector<int> ids;
+  const std::string prefix = window + "/block_";
+  for (const auto& name : r.dataset_names_with_prefix(prefix)) {
+    // Match ".../coords" entries only; one per block.
+    const std::string tail = name.substr(prefix.size());
+    int id;
+    char rest[16];
+    if (std::sscanf(tail.c_str(), "%d/%15s", &id, rest) == 2 &&
+        std::string(rest) == "coords")
+      ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+MeshBlock read_block(const shdf::Reader& r, const std::string& window,
+                     int pane_id) {
+  const std::string prefix = block_prefix(window, pane_id);
+  const std::string coords_name = prefix + "coords";
+  const auto kind = static_cast<MeshKind>(int_attr(r, coords_name, "kind"));
+
+  MeshBlock block;
+  if (kind == MeshKind::kStructured) {
+    auto dims_attr = r.attribute(coords_name, "node_dims");
+    if (!dims_attr || !std::holds_alternative<std::vector<int64_t>>(*dims_attr))
+      throw FormatError("structured block " + coords_name +
+                        " lacks node_dims");
+    const auto& nd = std::get<std::vector<int64_t>>(*dims_attr);
+    block = MeshBlock::structured(
+        pane_id, {static_cast<int>(nd[0]), static_cast<int>(nd[1]),
+                  static_cast<int>(nd[2])});
+  } else {
+    auto conn = r.read<int32_t>(prefix + "connectivity");
+    const uint64_t nnodes = r.info(coords_name).def.dims[0];
+    block = MeshBlock::unstructured(pane_id, static_cast<size_t>(nnodes),
+                                    std::move(conn));
+  }
+  block.coords() = r.read<double>(coords_name);
+
+  // Fields: every "field:" dataset under the prefix.
+  const std::string field_prefix = prefix + "field:";
+  for (const auto& name : r.dataset_names_with_prefix(field_prefix)) {
+    const std::string fname = name.substr(field_prefix.size());
+    const auto& info = r.info(name);
+    const auto centering =
+        static_cast<Centering>(int_attr(r, name, "centering"));
+    const int ncomp = static_cast<int>(info.def.dims[1]);
+    mesh::Field& f = block.add_field(fname, centering, ncomp);
+    f.data = r.read<double>(name);
+    if (f.data.size() != info.def.element_count())
+      throw FormatError("field dataset '" + name + "' size mismatch");
+  }
+  return block;
+}
+
+void read_into_block(const shdf::Reader& r, const std::string& window,
+                     const std::string& attribute, MeshBlock& block) {
+  const std::string prefix = block_prefix(window, block.id());
+  auto fill_mesh = [&] {
+    auto coords = r.read<double>(prefix + "coords");
+    if (coords.size() != block.coords().size())
+      throw FormatError("stored coords size does not match pane " +
+                        std::to_string(block.id()));
+    block.coords() = std::move(coords);
+  };
+  auto fill_field = [&](const std::string& fname) {
+    mesh::Field& f = block.field(fname);
+    auto data = r.read<double>(prefix + "field:" + fname);
+    if (data.size() != f.data.size())
+      throw FormatError("stored field '" + fname +
+                        "' size does not match pane " +
+                        std::to_string(block.id()));
+    f.data = std::move(data);
+  };
+
+  if (attribute == "all") {
+    fill_mesh();
+    for (const auto& f : block.fields()) fill_field(f.name);
+  } else if (attribute == "mesh") {
+    fill_mesh();
+  } else {
+    fill_field(attribute);
+  }
+}
+
+double block_time(const shdf::Reader& r, const std::string& window,
+                  int pane_id) {
+  const std::string coords_name = block_prefix(window, pane_id) + "coords";
+  auto v = r.attribute(coords_name, "time");
+  if (!v || !std::holds_alternative<double>(*v))
+    throw FormatError("block " + coords_name + " lacks a time stamp");
+  return std::get<double>(*v);
+}
+
+}  // namespace roc::roccom

@@ -1,0 +1,63 @@
+#include "roccom/io_service.h"
+
+namespace roc::roccom {
+
+IoModuleHandle::IoModuleHandle(Roccom& com, std::string window_name,
+                               std::unique_ptr<IoService> service)
+    : com_(com),
+      window_name_(std::move(window_name)),
+      service_(std::move(service)) {
+  require(service_ != nullptr, "load_module needs a service");
+  Window& w = com_.create_window(window_name_);
+  IoService* svc = service_.get();
+  Roccom* comp = &com_;
+
+  w.register_function("write_attribute", [svc, comp](std::span<const Arg> a) {
+    require(a.size() == 1, "write_attribute expects one IoRequest*");
+    const auto* req =
+        static_cast<const IoRequest*>(std::get<const void*>(a[0]));
+    svc->write_attribute(*comp, *req);
+  });
+  w.register_function("read_attribute", [svc, comp](std::span<const Arg> a) {
+    require(a.size() == 1, "read_attribute expects one IoRequest*");
+    const auto* req =
+        static_cast<const IoRequest*>(std::get<const void*>(a[0]));
+    svc->read_attribute(*comp, *req);
+  });
+  w.register_function("sync",
+                      [svc](std::span<const Arg>) { svc->sync(); });
+  loaded_ = true;
+}
+
+IoModuleHandle::~IoModuleHandle() {
+  try {
+    unload();
+  } catch (...) {
+    // Window may already be gone if the registry outlived differently;
+    // unloading during teardown must not throw.
+  }
+}
+
+void IoModuleHandle::unload() {
+  if (!loaded_) return;
+  com_.delete_window(window_name_);
+  loaded_ = false;
+}
+
+void com_write_attribute(Roccom& com, const std::string& service_window,
+                         const IoRequest& req) {
+  com.call_function(service_window + ".write_attribute",
+                    {Arg(static_cast<const void*>(&req))});
+}
+
+void com_read_attribute(Roccom& com, const std::string& service_window,
+                        const IoRequest& req) {
+  com.call_function(service_window + ".read_attribute",
+                    {Arg(static_cast<const void*>(&req))});
+}
+
+void com_sync(Roccom& com, const std::string& service_window) {
+  com.call_function(service_window + ".sync");
+}
+
+}  // namespace roc::roccom

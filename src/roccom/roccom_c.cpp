@@ -1,0 +1,175 @@
+#include "roccom/roccom_c.h"
+
+#include <cstring>
+#include <string>
+
+#include "mesh/mesh_block.h"
+#include "roccom/roccom.h"
+
+namespace {
+
+thread_local std::string g_last_error;
+
+/// Runs `fn`, translating exceptions to C status codes.
+template <typename Fn>
+int guarded(Fn&& fn) {
+  try {
+    fn();
+    g_last_error.clear();
+    return COM_OK;
+  } catch (const roc::InvalidArgument& e) {
+    g_last_error = e.what();
+    return COM_ERR_INVALID;
+  } catch (const roc::RegistryError& e) {
+    g_last_error = e.what();
+    return COM_ERR_REGISTRY;
+  } catch (const std::exception& e) {
+    g_last_error = e.what();
+    return COM_ERR_OTHER;
+  }
+}
+
+roc::roccom::Roccom* unwrap(COM_registry* com) {
+  return reinterpret_cast<roc::roccom::Roccom*>(com);
+}
+roc::mesh::MeshBlock* unwrap(COM_block* b) {
+  return reinterpret_cast<roc::mesh::MeshBlock*>(b);
+}
+const roc::mesh::MeshBlock* unwrap(const COM_block* b) {
+  return reinterpret_cast<const roc::mesh::MeshBlock*>(b);
+}
+
+}  // namespace
+
+extern "C" {
+
+const char* COM_last_error(void) { return g_last_error.c_str(); }
+
+COM_registry* COM_create(void) {
+  try {
+    return reinterpret_cast<COM_registry*>(new roc::roccom::Roccom());
+  } catch (...) {
+    g_last_error = "allocation failure";
+    return nullptr;
+  }
+}
+
+void COM_destroy(COM_registry* com) { delete unwrap(com); }
+
+int COM_new_window(COM_registry* com, const char* name) {
+  if (com == nullptr || name == nullptr) {
+    g_last_error = "null argument";
+    return COM_ERR_INVALID;
+  }
+  return guarded([&] { unwrap(com)->create_window(name); });
+}
+
+int COM_delete_window(COM_registry* com, const char* name) {
+  if (com == nullptr || name == nullptr) {
+    g_last_error = "null argument";
+    return COM_ERR_INVALID;
+  }
+  return guarded([&] { unwrap(com)->delete_window(name); });
+}
+
+int COM_new_attribute(COM_registry* com, const char* window,
+                      const char* field, int centering, int ncomp) {
+  if (com == nullptr || window == nullptr || field == nullptr) {
+    g_last_error = "null argument";
+    return COM_ERR_INVALID;
+  }
+  return guarded([&] {
+    unwrap(com)->window(window).declare_field(
+        {field, static_cast<roc::mesh::Centering>(centering), ncomp});
+  });
+}
+
+int COM_register_pane(COM_registry* com, const char* window, int pane_id,
+                      COM_block* block) {
+  if (com == nullptr || window == nullptr || block == nullptr) {
+    g_last_error = "null argument";
+    return COM_ERR_INVALID;
+  }
+  return guarded([&] {
+    unwrap(com)->window(window).register_pane(pane_id, unwrap(block));
+  });
+}
+
+int COM_remove_pane(COM_registry* com, const char* window, int pane_id) {
+  if (com == nullptr || window == nullptr) {
+    g_last_error = "null argument";
+    return COM_ERR_INVALID;
+  }
+  return guarded([&] { unwrap(com)->window(window).remove_pane(pane_id); });
+}
+
+int COM_call_function(COM_registry* com, const char* qualified_name) {
+  if (com == nullptr || qualified_name == nullptr) {
+    g_last_error = "null argument";
+    return COM_ERR_INVALID;
+  }
+  return guarded([&] { unwrap(com)->call_function(qualified_name); });
+}
+
+COM_block* COM_block_structured(int block_id, int ni, int nj, int nk) {
+  try {
+    auto* b = new roc::mesh::MeshBlock(
+        roc::mesh::MeshBlock::structured(block_id, {ni, nj, nk}));
+    return reinterpret_cast<COM_block*>(b);
+  } catch (const std::exception& e) {
+    g_last_error = e.what();
+    return nullptr;
+  }
+}
+
+COM_block* COM_block_unstructured(int block_id, size_t nnodes,
+                                  const int* conn, size_t nelem) {
+  try {
+    std::vector<int32_t> connectivity(conn, conn + nelem * 4);
+    auto* b = new roc::mesh::MeshBlock(roc::mesh::MeshBlock::unstructured(
+        block_id, nnodes, std::move(connectivity)));
+    return reinterpret_cast<COM_block*>(b);
+  } catch (const std::exception& e) {
+    g_last_error = e.what();
+    return nullptr;
+  }
+}
+
+void COM_block_destroy(COM_block* block) { delete unwrap(block); }
+
+int COM_block_add_field(COM_block* block, const char* name, int centering,
+                        int ncomp) {
+  if (block == nullptr || name == nullptr) {
+    g_last_error = "null argument";
+    return COM_ERR_INVALID;
+  }
+  return guarded([&] {
+    unwrap(block)->add_field(name,
+                             static_cast<roc::mesh::Centering>(centering),
+                             ncomp);
+  });
+}
+
+double* COM_block_coords(COM_block* block, size_t* count) {
+  if (block == nullptr) return nullptr;
+  auto& coords = unwrap(block)->coords();
+  if (count != nullptr) *count = coords.size();
+  return coords.data();
+}
+
+double* COM_block_field(COM_block* block, const char* name, size_t* count) {
+  if (block == nullptr || name == nullptr) return nullptr;
+  roc::mesh::Field* f = unwrap(block)->find_field(name);
+  if (f == nullptr) {
+    g_last_error = std::string("no field '") + name + "'";
+    return nullptr;
+  }
+  if (count != nullptr) *count = f->data.size();
+  return f->data.data();
+}
+
+unsigned long long COM_block_checksum(const COM_block* block) {
+  return block == nullptr ? 0 : unwrap(block)->state_checksum();
+}
+
+}  // extern "C"

@@ -1,0 +1,97 @@
+#ifndef ROCPIO_ROCCOM_C_H_
+#define ROCPIO_ROCCOM_C_H_
+/** \file roccom_c.h
+ *  \brief C bindings for the Roccom framework (paper §5: "Its interface
+ *  routines have different bindings for C, C++, and Fortran 90, with
+ *  similar semantics").
+ *
+ *  The C API mirrors the C++ registry with opaque handles and integer
+ *  status codes.  Every function returns 0 on success and a nonzero error
+ *  code on failure; COM_last_error() returns a thread-local description of
+ *  the most recent failure.
+ *
+ *  Mesh blocks are created and owned through this API as well, so a pure-C
+ *  computation module can define its data blocks, register them as panes,
+ *  fill fields through raw pointers, and drive the collective I/O verbs of
+ *  a loaded service module without touching C++.
+ */
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/** Opaque registry handle (wraps roc::roccom::Roccom). */
+typedef struct COM_registry COM_registry;
+/** Opaque mesh-block handle (wraps roc::mesh::MeshBlock). */
+typedef struct COM_block COM_block;
+
+/** Field centering (matches roc::mesh::Centering). */
+enum { COM_NODE = 0, COM_ELEMENT = 1 };
+
+/** Error codes. */
+enum {
+  COM_OK = 0,
+  COM_ERR_INVALID = 1,   /**< bad argument / precondition violated */
+  COM_ERR_REGISTRY = 2,  /**< unknown window/function, duplicates, ... */
+  COM_ERR_OTHER = 3,
+};
+
+/** Description of the most recent error on this thread ("" if none). */
+const char* COM_last_error(void);
+
+/* --- registry ------------------------------------------------------------ */
+
+/** Creates a registry; free with COM_destroy. Returns NULL on failure. */
+COM_registry* COM_create(void);
+void COM_destroy(COM_registry* com);
+
+int COM_new_window(COM_registry* com, const char* name);
+int COM_delete_window(COM_registry* com, const char* name);
+
+/** Declares a schema field on a window (before the first pane). */
+int COM_new_attribute(COM_registry* com, const char* window,
+                      const char* field, int centering, int ncomp);
+
+/** Registers `block` as pane `pane_id`; the block stays owned by the
+ *  caller and must outlive the pane. */
+int COM_register_pane(COM_registry* com, const char* window, int pane_id,
+                      COM_block* block);
+int COM_remove_pane(COM_registry* com, const char* window, int pane_id);
+
+/** Invokes "<window>.<function>" with no arguments (functions taking
+ *  arguments are registered/invoked via the C++ API). */
+int COM_call_function(COM_registry* com, const char* qualified_name);
+
+/* --- mesh blocks ----------------------------------------------------------- */
+
+/** Creates a structured block with ni x nj x nk nodes. NULL on failure. */
+COM_block* COM_block_structured(int block_id, int ni, int nj, int nk);
+
+/** Creates an unstructured tetrahedral block; `conn` holds 4 node indices
+ *  per element (nelem * 4 entries). NULL on failure. */
+COM_block* COM_block_unstructured(int block_id, size_t nnodes,
+                                  const int* conn, size_t nelem);
+
+void COM_block_destroy(COM_block* block);
+
+/** Adds a zero-initialized field. */
+int COM_block_add_field(COM_block* block, const char* name, int centering,
+                        int ncomp);
+
+/** Mutable pointer to the xyz-interleaved coordinates (3 * nnodes). */
+double* COM_block_coords(COM_block* block, size_t* count);
+
+/** Mutable pointer to a field's values (ncomp * nentities); NULL if the
+ *  field does not exist. */
+double* COM_block_field(COM_block* block, const char* name, size_t* count);
+
+/** Order-independent fingerprint of the block state. */
+unsigned long long COM_block_checksum(const COM_block* block);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* ROCPIO_ROCCOM_C_H_ */

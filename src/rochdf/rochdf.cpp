@@ -1,0 +1,270 @@
+#include "rochdf/rochdf.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "shdf/reader.h"
+#include "util/log.h"
+
+namespace roc::rochdf {
+
+using roccom::IoRequest;
+using roccom::Pane;
+using roccom::Roccom;
+
+Rochdf::Rochdf(comm::Comm& comm, comm::Env& env, vfs::FileSystem& fs,
+               Options options)
+    : comm_(comm),
+      env_(env),
+      fs_(fs),
+      options_(std::move(options)),
+      gate_(env.make_gate()) {
+  if (options_.threaded)
+    worker_ = env_.spawn_worker([this] { worker_loop(); });
+}
+
+Rochdf::~Rochdf() {
+  if (worker_) {
+    gate_->lock();
+    stop_ = true;
+    gate_->notify_all();
+    gate_->unlock();
+    worker_->join();
+  }
+}
+
+std::string Rochdf::proc_file(const std::string& prefix,
+                              const std::string& base, int rank) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "_p%04d.shdf", rank);
+  return prefix + base + buf;
+}
+
+void Rochdf::write_now(const std::string& path, const std::string& window,
+                       const std::string& attribute, double time,
+                       const std::vector<const Pane*>& panes) {
+  // First touch of a file in this run truncates; later requests for the
+  // same snapshot append.
+  bool first;
+  {
+    comm::GateLock lock(*gate_);
+    first = started_files_.insert(path).second;
+    if (first) ++stats_.files_written;
+  }
+  shdf::Writer w = first ? shdf::Writer(fs_, path, options_.directory)
+                         : shdf::Writer::append(fs_, path);
+  for (const Pane* p : panes) {
+    roccom::write_block(w, window, *p->block, attribute, time,
+                        options_.codec);
+    comm::GateLock lock(*gate_);
+    ++stats_.blocks_written;
+  }
+  w.close();
+}
+
+void Rochdf::write_job(const Job& job) {
+  bool first;
+  {
+    comm::GateLock lock(*gate_);
+    first = started_files_.insert(job.file).second;
+    if (first) ++stats_.files_written;
+  }
+  if (writer_ && open_path_ != job.file) {
+    writer_->close();
+    writer_.reset();
+  }
+  if (!writer_) {
+    if (first)
+      writer_ = std::make_unique<shdf::Writer>(fs_, job.file,
+                                               options_.directory);
+    else
+      writer_ = std::make_unique<shdf::Writer>(
+          shdf::Writer::append(fs_, job.file));
+    open_path_ = job.file;
+    comm::GateLock lock(*gate_);
+    open_file_ = job.file;
+  }
+  for (const auto& b : job.blocks) {
+    roccom::write_block(*writer_, job.window, b, job.attribute, job.time,
+                        options_.codec);
+    comm::GateLock lock(*gate_);
+    ++stats_.blocks_written;
+  }
+}
+
+void Rochdf::worker_loop() {
+  gate_->lock();
+  for (;;) {
+    if (!queue_.empty()) {
+      Job job = std::move(queue_.front());
+      queue_.pop_front();
+      gate_->unlock();
+      write_job(job);
+      gate_->lock();
+      auto it = pending_.find(job.file);
+      if (--it->second == 0) pending_.erase(it);
+      gate_->notify_all();
+      continue;
+    }
+    if (writer_) {
+      // Queue drained: finalize the open file so sync()/snapshot waits can
+      // complete.
+      gate_->unlock();
+      writer_->close();
+      writer_.reset();
+      open_path_.clear();
+      gate_->lock();
+      open_file_.clear();
+      gate_->notify_all();
+      continue;
+    }
+    if (stop_) break;
+    gate_->wait();
+  }
+  gate_->unlock();
+}
+
+void Rochdf::wait_file_complete(const std::string& file) {
+  comm::GateLock lock(*gate_);
+  bool waited = false;
+  while (pending_.count(file) > 0 || open_file_ == file) {
+    waited = true;
+    gate_->wait();
+  }
+  if (waited) ++stats_.snapshot_waits;
+}
+
+void Rochdf::write_attribute(Roccom& com, const IoRequest& req) {
+  const roccom::Window& w = com.window(req.window);
+  const auto panes = w.panes();
+  const std::string path =
+      proc_file(options_.file_prefix, req.file, comm_.rank());
+
+  {
+    comm::GateLock lock(*gate_);
+    ++stats_.write_calls;
+  }
+
+  if (!options_.threaded) {
+    write_now(path, req.window, req.attribute, req.time, panes);
+    return;
+  }
+
+  // T-Rochdf: at most one snapshot in flight (paper §6.2).
+  {
+    comm::GateLock lock(*gate_);
+    if (current_snapshot_ != req.file && !current_snapshot_.empty()) {
+      const std::string prev =
+          proc_file(options_.file_prefix, current_snapshot_, comm_.rank());
+      bool waited = false;
+      while (pending_.count(prev) > 0 || open_file_ == prev) {
+        waited = true;
+        gate_->wait();
+      }
+      if (waited) ++stats_.snapshot_waits;
+    }
+    current_snapshot_ = req.file;
+  }
+
+  // Buffer: deep-copy the panes so the caller can reuse them immediately.
+  Job job;
+  job.file = path;
+  job.window = req.window;
+  job.attribute = req.attribute;
+  job.time = req.time;
+  job.blocks.reserve(panes.size());
+  uint64_t bytes = 0;
+  for (const Pane* p : panes) {
+    job.blocks.push_back(*p->block);  // deep copy
+    bytes += p->block->payload_bytes();
+  }
+  env_.charge_local_copy(bytes);
+
+  comm::GateLock lock(*gate_);
+  stats_.bytes_buffered += bytes;
+  queue_.push_back(std::move(job));
+  ++pending_[path];
+  gate_->notify_all();
+}
+
+void Rochdf::sync() {
+  if (!options_.threaded) return;
+  comm::GateLock lock(*gate_);
+  while (!queue_.empty() || !pending_.empty() || !open_file_.empty())
+    gate_->wait();
+}
+
+void Rochdf::read_attribute(Roccom& com, const IoRequest& req) {
+  sync();
+  const roccom::Window& w = com.window(req.window);
+  const std::string path =
+      proc_file(options_.file_prefix, req.file, comm_.rank());
+  shdf::Reader r(fs_, path);
+  for (const Pane* p : w.panes())
+    roccom::read_into_block(r, req.window, req.attribute, *p->block);
+}
+
+std::vector<mesh::MeshBlock> Rochdf::fetch_blocks(
+    const std::string& file, const std::vector<int>& pane_ids) {
+  sync();
+  const std::set<int> wanted(pane_ids.begin(), pane_ids.end());
+  std::vector<mesh::MeshBlock> out;
+
+  // Scan every file of this snapshot -- per-process ("_p", Rochdf) or
+  // per-server ("_s", Rocpanda): the services' checkpoints are
+  // interchangeable.  Works regardless of how many processes wrote it.
+  std::vector<std::string> files;
+  for (const char* kind : {"_p", "_s"})
+    for (const auto& f : fs_.list(options_.file_prefix + file + kind))
+      files.push_back(f);
+  for (const auto& path : files) {
+    // fs paths are relative to the FileSystem, and file_prefix is part of
+    // them; the Reader wants the same relative path.
+    shdf::Reader r(fs_, path);
+    // Blocks may live in any window; scan every window prefix present.
+    std::set<std::string> windows;
+    for (const auto& name : r.dataset_names()) {
+      const auto slash = name.find('/');
+      if (slash != std::string::npos) windows.insert(name.substr(0, slash));
+    }
+    for (const auto& win : windows) {
+      for (int id : roccom::pane_ids_in_file(r, win)) {
+        if (wanted.count(id) == 0) continue;
+        out.push_back(roccom::read_block(r, win, id));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const mesh::MeshBlock& a, const mesh::MeshBlock& b) {
+              return a.id() < b.id();
+            });
+  return out;
+}
+
+std::vector<int> Rochdf::list_panes(const std::string& file) {
+  sync();
+  std::set<int> ids;
+  std::vector<std::string> files;
+  for (const char* kind : {"_p", "_s"})
+    for (const auto& f : fs_.list(options_.file_prefix + file + kind))
+      files.push_back(f);
+  for (const auto& path : files) {
+    shdf::Reader r(fs_, path);
+    std::set<std::string> windows;
+    for (const auto& name : r.dataset_names()) {
+      const auto slash = name.find('/');
+      if (slash != std::string::npos) windows.insert(name.substr(0, slash));
+    }
+    for (const auto& win : windows)
+      for (int id : roccom::pane_ids_in_file(r, win)) ids.insert(id);
+  }
+  return {ids.begin(), ids.end()};
+}
+
+Stats Rochdf::stats() const {
+  comm::GateLock lock(*gate_);
+  return stats_;
+}
+
+}  // namespace roc::rochdf

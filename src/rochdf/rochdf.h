@@ -1,0 +1,130 @@
+#pragma once
+/// \file rochdf.h
+/// \brief Rochdf: server-less individual I/O (paper §4.2), and its
+/// multi-threaded variant T-Rochdf with background writing (paper §6.2).
+///
+/// Each compute processor writes its own data blocks into its own SHDF
+/// file, `<prefix><file>_p<rank>.shdf`.  No communication happens during
+/// I/O.  In threaded mode (T-Rochdf) write_attribute deep-copies the
+/// blocks into a local buffer and returns immediately; one persistent
+/// background worker per process performs the file writes.  Semantics
+/// (paper §6.2, tested in tests/rochdf_test.cpp):
+///
+///  * buffer-reuse safety: callers may mutate their blocks as soon as
+///    write_attribute returns;
+///  * at most one snapshot in flight: buffering data for snapshot k+1
+///    blocks until the worker finished writing snapshot k (a snapshot is
+///    the set of write requests sharing one file basename);
+///  * sync() blocks until every buffered write reached the file system.
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "comm/comm.h"
+#include "comm/env.h"
+#include "roccom/blockio.h"
+#include "roccom/io_service.h"
+#include "shdf/writer.h"
+#include "vfs/vfs.h"
+
+namespace roc::rochdf {
+
+struct Options {
+  /// false: baseline Rochdf (synchronous writes).  true: T-Rochdf.
+  bool threaded = false;
+  /// The paper's Rochdf writes HDF4; kLinear reproduces that behaviour.
+  shdf::DirectoryKind directory = shdf::DirectoryKind::kLinear;
+  /// Payload filter for field datasets (geometry stays uncompressed).
+  shdf::Codec codec = shdf::Codec::kNone;
+  /// Prepended to every file name (e.g. an output directory).
+  std::string file_prefix;
+};
+
+/// Cumulative counters (diagnostics and tests).
+struct Stats {
+  uint64_t write_calls = 0;
+  uint64_t blocks_written = 0;
+  uint64_t bytes_buffered = 0;   ///< Deep-copied by T-Rochdf buffering.
+  uint64_t files_written = 0;
+  uint64_t snapshot_waits = 0;   ///< Times the main thread had to wait for
+                                 ///< the previous snapshot (T-Rochdf).
+};
+
+class Rochdf final : public roccom::IoService {
+ public:
+  /// `comm`, `env` and `fs` must outlive the service.  `comm` is only used
+  /// for the process rank (file naming); Rochdf never communicates.
+  Rochdf(comm::Comm& comm, comm::Env& env, vfs::FileSystem& fs,
+         Options options);
+  ~Rochdf() override;
+
+  Rochdf(const Rochdf&) = delete;
+  Rochdf& operator=(const Rochdf&) = delete;
+
+  void write_attribute(roccom::Roccom& com,
+                       const roccom::IoRequest& req) override;
+  void read_attribute(roccom::Roccom& com,
+                      const roccom::IoRequest& req) override;
+  void sync() override;
+  [[nodiscard]] std::vector<mesh::MeshBlock> fetch_blocks(
+      const std::string& file, const std::vector<int>& pane_ids) override;
+  [[nodiscard]] std::vector<int> list_panes(const std::string& file) override;
+  [[nodiscard]] std::string name() const override {
+    return options_.threaded ? "T-Rochdf" : "Rochdf";
+  }
+
+  [[nodiscard]] Stats stats() const;
+
+  /// File written by rank `rank` for basename `base`.
+  [[nodiscard]] static std::string proc_file(const std::string& prefix,
+                                             const std::string& base,
+                                             int rank);
+
+ private:
+  /// One buffered write request (threaded mode).
+  struct Job {
+    std::string file;  ///< Full path of the per-process file.
+    std::string window;
+    std::string attribute;
+    double time = 0;
+    std::vector<mesh::MeshBlock> blocks;  ///< Deep copies.
+  };
+
+  /// Synchronous write of one request into the per-process file
+  /// (append-creates the file; used directly in non-threaded mode and by
+  /// the worker in threaded mode).
+  void write_now(const std::string& path, const std::string& window,
+                 const std::string& attribute, double time,
+                 const std::vector<const roccom::Pane*>& panes);
+  void write_job(const Job& job);
+
+  void worker_loop();
+
+  /// Blocks (predicate loop on gate_) until no job for `file` is queued or
+  /// being written and the worker's writer for it is closed.
+  void wait_file_complete(const std::string& file);
+
+  comm::Comm& comm_;
+  comm::Env& env_;
+  vfs::FileSystem& fs_;
+  Options options_;
+
+  // --- worker coordination (threaded mode); all fields below are guarded
+  // by gate_ unless noted.
+  std::unique_ptr<comm::Gate> gate_;
+  std::unique_ptr<comm::Worker> worker_;
+  std::deque<Job> queue_;
+  std::map<std::string, int> pending_;  ///< Outstanding jobs per file.
+  std::string open_file_;  ///< File the worker currently has open ("" none).
+  std::string current_snapshot_;  ///< Basename being buffered by callers.
+  std::set<std::string> started_files_;  ///< Truncate-vs-append decision.
+  bool stop_ = false;
+  Stats stats_;
+
+  // Worker-owned; accessed only from the writing thread (no guard needed).
+  std::unique_ptr<shdf::Writer> writer_;
+  std::string open_path_;  ///< Mirror of open_file_ for the worker.
+};
+
+}  // namespace roc::rochdf

@@ -1,0 +1,225 @@
+#include "rocpanda/client.h"
+
+#include <algorithm>
+#include <map>
+
+#include "rocpanda/wire.h"
+#include "util/log.h"
+#include "util/serialize.h"
+
+namespace roc::rocpanda {
+
+using roccom::IoRequest;
+using roccom::Pane;
+using roccom::Roccom;
+
+RocpandaClient::RocpandaClient(comm::Comm& world, comm::Env& env,
+                               const Layout& layout, ClientOptions options)
+    : world_(world),
+      env_(env),
+      layout_(layout),
+      options_(options),
+      server_(layout.server_of_client(world.rank())),
+      gate_(env.make_gate()) {
+  require(!layout_.is_server(world_.rank()),
+          "RocpandaClient constructed on a server rank");
+  if (options_.client_buffering)
+    worker_ = env_.spawn_worker([this] { worker_loop(); });
+}
+
+RocpandaClient::~RocpandaClient() {
+  try {
+    shutdown();
+  } catch (const std::exception& e) {
+    ROC_ERROR << "Rocpanda client shutdown failed: " << e.what();
+  }
+}
+
+void RocpandaClient::shutdown() {
+  if (shut_down_) return;
+  if (worker_) {
+    drain_local();
+    gate_->lock();
+    stop_ = true;
+    gate_->notify_all();
+    gate_->unlock();
+    worker_->join();
+    worker_.reset();
+  }
+  world_.signal(server_, kTagShutdown);
+  shut_down_ = true;
+}
+
+// --- client-side buffering (the paper's buffer hierarchy) -------------------
+
+void RocpandaClient::ship(const Job& job) {
+  world_.send(server_, kTagWriteBegin, job.header);
+  for (const auto& bytes : job.blocks) {
+    stats_.bytes_sent += bytes.size();
+    ++stats_.blocks_sent;
+    world_.send(server_, kTagWriteBlock, bytes);
+  }
+  // The server acks every request (including empty ones).
+  (void)world_.recv(server_, kTagWriteAck);
+}
+
+void RocpandaClient::worker_loop() {
+  gate_->lock();
+  for (;;) {
+    if (!queue_.empty()) {
+      Job job = std::move(queue_.front());
+      queue_.pop_front();
+      shipping_ = true;
+      gate_->unlock();
+      ship(job);
+      gate_->lock();
+      shipping_ = false;
+      queued_bytes_ -= job.bytes;
+      gate_->notify_all();
+      continue;
+    }
+    if (stop_) break;
+    gate_->wait();
+  }
+  gate_->unlock();
+}
+
+void RocpandaClient::drain_local() {
+  if (!worker_) return;
+  comm::GateLock lock(*gate_);
+  while (!queue_.empty() || shipping_) gate_->wait();
+}
+
+void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
+  const roccom::Window& w = com.window(req.window);
+  const auto panes = w.panes();
+
+  WriteHeader h;
+  h.file = req.file;
+  h.window = req.window;
+  h.attribute = req.attribute;
+  h.time = req.time;
+  h.nblocks = static_cast<uint32_t>(panes.size());
+  ++stats_.write_calls;
+
+  if (worker_) {
+    // Hierarchy mode: marshal into the local buffer and return; the
+    // background worker ships to the server.  Buffer-reuse safety comes
+    // from the marshalling copy itself.
+    Job job;
+    job.header = h.serialize();
+    job.blocks.reserve(panes.size());
+    for (const Pane* p : panes) {
+      const WireBlock wb = WireBlock::from_block(*p->block, req.attribute);
+      auto bytes = wb.serialize();
+      env_.charge_local_copy(bytes.size());
+      job.bytes += bytes.size();
+      job.blocks.push_back(std::move(bytes));
+    }
+    comm::GateLock lock(*gate_);
+    while (queued_bytes_ + job.bytes > options_.client_buffer_capacity &&
+           (!queue_.empty() || shipping_)) {
+      ++stats_.backpressure_waits;
+      gate_->wait();
+    }
+    queued_bytes_ += job.bytes;
+    stats_.bytes_buffered += job.bytes;
+    queue_.push_back(std::move(job));
+    gate_->notify_all();
+    return;
+  }
+
+  world_.send(server_, kTagWriteBegin, h.serialize());
+
+  // One message per block: the granularity at which the server can yield
+  // between buffering, writing and probing (paper §6.1).
+  for (const Pane* p : panes) {
+    const WireBlock wb = WireBlock::from_block(*p->block, req.attribute);
+    auto bytes = wb.serialize();
+    env_.charge_local_copy(bytes.size());  // marshalling copy
+    stats_.bytes_sent += bytes.size();
+    ++stats_.blocks_sent;
+    world_.send(server_, kTagWriteBlock, bytes);
+  }
+
+  // Visible cost ends when the server confirms everything is buffered.
+  (void)world_.recv(server_, kTagWriteAck);
+}
+
+void RocpandaClient::sync() {
+  drain_local();  // everything locally buffered must reach the server first
+  world_.signal(server_, kTagSyncReq);
+  (void)world_.recv(server_, kTagSyncAck);
+  ++stats_.sync_calls;
+}
+
+std::vector<mesh::MeshBlock> RocpandaClient::fetch_internal(
+    const std::string& file, const std::string& window,
+    const std::vector<int>& pane_ids) {
+  drain_local();  // reads must follow every locally buffered write
+  ReadHeader h;
+  h.file = file;
+  h.window = window;
+  h.pane_ids.assign(pane_ids.begin(), pane_ids.end());
+  world_.send(server_, kTagReadBegin, h.serialize());
+
+  // The server announces exactly how many blocks will arrive (from any
+  // server), so completion detection is race-free.
+  auto plan = world_.recv(server_, kTagReadPlan);
+  ByteReader pr(plan.payload.data(), plan.payload.size());
+  const auto count = pr.get<uint32_t>();
+
+  std::vector<mesh::MeshBlock> blocks;
+  blocks.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto msg = world_.recv(comm::kAnySource, kTagReadBlock);
+    blocks.push_back(
+        mesh::MeshBlock::deserialize(msg.payload.data(), msg.payload.size()));
+    ++stats_.blocks_fetched;
+  }
+
+  if (count != pane_ids.size()) {
+    std::string missing;
+    std::map<int, bool> got;
+    for (const auto& b : blocks) got[b.id()] = true;
+    for (int id : pane_ids)
+      if (!got.count(id)) missing += " " + std::to_string(id);
+    throw IoError("restart from '" + file + "': blocks not found:" + missing);
+  }
+
+  std::sort(blocks.begin(), blocks.end(),
+            [](const mesh::MeshBlock& a, const mesh::MeshBlock& b) {
+              return a.id() < b.id();
+            });
+  return blocks;
+}
+
+std::vector<mesh::MeshBlock> RocpandaClient::fetch_blocks(
+    const std::string& file, const std::vector<int>& pane_ids) {
+  return fetch_internal(file, /*window=*/"", pane_ids);
+}
+
+void RocpandaClient::read_attribute(Roccom& com, const IoRequest& req) {
+  const roccom::Window& w = com.window(req.window);
+  std::vector<int> ids;
+  for (const Pane* p : w.panes()) ids.push_back(p->id);
+
+  const auto blocks = fetch_internal(req.file, req.window, ids);
+  for (const auto& b : blocks) {
+    const Pane& p = w.pane(b.id());
+    mesh::copy_block_attribute(b, *p.block, req.attribute);
+  }
+}
+
+std::vector<int> RocpandaClient::list_panes(const std::string& file) {
+  drain_local();
+  ByteWriter w;
+  w.put_string(file);
+  world_.send(server_, kTagListReq, w.take());
+  auto msg = world_.recv(server_, kTagListAck);
+  ByteReader r(msg.payload.data(), msg.payload.size());
+  const auto ids = r.get_vector<int32_t>();
+  return {ids.begin(), ids.end()};
+}
+
+}  // namespace roc::rocpanda

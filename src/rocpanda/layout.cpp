@@ -1,0 +1,67 @@
+#include "rocpanda/layout.h"
+
+#include <algorithm>
+
+namespace roc::rocpanda {
+
+Layout::Layout(int world_size, int nservers)
+    : world_(world_size), nservers_(nservers) {
+  require(world_size >= 2, "Rocpanda needs at least 2 processors");
+  require(nservers >= 1 && nservers < world_size,
+          "server count must be in [1, world_size)");
+  group_ = (world_ + nservers_ - 1) / nservers_;
+  // With ceil-sized groups the last server must still sit strictly before
+  // the last rank, so it has at least one client.  Shrink the group until
+  // that holds (only matters for degenerate world/nservers combinations).
+  while (group_ >= 2 && (nservers_ - 1) * group_ >= world_ - 1) --group_;
+  require(group_ >= 2, "layout leaves a server with no possible clients");
+}
+
+Layout Layout::with_ratio(int world_size, int clients_per_server) {
+  require(clients_per_server >= 1, "ratio must be at least 1:1");
+  int m = (world_size + clients_per_server) / (clients_per_server + 1);
+  m = std::max(1, std::min(m, world_size - 1));
+  return Layout(world_size, m);
+}
+
+bool Layout::is_server(int world_rank) const {
+  require(world_rank >= 0 && world_rank < world_, "rank out of range");
+  return world_rank % group_ == 0 && world_rank / group_ < nservers_;
+}
+
+int Layout::server_of_client(int client_world_rank) const {
+  require(!is_server(client_world_rank), "rank is a server");
+  const int k = std::min(client_world_rank / group_, nservers_ - 1);
+  return k * group_;
+}
+
+std::vector<int> Layout::clients_of_server(int server_world_rank) const {
+  require(is_server(server_world_rank), "rank is not a server");
+  const int k = server_world_rank / group_;
+  const int begin = k * group_;
+  const int end = (k + 1 < nservers_) ? (k + 1) * group_ : world_;
+  std::vector<int> out;
+  for (int r = begin + 1; r < end; ++r) out.push_back(r);
+  return out;
+}
+
+int Layout::server_index(int server_world_rank) const {
+  require(is_server(server_world_rank), "rank is not a server");
+  return server_world_rank / group_;
+}
+
+int Layout::server_world_rank(int server_index) const {
+  require(server_index >= 0 && server_index < nservers_,
+          "server index out of range");
+  return server_index * group_;
+}
+
+int Layout::client_index(int client_world_rank) const {
+  require(!is_server(client_world_rank), "rank is a server");
+  // Clients before this rank = rank minus the servers at or below it.
+  const int servers_before =
+      std::min(client_world_rank / group_ + 1, nservers_);
+  return client_world_rank - servers_before;
+}
+
+}  // namespace roc::rocpanda

@@ -1,0 +1,55 @@
+#pragma once
+/// \file layout.h
+/// \brief Client/server placement for Rocpanda (paper §4.1).
+///
+/// With n clients and m servers the job runs on n+m processors.  Servers
+/// are placed at world ranks 0, g, 2g, ... (g = ceil((n+m)/m)) so that on
+/// SMP nodes each node contributes one server — the placement behind the
+/// paper's "15 compute + 1 server per 16-way node" configuration and its
+/// OS-offloading side effect.  Each server serves the (up to g-1) clients
+/// whose ranks follow it.
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace roc::rocpanda {
+
+class Layout {
+ public:
+  /// `world_size` total processors, `nservers` of them dedicated to I/O.
+  Layout(int world_size, int nservers);
+
+  /// Derives the server count from the paper's client:server ratio
+  /// (e.g. 8:1): nservers = round(world_size / (ratio + 1)), at least 1.
+  static Layout with_ratio(int world_size, int clients_per_server);
+
+  [[nodiscard]] int world_size() const { return world_; }
+  [[nodiscard]] int nservers() const { return nservers_; }
+  [[nodiscard]] int nclients() const { return world_ - nservers_; }
+  [[nodiscard]] int group_size() const { return group_; }
+
+  [[nodiscard]] bool is_server(int world_rank) const;
+
+  /// World rank of the server that serves this client.
+  [[nodiscard]] int server_of_client(int client_world_rank) const;
+
+  /// World ranks of the clients served by this server.
+  [[nodiscard]] std::vector<int> clients_of_server(
+      int server_world_rank) const;
+
+  /// Dense index of a server among servers (0..nservers-1).
+  [[nodiscard]] int server_index(int server_world_rank) const;
+  /// World rank of server `index`.
+  [[nodiscard]] int server_world_rank(int server_index) const;
+
+  /// Dense index of a client among clients (0..nclients-1).
+  [[nodiscard]] int client_index(int client_world_rank) const;
+
+ private:
+  int world_;
+  int nservers_;
+  int group_;  ///< ceil(world / nservers); one server leads each group.
+};
+
+}  // namespace roc::rocpanda

@@ -1,0 +1,450 @@
+#include "rocpanda/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <optional>
+#include <map>
+#include <set>
+
+#include "roccom/blockio.h"
+#include "rocpanda/wire.h"
+#include "shdf/reader.h"
+#include "shdf/writer.h"
+#include "util/log.h"
+#include "util/serialize.h"
+
+namespace roc::rocpanda {
+
+std::string server_file(const std::string& prefix, const std::string& base,
+                        int server_index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "_s%04d.shdf", server_index);
+  return prefix + base + buf;
+}
+
+namespace {
+
+/// One buffered (not yet written) block.
+struct BufferedItem {
+  std::string path;    ///< Server file the block belongs in.
+  std::string window;
+  double time;
+  std::vector<unsigned char> wire_bytes;  ///< Serialized WireBlock.
+};
+
+/// Per-client state of an in-progress write request.
+struct WriteContext {
+  WriteHeader header;
+  uint32_t remaining = 0;
+};
+
+class Server {
+ public:
+  Server(comm::Comm& world, comm::Comm& server_comm, comm::Env& env,
+         vfs::FileSystem& fs, const Layout& layout,
+         const ServerOptions& options)
+      : world_(world),
+        server_comm_(server_comm),
+        env_(env),
+        fs_(fs),
+        layout_(layout),
+        opts_(options),
+        my_index_(layout.server_index(world.rank())),
+        clients_(layout.clients_of_server(world.rank())) {}
+
+  ServerStats run() {
+    size_t shutdowns_remaining = clients_.size();
+    while (shutdowns_remaining > 0 || !buffer_.empty() ||
+           !pending_syncs_.empty() || !pending_reads_.empty() ||
+           !pending_lists_.empty()) {
+      // Deferred collective operations: sync/read/list are collective over
+      // this server's clients.  A request from a fast client must neither
+      // stall the buffering acks of clients still streaming an earlier
+      // collective write, nor start before every client has joined the
+      // collective -- so the server acts only once ALL its clients have
+      // requested the operation and every write context is closed.
+      if (write_ctx_.empty()) {
+        if (pending_syncs_.size() == clients_.size()) {
+          drain();
+          close_writer();
+          for (int src : pending_syncs_) world_.signal(src, kTagSyncAck);
+          pending_syncs_.clear();
+          continue;
+        }
+        if (pending_reads_.size() == clients_.size()) {
+          handle_read();
+          pending_reads_.clear();
+          continue;
+        }
+        if (pending_lists_.size() == clients_.size()) {
+          handle_list();
+          pending_lists_.clear();
+          continue;
+        }
+      }
+      comm::Status st;
+      // Writing happens while the clients compute: with nothing buffered,
+      // or while a collective output is still streaming in (outstanding
+      // write contexts), the server waits for requests instead of starting
+      // a long disk write that would delay the buffering acks.
+      const bool receive_priority = buffer_.empty() || !write_ctx_.empty();
+      if (receive_priority) {
+        // Blocking probe frees the CPU (the paper's OS-offload effect);
+        // the polling variant exists for the probe-strategy ablation.
+        if (opts_.blocking_probe_when_idle) {
+          st = world_.probe(comm::kAnySource, comm::kAnyTag);
+        } else {
+          while (!world_.iprobe(comm::kAnySource, comm::kAnyTag, &st))
+            env_.compute(opts_.idle_poll_interval);
+        }
+        if (handle_message(st)) --shutdowns_remaining;
+      } else {
+        // Data pending, clients computing: write, but yield to any new
+        // request between two blocks (paper §6.1).
+        if (world_.iprobe(comm::kAnySource, comm::kAnyTag, &st)) {
+          if (handle_message(st)) --shutdowns_remaining;
+        } else {
+          write_one_buffered();
+        }
+      }
+    }
+    close_writer();
+    return stats_;
+  }
+
+ private:
+  /// Receives and dispatches one message; returns true iff it was a
+  /// Shutdown.
+  bool handle_message(const comm::Status& st) {
+    switch (st.tag) {
+      case kTagWriteBegin: {
+        auto msg = world_.recv(st.source, kTagWriteBegin);
+        WriteContext ctx;
+        ctx.header = WriteHeader::deserialize(msg.payload);
+        ctx.remaining = ctx.header.nblocks;
+        if (ctx.remaining == 0) {
+          world_.signal(st.source, kTagWriteAck);
+        } else {
+          write_ctx_[st.source] = std::move(ctx);
+        }
+        return false;
+      }
+      case kTagWriteBlock: {
+        auto msg = world_.recv(st.source, kTagWriteBlock);
+        auto it = write_ctx_.find(st.source);
+        if (it == write_ctx_.end())
+          throw CommError("WriteBlock without WriteBegin from rank " +
+                          std::to_string(st.source));
+        WriteContext& ctx = it->second;
+        ++stats_.blocks_received;
+        stats_.bytes_received += msg.payload.size();
+
+        BufferedItem item;
+        item.path = server_file(opts_.file_prefix, ctx.header.file,
+                                my_index_);
+        item.window = ctx.header.window;
+        item.time = ctx.header.time;
+        item.wire_bytes = std::move(msg.payload);
+
+        if (opts_.active_buffering) {
+          buffer_item(std::move(item));
+        } else {
+          write_item(item);
+        }
+        if (--ctx.remaining == 0) {
+          write_ctx_.erase(it);
+          world_.signal(st.source, kTagWriteAck);
+        }
+        return false;
+      }
+      case kTagSyncReq: {
+        (void)world_.recv(st.source, kTagSyncReq);
+        ++stats_.sync_requests;
+        pending_syncs_.insert(st.source);  // deferred (see run())
+        return false;
+      }
+      case kTagReadBegin: {
+        auto msg = world_.recv(st.source, kTagReadBegin);
+        pending_reads_.emplace(st.source,
+                               ReadHeader::deserialize(msg.payload));
+        return false;
+      }
+      case kTagListReq: {
+        auto msg = world_.recv(st.source, kTagListReq);
+        ByteReader r(msg.payload.data(), msg.payload.size());
+        pending_lists_.emplace(st.source, r.get_string());
+        return false;
+      }
+      case kTagShutdown: {
+        (void)world_.recv(st.source, kTagShutdown);
+        return true;
+      }
+      default:
+        throw CommError("Rocpanda server: unexpected tag " +
+                        std::to_string(st.tag) + " from rank " +
+                        std::to_string(st.source));
+    }
+  }
+
+  // --- active buffering ----------------------------------------------------
+
+  void buffer_item(BufferedItem item) {
+    const uint64_t bytes = item.wire_bytes.size();
+    // Graceful overflow: write the oldest buffered blocks until the new
+    // one fits (paper §6.1).
+    while (buffered_bytes_ + bytes > opts_.buffer_capacity &&
+           !buffer_.empty()) {
+      write_one_buffered();
+      ++stats_.spills;
+    }
+    if (bytes > opts_.buffer_capacity) {
+      // A single block larger than the whole buffer: write it through.
+      write_item(item);
+      ++stats_.spills;
+      return;
+    }
+    buffered_bytes_ += bytes;
+    stats_.buffered_bytes_peak =
+        std::max(stats_.buffered_bytes_peak, buffered_bytes_);
+    buffer_.push_back(std::move(item));
+  }
+
+  void write_one_buffered() {
+    BufferedItem item = std::move(buffer_.front());
+    buffer_.pop_front();
+    buffered_bytes_ -= item.wire_bytes.size();
+    write_item(item);
+  }
+
+  void drain() {
+    while (!buffer_.empty()) write_one_buffered();
+  }
+
+  // --- file writing --------------------------------------------------------
+
+  void ensure_writer(const std::string& path) {
+    if (writer_ && open_path_ != path) close_writer();
+    if (!writer_) {
+      if (started_files_.insert(path).second) {
+        writer_ = std::make_unique<shdf::Writer>(fs_, path, opts_.directory);
+        ++stats_.files_created;
+      } else {
+        writer_ =
+            std::make_unique<shdf::Writer>(shdf::Writer::append(fs_, path));
+      }
+      open_path_ = path;
+    }
+  }
+
+  void close_writer() {
+    if (!writer_) return;
+    writer_->close();
+    writer_.reset();
+    open_path_.clear();
+  }
+
+  void write_item(const BufferedItem& item) {
+    ensure_writer(item.path);
+    const WireBlock wb = WireBlock::deserialize(item.wire_bytes);
+    wb.write_to(*writer_, item.window, item.time, opts_.codec);
+    ++stats_.blocks_written;
+  }
+
+  // --- restart (collective read) -------------------------------------------
+
+  /// Round-robin assignment of this snapshot's files to servers
+  /// (paper §4.1): works with a different server count than the writing
+  /// run, and with snapshots written by EITHER module (Rocpanda "_sNNNN"
+  /// server files or Rochdf "_pNNNN" per-process files — the services are
+  /// interchangeable, so their checkpoints are too).
+  std::vector<std::string> my_files(const std::string& base) const {
+    std::vector<std::string> all;
+    for (const char* kind : {"_s", "_p"})
+      for (const auto& f : fs_.list(opts_.file_prefix + base + kind))
+        all.push_back(f);
+    std::sort(all.begin(), all.end());
+    std::vector<std::string> mine;
+    for (size_t i = 0; i < all.size(); ++i)
+      if (static_cast<int>(i % static_cast<size_t>(layout_.nservers())) ==
+          my_index_)
+        mine.push_back(all[i]);
+    return mine;
+  }
+
+  /// Processes the collective read once every client's ReadHeader is in
+  /// pending_reads_.
+  void handle_read() {
+    ++stats_.read_sessions;
+    // Reads must see every prior write.
+    drain();
+    close_writer();
+
+    const ReadHeader& first = pending_reads_.begin()->second;
+    std::map<int, std::set<int32_t>> wanted;  // client world rank -> ids
+    for (const auto& [client, h] : pending_reads_) {
+      require(h.file == first.file && h.window == first.window,
+              "clients disagree on the restart request");
+      wanted[client] =
+          std::set<int32_t>(h.pane_ids.begin(), h.pane_ids.end());
+    }
+
+    // Exchange the pane-id -> owner map among servers.
+    ByteWriter w;
+    w.put<uint32_t>(static_cast<uint32_t>(wanted.size()));
+    for (const auto& [client, ids] : wanted) {
+      w.put<int32_t>(client);
+      w.put<uint32_t>(static_cast<uint32_t>(ids.size()));
+      for (int32_t id : ids) w.put<int32_t>(id);
+    }
+    auto all = server_comm_.allgather(w.take());
+
+    std::map<int32_t, int> owner;  // pane id -> client world rank
+    for (const auto& bytes : all) {
+      ByteReader r(bytes.data(), bytes.size());
+      const auto nclients = r.get<uint32_t>();
+      for (uint32_t i = 0; i < nclients; ++i) {
+        const int client = r.get<int32_t>();
+        const auto nids = r.get<uint32_t>();
+        for (uint32_t j = 0; j < nids; ++j) {
+          const int32_t id = r.get<int32_t>();
+          auto [it, inserted] = owner.emplace(id, client);
+          if (!inserted && it->second != client)
+            throw CommError("pane " + std::to_string(id) +
+                            " requested by two clients");
+        }
+      }
+    }
+
+    // Pass 1: scan my files, plan which blocks go to which client.
+    struct PlannedSend {
+      std::string path, window;
+      int32_t pane_id;
+      int owner;
+    };
+    std::vector<PlannedSend> plan;
+    std::map<int, uint32_t> counts;  // client -> blocks it will receive
+    for (const auto& path : my_files(first.file)) {
+      shdf::Reader r(fs_, path);
+      std::set<std::string> windows;
+      for (const auto& name : r.dataset_names()) {
+        const auto slash = name.find('/');
+        if (slash != std::string::npos)
+          windows.insert(name.substr(0, slash));
+      }
+      for (const auto& win : windows) {
+        if (!first.window.empty() && win != first.window) continue;
+        for (int id : roccom::pane_ids_in_file(r, win)) {
+          auto it = owner.find(id);
+          if (it == owner.end()) continue;  // written but not requested
+          plan.push_back(PlannedSend{path, win, id, it->second});
+          ++counts[it->second];
+        }
+      }
+    }
+
+    // Exchange counts so each server can tell ITS clients the exact number
+    // of blocks that will arrive (from any server).
+    ByteWriter cw;
+    cw.put<uint32_t>(static_cast<uint32_t>(counts.size()));
+    for (const auto& [client, n] : counts) {
+      cw.put<int32_t>(client);
+      cw.put<uint32_t>(n);
+    }
+    auto all_counts = server_comm_.allgather(cw.take());
+    std::map<int, uint32_t> totals;
+    for (const auto& bytes : all_counts) {
+      ByteReader r(bytes.data(), bytes.size());
+      const auto n = r.get<uint32_t>();
+      for (uint32_t i = 0; i < n; ++i) {
+        const int client = r.get<int32_t>();
+        totals[client] += r.get<uint32_t>();
+      }
+    }
+    for (int c : clients_) {
+      ByteWriter pw;
+      pw.put<uint32_t>(totals.count(c) ? totals[c] : 0);
+      world_.send(c, kTagReadPlan, pw.take());
+    }
+
+    // Pass 2: read and ship the blocks.  The plan is grouped by file, so
+    // one Reader serves consecutive entries.
+    std::string cur_path;
+    std::unique_ptr<shdf::Reader> reader;
+    for (const auto& p : plan) {
+      if (p.path != cur_path) {
+        reader = std::make_unique<shdf::Reader>(fs_, p.path);
+        cur_path = p.path;
+      }
+      const mesh::MeshBlock block =
+          roccom::read_block(*reader, p.window, p.pane_id);
+      world_.send(p.owner, kTagReadBlock, block.serialize());
+    }
+  }
+
+  /// Processes the collective list once every client's request is in
+  /// pending_lists_.
+  void handle_list() {
+    drain();
+    close_writer();
+    const std::string base = pending_lists_.begin()->second;
+    for (const auto& [client, b] : pending_lists_)
+      require(b == base, "clients disagree on the listed file name");
+    // Scan my round-robin share of the files, union ids across servers.
+    std::set<int32_t> ids;
+    for (const auto& path : my_files(base)) {
+      shdf::Reader r(fs_, path);
+      std::set<std::string> windows;
+      for (const auto& name : r.dataset_names()) {
+        const auto slash = name.find('/');
+        if (slash != std::string::npos)
+          windows.insert(name.substr(0, slash));
+      }
+      for (const auto& win : windows)
+        for (int id : roccom::pane_ids_in_file(r, win)) ids.insert(id);
+    }
+    ByteWriter w;
+    w.put_vector(std::vector<int32_t>(ids.begin(), ids.end()));
+    auto all = server_comm_.allgather(w.take());
+    std::set<int32_t> merged;
+    for (const auto& bytes : all) {
+      ByteReader r(bytes.data(), bytes.size());
+      for (int32_t id : r.get_vector<int32_t>()) merged.insert(id);
+    }
+    ByteWriter out;
+    out.put_vector(std::vector<int32_t>(merged.begin(), merged.end()));
+    const auto reply = out.take();
+    for (int c : clients_) world_.send(c, kTagListAck, reply);
+  }
+
+  comm::Comm& world_;
+  comm::Comm& server_comm_;
+  comm::Env& env_;
+  vfs::FileSystem& fs_;
+  const Layout& layout_;
+  ServerOptions opts_;
+  int my_index_;
+  std::vector<int> clients_;
+
+  std::deque<BufferedItem> buffer_;
+  uint64_t buffered_bytes_ = 0;
+  std::map<int, WriteContext> write_ctx_;
+  std::set<int> pending_syncs_;
+  std::map<int, ReadHeader> pending_reads_;
+  std::map<int, std::string> pending_lists_;
+  std::unique_ptr<shdf::Writer> writer_;
+  std::string open_path_;
+  std::set<std::string> started_files_;
+  ServerStats stats_;
+};
+
+}  // namespace
+
+ServerStats run_server(comm::Comm& world, comm::Comm& server_comm,
+                       comm::Env& env, vfs::FileSystem& fs,
+                       const Layout& layout, const ServerOptions& options) {
+  Server s(world, server_comm, env, fs, layout, options);
+  return s.run();
+}
+
+}  // namespace roc::rocpanda

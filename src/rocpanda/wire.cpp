@@ -1,0 +1,133 @@
+#include "rocpanda/wire.h"
+
+#include "roccom/blockio.h"
+#include "util/serialize.h"
+
+namespace roc::rocpanda {
+
+std::vector<unsigned char> WriteHeader::serialize() const {
+  ByteWriter w;
+  w.put_string(file);
+  w.put_string(window);
+  w.put_string(attribute);
+  w.put<double>(time);
+  w.put<uint32_t>(nblocks);
+  return w.take();
+}
+
+WriteHeader WriteHeader::deserialize(const std::vector<unsigned char>& bytes) {
+  ByteReader r(bytes.data(), bytes.size());
+  WriteHeader h;
+  h.file = r.get_string();
+  h.window = r.get_string();
+  h.attribute = r.get_string();
+  h.time = r.get<double>();
+  h.nblocks = r.get<uint32_t>();
+  return h;
+}
+
+std::vector<unsigned char> ReadHeader::serialize() const {
+  ByteWriter w;
+  w.put_string(file);
+  w.put_string(window);
+  w.put_vector(pane_ids);
+  return w.take();
+}
+
+ReadHeader ReadHeader::deserialize(const std::vector<unsigned char>& bytes) {
+  ByteReader r(bytes.data(), bytes.size());
+  ReadHeader h;
+  h.file = r.get_string();
+  h.window = r.get_string();
+  h.pane_ids = r.get_vector<int32_t>();
+  return h;
+}
+
+WireBlock WireBlock::from_block(const mesh::MeshBlock& block,
+                                const std::string& attribute) {
+  WireBlock wb;
+  wb.pane_id_ = block.id();
+  if (attribute == "all") {
+    wb.kind_ = Kind::kAll;
+    wb.block_ = block;
+  } else if (attribute == "mesh") {
+    wb.kind_ = Kind::kMesh;
+    wb.block_ = block;
+    wb.block_.fields().clear();
+  } else {
+    wb.kind_ = Kind::kField;
+    wb.field_ = block.field(attribute);
+  }
+  return wb;
+}
+
+uint64_t WireBlock::payload_bytes() const {
+  if (kind_ == Kind::kField) return field_.data.size() * sizeof(double);
+  return block_.payload_bytes();
+}
+
+std::vector<unsigned char> WireBlock::serialize() const {
+  ByteWriter w;
+  w.put<int32_t>(pane_id_);
+  w.put<uint8_t>(static_cast<uint8_t>(kind_));
+  if (kind_ == Kind::kField) {
+    w.put_string(field_.name);
+    w.put<uint8_t>(static_cast<uint8_t>(field_.centering));
+    w.put<int32_t>(field_.ncomp);
+    w.put_vector(field_.data);
+  } else {
+    const auto bytes = block_.serialize();
+    w.put<uint64_t>(bytes.size());
+    w.put_bytes(bytes.data(), bytes.size());
+  }
+  return w.take();
+}
+
+WireBlock WireBlock::deserialize(const std::vector<unsigned char>& bytes) {
+  ByteReader r(bytes.data(), bytes.size());
+  WireBlock wb;
+  wb.pane_id_ = r.get<int32_t>();
+  const auto kind = r.get<uint8_t>();
+  if (kind > 2) throw FormatError("bad WireBlock kind");
+  wb.kind_ = static_cast<Kind>(kind);
+  if (wb.kind_ == Kind::kField) {
+    wb.field_.name = r.get_string();
+    wb.field_.centering = static_cast<mesh::Centering>(r.get<uint8_t>());
+    wb.field_.ncomp = r.get<int32_t>();
+    wb.field_.data = r.get_vector<double>();
+  } else {
+    const auto n = r.get<uint64_t>();
+    std::vector<unsigned char> blob(static_cast<size_t>(n));
+    r.get_bytes(blob.data(), blob.size());
+    wb.block_ = mesh::MeshBlock::deserialize(blob.data(), blob.size());
+  }
+  return wb;
+}
+
+void WireBlock::write_to(shdf::Writer& w, const std::string& window,
+                         double time, shdf::Codec codec) const {
+  switch (kind_) {
+    case Kind::kAll:
+      roccom::write_block(w, window, block_, "all", time, codec);
+      break;
+    case Kind::kMesh:
+      roccom::write_block(w, window, block_, "mesh", time);
+      break;
+    case Kind::kField: {
+      shdf::DatasetDef def;
+      def.name = roccom::block_prefix(window, pane_id_) + "field:" +
+                 field_.name;
+      def.type = shdf::DataType::kFloat64;
+      def.codec = codec;
+      def.dims = {field_.data.size() / static_cast<uint64_t>(field_.ncomp),
+                  static_cast<uint64_t>(field_.ncomp)};
+      def.attributes.push_back(shdf::Attribute{
+          "centering", static_cast<int64_t>(field_.centering)});
+      def.attributes.push_back(shdf::Attribute{"time", time});
+      w.add_dataset(def, field_.data.data());
+      break;
+    }
+  }
+}
+
+}  // namespace roc::rocpanda

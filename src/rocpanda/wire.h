@@ -1,0 +1,90 @@
+#pragma once
+/// \file wire.h
+/// \brief Rocpanda's client/server message protocol.
+///
+/// All traffic flows over the world communicator with the tags below (all
+/// far below comm::kReservedTagBase).  Messages between one client and its
+/// server are non-overtaking, which the protocol relies on: a WriteBegin
+/// header is followed by exactly `nblocks` WriteBlock messages from the
+/// same client.
+///
+/// A WireBlock is the marshalled unit of one data block's selected
+/// attribute ("all" = geometry + every field; "mesh" = geometry only; a
+/// field name = that field's values only).  Blocks are sent one message
+/// per block so the server can buffer, spill, and probe for new requests
+/// *between* blocks — the granularity active buffering needs (paper §6.1).
+
+#include <string>
+#include <vector>
+
+#include "mesh/mesh_block.h"
+#include "shdf/writer.h"
+
+namespace roc::rocpanda {
+
+// --- protocol tags (world communicator) -----------------------------------
+inline constexpr int kTagWriteBegin = 101;  ///< client -> server, WriteHeader
+inline constexpr int kTagWriteBlock = 102;  ///< client -> server, WireBlock
+inline constexpr int kTagWriteAck = 103;    ///< server -> client, empty
+inline constexpr int kTagSyncReq = 104;     ///< client -> server, empty
+inline constexpr int kTagSyncAck = 105;     ///< server -> client, empty
+inline constexpr int kTagReadBegin = 106;   ///< client -> server, ReadHeader
+inline constexpr int kTagReadPlan = 107;    ///< server -> client, u32 count
+inline constexpr int kTagReadBlock = 108;   ///< server -> client, MeshBlock
+inline constexpr int kTagListReq = 109;     ///< client -> server, file name
+inline constexpr int kTagListAck = 110;     ///< server -> client, i32 ids
+inline constexpr int kTagShutdown = 111;    ///< client -> server, empty
+
+/// Header announcing one collective write request from one client.
+struct WriteHeader {
+  std::string file;       ///< Snapshot basename.
+  std::string window;
+  std::string attribute;  ///< "all" | "mesh" | field name.
+  double time = 0;
+  uint32_t nblocks = 0;   ///< WriteBlock messages that follow.
+
+  [[nodiscard]] std::vector<unsigned char> serialize() const;
+  static WriteHeader deserialize(const std::vector<unsigned char>& bytes);
+};
+
+/// Header announcing one client's restart request.
+struct ReadHeader {
+  std::string file;
+  std::string window;  ///< Restrict to one window; empty = any window.
+  std::vector<int32_t> pane_ids;
+
+  [[nodiscard]] std::vector<unsigned char> serialize() const;
+  static ReadHeader deserialize(const std::vector<unsigned char>& bytes);
+};
+
+/// Marshalled attribute data of one block.
+class WireBlock {
+ public:
+  /// Extracts the selected attribute from `block`.
+  static WireBlock from_block(const mesh::MeshBlock& block,
+                              const std::string& attribute);
+
+  [[nodiscard]] std::vector<unsigned char> serialize() const;
+  static WireBlock deserialize(const std::vector<unsigned char>& bytes);
+
+  [[nodiscard]] int pane_id() const { return pane_id_; }
+  /// Approximate payload size (for buffer accounting).
+  [[nodiscard]] uint64_t payload_bytes() const;
+
+  /// Writes this block's datasets into `w` under `window` (the same layout
+  /// contract as roccom::write_block).
+  void write_to(shdf::Writer& w, const std::string& window, double time,
+                shdf::Codec codec = shdf::Codec::kNone) const;
+
+ private:
+  enum class Kind : uint8_t { kAll = 0, kMesh = 1, kField = 2 };
+
+  int pane_id_ = -1;
+  Kind kind_ = Kind::kAll;
+  // kAll / kMesh: a (possibly field-less) MeshBlock.
+  mesh::MeshBlock block_;
+  // kField: one field's values.
+  mesh::Field field_;
+};
+
+}  // namespace roc::rocpanda

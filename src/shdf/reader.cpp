@@ -1,0 +1,137 @@
+#include "shdf/reader.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/crc64.h"
+
+namespace roc::shdf {
+
+Reader::Reader(vfs::FileSystem& fs, const std::string& path)
+    : file_(fs.open(path, vfs::OpenMode::kRead)), path_(path) {
+  // Superblock.
+  std::vector<unsigned char> sb_bytes(kSuperblockBytes);
+  file_->seek(0);
+  file_->read(sb_bytes.data(), sb_bytes.size());
+  ByteReader sr(sb_bytes.data(), sb_bytes.size());
+  const Superblock sb = read_superblock(sr);
+  kind_ = sb.directory_kind;
+
+  // Directory.  Bounds-check against the physical file size before
+  // allocating: a corrupted superblock must fail cleanly, not OOM.
+  const uint64_t fsize = file_->size();
+  if (sb.directory_offset > fsize ||
+      sb.directory_bytes > fsize - sb.directory_offset)
+    throw FormatError("directory extends past end of file in " + path_);
+  std::vector<unsigned char> dir_bytes(
+      static_cast<size_t>(sb.directory_bytes));
+  file_->seek(sb.directory_offset);
+  file_->read(dir_bytes.data(), dir_bytes.size());
+  ByteReader dr(dir_bytes.data(), dir_bytes.size());
+  const auto entries = read_directory(dr);
+  if (entries.size() != sb.dataset_count)
+    throw FormatError("directory entry count disagrees with superblock in " +
+                      path_);
+
+  // Dataset headers.  Typical headers are a few hundred bytes; probe small
+  // and widen on demand so the read cost reflects real metadata sizes.
+  infos_.reserve(entries.size());
+  const uint64_t file_size = file_->size();
+  for (const auto& e : entries) {
+    if (e.header_offset >= file_size)
+      throw FormatError("dataset header offset past end of " + path_);
+    DatasetInfo info;
+    bool parsed = false;
+    for (uint64_t probe : {uint64_t{512}, uint64_t{64} * 1024,
+                           file_size - e.header_offset}) {
+      const uint64_t want =
+          std::min<uint64_t>(file_size - e.header_offset, probe);
+      std::vector<unsigned char> buf(static_cast<size_t>(want));
+      file_->seek(e.header_offset);
+      file_->read(buf.data(), buf.size());
+      ByteReader hr(buf.data(), buf.size());
+      try {
+        info = read_dataset_header(hr);
+      } catch (const FormatError&) {
+        if (want == file_size - e.header_offset) throw;  // truly corrupt
+        continue;  // header longer than the probe window: widen
+      }
+      info.data_offset = e.header_offset + hr.position();
+      parsed = true;
+      break;
+    }
+    require(parsed, "unreachable: header parse fell through");
+    infos_.push_back(std::move(info));
+  }
+}
+
+std::vector<std::string> Reader::dataset_names() const {
+  std::vector<std::string> names;
+  names.reserve(infos_.size());
+  for (const auto& i : infos_) names.push_back(i.def.name);
+  return names;
+}
+
+std::vector<std::string> Reader::dataset_names_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> names;
+  for (const auto& i : infos_)
+    if (i.def.name.rfind(prefix, 0) == 0) names.push_back(i.def.name);
+  return names;
+}
+
+size_t Reader::find(const std::string& name) const {
+  if (kind_ == DirectoryKind::kIndexed) {
+    // Directory order is name order for indexed files.
+    auto it = std::lower_bound(
+        infos_.begin(), infos_.end(), name,
+        [](const DatasetInfo& i, const std::string& n) { return i.def.name < n; });
+    if (it != infos_.end() && it->def.name == name)
+      return static_cast<size_t>(it - infos_.begin());
+    return SIZE_MAX;
+  }
+  for (size_t i = 0; i < infos_.size(); ++i)
+    if (infos_[i].def.name == name) return i;
+  return SIZE_MAX;
+}
+
+bool Reader::has_dataset(const std::string& name) const {
+  return find(name) != SIZE_MAX;
+}
+
+const DatasetInfo& Reader::info(const std::string& name) const {
+  const size_t i = find(name);
+  if (i == SIZE_MAX)
+    throw FormatError("no dataset '" + name + "' in " + path_);
+  return infos_[i];
+}
+
+const DatasetInfo& Reader::info(size_t index) const {
+  require(index < infos_.size(), "dataset index out of range");
+  return infos_[index];
+}
+
+std::vector<unsigned char> Reader::read_raw(const std::string& name) const {
+  const DatasetInfo& i = info(name);
+  const uint64_t fsize = file_->size();
+  if (i.data_offset > fsize || i.stored_bytes > fsize - i.data_offset)
+    throw FormatError("dataset '" + name + "' extends past end of " + path_);
+  std::vector<unsigned char> raw(static_cast<size_t>(i.stored_bytes));
+  file_->seek(i.data_offset);
+  file_->read(raw.data(), raw.size());
+  auto data = decode(i.def.codec, raw.data(), raw.size(), i.data_bytes);
+  if (crc64(data.data(), data.size()) != i.checksum)
+    throw FormatError("checksum mismatch reading dataset '" + name +
+                      "' from " + path_);
+  return data;
+}
+
+std::optional<AttrValue> Reader::attribute(const std::string& dataset,
+                                           const std::string& attr) const {
+  const DatasetInfo& i = info(dataset);
+  for (const auto& a : i.def.attributes)
+    if (a.name == attr) return a.value;
+  return std::nullopt;
+}
+
+}  // namespace roc::shdf

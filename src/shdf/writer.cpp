@@ -1,0 +1,141 @@
+#include "shdf/writer.h"
+
+#include <algorithm>
+
+#include "util/crc64.h"
+#include "util/log.h"
+
+namespace roc::shdf {
+
+Writer::Writer(vfs::FileSystem& fs, const std::string& path,
+               DirectoryKind kind)
+    : file_(fs.open(path, vfs::OpenMode::kTruncate)),
+      path_(path),
+      kind_(kind) {
+  // Reserve the superblock slot; it is rewritten with real values later.
+  ByteWriter w;
+  Superblock sb;
+  sb.directory_kind = kind_;
+  write_superblock(w, sb);
+  file_->write(w.data(), w.size());
+}
+
+Writer::Writer(std::unique_ptr<vfs::File> file, std::string path,
+               DirectoryKind kind, std::vector<DirEntry> entries,
+               uint64_t append_offset)
+    : file_(std::move(file)),
+      path_(std::move(path)),
+      kind_(kind),
+      entries_(std::move(entries)),
+      append_offset_(append_offset) {
+  for (const auto& e : entries_) names_.insert(e.name);
+}
+
+Writer Writer::append(vfs::FileSystem& fs, const std::string& path) {
+  auto file = fs.open(path, vfs::OpenMode::kReadWrite);
+
+  std::vector<unsigned char> sb_bytes(kSuperblockBytes);
+  file->seek(0);
+  file->read(sb_bytes.data(), sb_bytes.size());
+  ByteReader sr(sb_bytes.data(), sb_bytes.size());
+  const Superblock sb = read_superblock(sr);
+
+  const uint64_t fsize = file->size();
+  if (sb.directory_offset > fsize ||
+      sb.directory_bytes > fsize - sb.directory_offset)
+    throw FormatError("directory extends past end of file in " + path);
+  std::vector<unsigned char> dir_bytes(
+      static_cast<size_t>(sb.directory_bytes));
+  file->seek(sb.directory_offset);
+  file->read(dir_bytes.data(), dir_bytes.size());
+  ByteReader dr(dir_bytes.data(), dir_bytes.size());
+  std::vector<DirEntry> entries = read_directory(dr);
+  if (entries.size() != sb.dataset_count)
+    throw FormatError("directory entry count disagrees with superblock in " +
+                      path);
+  // Keep entries in append (offset) order so the kLinear reader still scans
+  // insertion order; persist re-sorts for kIndexed.
+  std::sort(entries.begin(), entries.end(),
+            [](const DirEntry& a, const DirEntry& b) {
+              return a.header_offset < b.header_offset;
+            });
+
+  // New datasets overwrite the old directory region.
+  return Writer(std::move(file), path, sb.directory_kind, std::move(entries),
+                sb.directory_offset);
+}
+
+Writer::~Writer() {
+  if (closed_) return;
+  try {
+    close();
+  } catch (const std::exception& e) {
+    ROC_ERROR << "shdf::Writer(" << path_ << ") close failed: " << e.what();
+  }
+}
+
+void Writer::add_dataset(const DatasetDef& def, const void* data) {
+  require(!closed_, "add_dataset after close on " + path_);
+  require(!def.name.empty(), "dataset name must not be empty");
+  require(names_.insert(def.name).second,
+          "duplicate dataset name: " + def.name);
+
+  const uint64_t bytes = def.byte_count();
+  const uint64_t checksum = crc64(data, static_cast<size_t>(bytes));
+  // The codec runs over the payload; the checksum stays on the
+  // uncompressed bytes so corruption is caught after decoding.
+  const auto stored = encode(def.codec, data, static_cast<size_t>(bytes));
+
+  ByteWriter header;
+  write_dataset_header(header, def, bytes, stored.size(), checksum);
+
+  file_->seek(append_offset_);
+  file_->write(header.data(), header.size());
+  if (!stored.empty()) file_->write(stored.data(), stored.size());
+
+  entries_.push_back(DirEntry{def.name, append_offset_});
+  append_offset_ += header.size() + stored.size();
+
+  // HDF4-like mode keeps the on-disk bookkeeping current after every
+  // append, which is exactly why its cost grows with the dataset count.
+  if (kind_ == DirectoryKind::kLinear) persist_directory_and_superblock();
+}
+
+void Writer::persist_directory_and_superblock() {
+  std::vector<DirEntry> dir = entries_;
+  if (kind_ == DirectoryKind::kIndexed) {
+    std::sort(dir.begin(), dir.end(), [](const DirEntry& a, const DirEntry& b) {
+      return a.name < b.name;
+    });
+  }
+  ByteWriter w;
+  write_directory(w, dir);
+
+  Superblock sb;
+  sb.directory_kind = kind_;
+  sb.directory_offset = append_offset_;
+  sb.directory_bytes = w.size();
+  sb.dataset_count = entries_.size();
+
+  file_->seek(append_offset_);
+  file_->write(w.data(), w.size());
+
+  ByteWriter sw;
+  write_superblock(sw, sb);
+  file_->seek(0);
+  file_->write(sw.data(), sw.size());
+}
+
+void Writer::close() {
+  if (closed_) return;
+  if (!file_) {  // moved-from shell
+    closed_ = true;
+    return;
+  }
+  persist_directory_and_superblock();
+  file_->flush();
+  file_.reset();
+  closed_ = true;
+}
+
+}  // namespace roc::shdf

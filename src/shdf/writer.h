@@ -1,0 +1,85 @@
+#pragma once
+/// \file writer.h
+/// \brief SHDF file writer.
+///
+/// Datasets are appended one at a time; close() (or destruction) finalizes
+/// the directory and superblock.  With DirectoryKind::kLinear the directory
+/// is re-persisted after every append (HDF4-like in-file bookkeeping cost);
+/// with kIndexed it is written once at close (HDF5-like).
+
+#include <memory>
+#include <span>
+#include <unordered_set>
+
+#include "shdf/format.h"
+#include "vfs/vfs.h"
+
+namespace roc::shdf {
+
+class Writer {
+ public:
+  /// Creates (truncates) `path` on `fs`.  The FileSystem must outlive the
+  /// Writer.
+  Writer(vfs::FileSystem& fs, const std::string& path,
+         DirectoryKind kind = DirectoryKind::kIndexed);
+
+  /// Re-opens an existing SHDF file for appending further datasets.  The
+  /// old directory region is overwritten by the first new dataset and a
+  /// fresh directory is written at close.  The directory kind is taken from
+  /// the file.
+  static Writer append(vfs::FileSystem& fs, const std::string& path);
+
+  /// Finalizes on destruction if close() was not called; destruction never
+  /// throws (errors during implicit close are logged and swallowed).
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Appends one complete dataset.  `data` must contain def.byte_count()
+  /// bytes.  Dataset names must be unique within a file.
+  void add_dataset(const DatasetDef& def, const void* data);
+
+  /// Typed convenience: dims default to {v.size()} when def.dims is empty.
+  template <typename T>
+  void add(const std::string& name, const std::vector<T>& v,
+           std::vector<Attribute> attrs = {},
+           std::vector<uint64_t> dims = {}) {
+    DatasetDef def;
+    def.name = name;
+    def.type = TypeTag<T>::value;
+    def.dims = dims.empty() ? std::vector<uint64_t>{v.size()} : std::move(dims);
+    def.attributes = std::move(attrs);
+    require(def.element_count() == v.size(),
+            "dims do not match element count for dataset " + name);
+    add_dataset(def, v.data());
+  }
+
+  /// Number of datasets appended so far.
+  [[nodiscard]] size_t dataset_count() const { return entries_.size(); }
+
+  /// Writes the directory + final superblock and closes the file.
+  void close();
+
+  Writer(Writer&&) = default;
+  Writer& operator=(Writer&&) = delete;
+
+ private:
+  /// Internal: adopts an already-open file positioned for appending
+  /// (used by append()).
+  Writer(std::unique_ptr<vfs::File> file, std::string path,
+         DirectoryKind kind, std::vector<DirEntry> entries,
+         uint64_t append_offset);
+
+  void persist_directory_and_superblock();
+
+  std::unique_ptr<vfs::File> file_;
+  std::string path_;
+  DirectoryKind kind_;
+  std::vector<DirEntry> entries_;
+  std::unordered_set<std::string> names_;  ///< Duplicate-name guard.
+  uint64_t append_offset_ = kSuperblockBytes;
+  bool closed_ = false;
+};
+
+}  // namespace roc::shdf

@@ -1,0 +1,56 @@
+#include "sim/sim_env.h"
+
+namespace roc::sim {
+
+namespace {
+
+class SimWorker final : public comm::Worker {
+ public:
+  SimWorker(Simulation& sim, detail::Process* proc)
+      : sim_(sim), proc_(proc) {}
+
+  void join() override { sim_.join_aux(sim_.current(), proc_); }
+
+ private:
+  Simulation& sim_;
+  detail::Process* proc_;
+};
+
+/// Cooperative scheduling makes real mutual exclusion unnecessary: a
+/// process only loses control at explicit block points, so lock/unlock are
+/// no-ops and only wait/notify interact with the scheduler.
+class SimGate final : public comm::Gate {
+ public:
+  explicit SimGate(Simulation& sim) : sim_(sim) {}
+
+  void lock() override {}
+  void unlock() override {}
+
+  void wait() override {
+    waiters_.push_back(sim_.current());
+    sim_.current_context().block();
+  }
+
+  void notify_all() override {
+    for (detail::Process* p : waiters_) sim_.wake(p, sim_.now());
+    waiters_.clear();
+  }
+
+ private:
+  Simulation& sim_;
+  std::vector<detail::Process*> waiters_;
+};
+
+}  // namespace
+
+std::unique_ptr<comm::Worker> SimEnv::spawn_worker(
+    std::function<void()> body) {
+  detail::Process* p = sim_.spawn_aux(sim_.current(), std::move(body));
+  return std::make_unique<SimWorker>(sim_, p);
+}
+
+std::unique_ptr<comm::Gate> SimEnv::make_gate() {
+  return std::make_unique<SimGate>(sim_);
+}
+
+}  // namespace roc::sim

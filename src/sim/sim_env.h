@@ -1,0 +1,38 @@
+#pragma once
+/// \file sim_env.h
+/// \brief comm::Env implementation over the simulator: virtual clock,
+/// noise-aware compute, auxiliary sim-processes as workers, and gates that
+/// block/wake through the event queue.
+
+#include "comm/env.h"
+#include "sim/simulation.h"
+
+namespace roc::sim {
+
+class SimEnv final : public comm::Env {
+ public:
+  explicit SimEnv(Simulation& sim) : sim_(sim) {}
+
+  [[nodiscard]] double now() override { return sim_.now(); }
+
+  void compute(double seconds) override {
+    sim_.current_context().compute(seconds);
+  }
+
+  void charge_local_copy(uint64_t bytes) override {
+    const double scaled =
+        static_cast<double>(bytes) * sim_.platform().byte_scale;
+    sim_.current_context().compute(scaled /
+                                   sim_.platform().memcpy_bandwidth);
+  }
+
+  [[nodiscard]] std::unique_ptr<comm::Worker> spawn_worker(
+      std::function<void()> body) override;
+
+  [[nodiscard]] std::unique_ptr<comm::Gate> make_gate() override;
+
+ private:
+  Simulation& sim_;
+};
+
+}  // namespace roc::sim

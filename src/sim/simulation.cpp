@@ -1,0 +1,236 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace roc::sim {
+
+using detail::NodeState;
+using detail::Process;
+
+double NodeState::noise_factor(const NodeParams& p, bool any_idle_cpu) {
+  if (p.os_noise_fraction <= 0) return 1.0;
+  // Daemons run on an idle CPU when one exists (paper Fig 3(b)); otherwise
+  // they preempt computation for a random burst.
+  if (any_idle_cpu) return 1.0;
+  return 1.0 + p.os_noise_fraction *
+                   (1.0 + p.os_noise_burst * rng.next_exponential(1.0));
+}
+
+// ---------------------------------------------------------------------------
+// ProcContext
+// ---------------------------------------------------------------------------
+
+ProcContext Simulation::current_context() {
+  return ProcContext(this, current());
+}
+
+double ProcContext::now() const { return sim_->now_; }
+
+void ProcContext::wait_until(double t, bool cpu_busy) {
+  if (cpu_busy) sim_->set_cpu_busy(proc_, true);
+  sim_->wake(proc_, std::max(t, sim_->now_));
+  sim_->yield_to_scheduler(proc_);
+  if (cpu_busy) sim_->set_cpu_busy(proc_, false);
+}
+
+void ProcContext::compute(double seconds) {
+  if (seconds <= 0) return;
+  sim_->set_cpu_busy(proc_, true);
+  NodeState& node = sim_->node_state(proc_->node);
+  const bool any_idle = node.busy_cpus < sim_->platform().node.cpus;
+  const double factor =
+      node.noise_factor(sim_->platform().node, any_idle);
+  sim_->wake(proc_, sim_->now_ + seconds * factor);
+  sim_->yield_to_scheduler(proc_);
+  sim_->set_cpu_busy(proc_, false);
+}
+
+void ProcContext::block() { sim_->yield_to_scheduler(proc_); }
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+Simulation::Simulation(Platform platform) : platform_(std::move(platform)) {
+  require(platform_.node.cpus >= 1, "platform needs at least 1 CPU per node");
+}
+
+Simulation::~Simulation() {
+  // Normal completion joins everything in run().  If run() was never
+  // called, no threads were started.  Abnormal completion has already
+  // detached and leaked the stuck processes (see run()).
+}
+
+int Simulation::add_process(ProcBody body) {
+  require(!ran_, "add_process after run()");
+  auto p = std::make_unique<Process>();
+  p->rank = static_cast<int>(procs_.size());
+  p->node = p->rank / platform_.node.cpus;
+  p->body = std::move(body);
+  procs_.push_back(std::move(p));
+  return static_cast<int>(procs_.size()) - 1;
+}
+
+int Simulation::node_of_rank(int rank) const {
+  return rank / platform_.node.cpus;
+}
+
+NodeState& Simulation::node_state(int node) {
+  while (static_cast<size_t>(node) >= nodes_.size()) {
+    NodeState ns;
+    ns.rng = Rng(platform_.seed * 1000003ULL +
+                 static_cast<uint64_t>(nodes_.size()));
+    nodes_.push_back(ns);
+  }
+  return nodes_[static_cast<size_t>(node)];
+}
+
+void Simulation::set_cpu_busy(Process* p, bool busy) {
+  if (p->is_aux) return;  // aux workers free-ride on their owner's CPU
+  NodeState& ns = node_state(p->node);
+  ns.busy_cpus += busy ? 1 : -1;
+}
+
+double& Simulation::resource(const std::string& key) {
+  return resources_[key];
+}
+
+void Simulation::schedule(double t, std::function<void()> fn) {
+  events_.push(Event{std::max(t, now_), next_seq_++, nullptr, std::move(fn)});
+}
+
+void Simulation::wake(Process* p, double t) {
+  if (p->finished || p->wake_pending) return;
+  p->wake_pending = true;
+  events_.push(Event{std::max(t, now_), next_seq_++, p, {}});
+}
+
+void Simulation::start_process_thread(Process* p) {
+  p->started = true;
+  p->thread = std::thread([this, p] {
+    p->go.acquire();
+    try {
+      if (cancelled_) throw SimCancelled();
+      if (p->is_aux) {
+        p->aux_body();
+      } else {
+        ProcContext ctx(this, p);
+        p->body(ctx);
+      }
+    } catch (const SimCancelled&) {
+      // Clean unwind during cancellation.
+    } catch (...) {
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    finish_process(p);
+    sched_sem_.release();
+  });
+}
+
+void Simulation::finish_process(Process* p) {
+  // Runs on the process thread while it still holds control: exclusive
+  // access to simulation state is guaranteed.
+  p->finished = true;
+  for (Process* w : p->join_waiters) wake(w, now_);
+  p->join_waiters.clear();
+}
+
+void Simulation::resume(Process* p) {
+  current_ = p;
+  p->go.release();
+  sched_sem_.acquire();
+  current_ = nullptr;
+  if (p->finished && p->thread.joinable()) p->thread.join();
+}
+
+void Simulation::yield_to_scheduler(Process* p) {
+  sched_sem_.release();
+  p->go.acquire();
+  if (cancelled_) throw SimCancelled();
+}
+
+Process* Simulation::spawn_aux(Process* parent, std::function<void()> body) {
+  auto p = std::make_unique<Process>();
+  p->rank = -1;
+  p->node = parent->node;
+  p->is_aux = true;
+  p->aux_body = std::move(body);
+  Process* raw = p.get();
+  aux_.push_back(std::move(p));
+  start_process_thread(raw);
+  wake(raw, now_);
+  return raw;
+}
+
+void Simulation::join_aux(Process* caller, Process* target) {
+  while (!target->finished) {
+    target->join_waiters.push_back(caller);
+    yield_to_scheduler(caller);
+  }
+  if (target->thread.joinable()) target->thread.join();
+}
+
+void Simulation::run() {
+  require(!ran_, "Simulation::run may be called once");
+  require(!procs_.empty(), "no processes added");
+  ran_ = true;
+
+  for (auto& p : procs_) {
+    start_process_thread(p.get());
+    wake(p.get(), 0.0);
+  }
+
+  while (!events_.empty() && !first_error_) {
+    Event e = events_.top();
+    events_.pop();
+    now_ = std::max(now_, e.time);
+    if (e.proc != nullptr) {
+      if (e.proc->finished) continue;
+      e.proc->wake_pending = false;
+      resume(e.proc);
+    } else {
+      e.fn();
+    }
+  }
+
+  if (!first_error_) {
+    std::string stuck;
+    for (const auto& p : procs_)
+      if (!p->finished) stuck += " " + std::to_string(p->rank);
+    for (const auto& p : aux_)
+      if (!p->finished) stuck += " aux@" + std::to_string(p->node);
+    if (!stuck.empty())
+      first_error_ = std::make_exception_ptr(
+          CommError("simulation deadlock: processes blocked forever:" +
+                    stuck));
+  }
+
+  if (first_error_) {
+    // Abnormal end: blocked process threads cannot be unwound safely (their
+    // stacks may be inside destructors).  Detach and intentionally leak
+    // them; this only happens on bugs or test-asserted failures.
+    cancelled_ = true;
+    size_t leaked = 0;
+    auto abandon = [&](std::vector<std::unique_ptr<Process>>& list) {
+      for (auto& p : list) {
+        if (p->started && !p->finished) {
+          p->thread.detach();
+          ++leaked;
+          (void)p.release();  // leak: the detached thread references it
+        } else if (p->thread.joinable()) {
+          p->thread.join();
+        }
+      }
+    };
+    abandon(procs_);
+    abandon(aux_);
+    if (leaked > 0)
+      ROC_WARN << "simulation aborted; leaked " << leaked
+               << " blocked process thread(s)";
+    std::rethrow_exception(first_error_);
+  }
+}
+
+}  // namespace roc::sim

@@ -1,0 +1,198 @@
+#pragma once
+/// \file simulation.h
+/// \brief Deterministic discrete-event simulator with cooperatively
+/// scheduled processes.
+///
+/// Each simulated process runs REAL library code (Rocpanda, Rochdf, Roccom,
+/// SHDF) on its own std::thread, but exactly one process executes at a time:
+/// the scheduler hands control to a process and regains it when the process
+/// blocks (message wait, virtual delay, gate wait) or finishes.  Virtual
+/// time advances only through the event queue, so results are exactly
+/// reproducible and independent of host load — the property that lets a
+/// 1-core container replay a 512-processor machine (DESIGN.md §5).
+///
+/// CPU accounting: a process advancing time may do so *busy* (computing,
+/// copying) or *idle* (blocked on I/O or messages).  Each node tracks its
+/// busy-CPU count; ProcContext::compute() applies the OS-noise inflation
+/// when no idle CPU remains on the node (paper Fig 3(b) mechanism).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/platform.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace roc::sim {
+
+class Simulation;
+class ProcContext;
+
+using ProcBody = std::function<void(ProcContext&)>;
+
+/// Thrown inside simulated processes when the simulation aborts (another
+/// process failed); unwinds the process stack cleanly.
+class SimCancelled : public Error {
+ public:
+  SimCancelled() : Error("simulation cancelled") {}
+};
+
+namespace detail {
+
+struct Process {
+  int rank = -1;       ///< World rank (main processes); -1 for aux workers.
+  int node = 0;
+  bool is_aux = false; ///< Aux workers don't occupy a CPU slot.
+  std::thread thread;
+  std::binary_semaphore go{0};
+  bool started = false;
+  bool finished = false;
+  bool wake_pending = false;  ///< An event will resume this process.
+  std::vector<Process*> join_waiters;
+  std::function<void()> aux_body;
+  ProcBody body;
+};
+
+struct NodeState {
+  int busy_cpus = 0;
+  Rng rng{0};
+  /// Samples the compute-inflation factor for one compute interval, given
+  /// whether any CPU on the node is idle.
+  double noise_factor(const NodeParams& p, bool any_idle_cpu);
+};
+
+}  // namespace detail
+
+/// Interface each simulated process uses to interact with virtual time and
+/// its node.  Only valid on the owning process's thread.
+class ProcContext {
+ public:
+  [[nodiscard]] double now() const;
+  [[nodiscard]] int rank() const { return proc_->rank; }
+  [[nodiscard]] int node() const { return proc_->node; }
+  [[nodiscard]] Simulation& sim() const { return *sim_; }
+
+  /// Advances to time `t`.  `cpu_busy` controls node CPU accounting.
+  void wait_until(double t, bool cpu_busy);
+
+  /// Consumes `seconds` of CPU, inflated by the node's OS-noise model when
+  /// the node has no idle CPU.
+  void compute(double seconds);
+
+  /// Blocks until another event calls Simulation::wake() on this process.
+  void block();
+
+ private:
+  friend class Simulation;
+  ProcContext(Simulation* sim, detail::Process* proc)
+      : sim_(sim), proc_(proc) {}
+  Simulation* sim_;
+  detail::Process* proc_;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(Platform platform);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Adds one main process before run(); processes are packed onto nodes
+  /// (`platform.node.cpus` per node) in rank order.  Returns its rank.
+  int add_process(ProcBody body);
+
+  /// Runs to completion.  Rethrows the first process exception (after
+  /// cancelling and joining everything).  May be called once.
+  void run();
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] const Platform& platform() const { return platform_; }
+  [[nodiscard]] int node_of_rank(int rank) const;
+  [[nodiscard]] int process_count() const {
+    return static_cast<int>(procs_.size());
+  }
+
+  /// Schedules `fn` to run in scheduler context at virtual time `t`
+  /// (>= now).
+  void schedule(double t, std::function<void()> fn);
+
+  /// Schedules process `p` to resume at time `t`; no-op if a wake is
+  /// already pending.
+  void wake(detail::Process* p, double t);
+
+  /// Spawns an auxiliary worker on the same node as `parent` (T-Rochdf's
+  /// I/O thread).  Only callable from a running process.
+  detail::Process* spawn_aux(detail::Process* parent,
+                             std::function<void()> body);
+
+  /// Blocks the calling process until `target` finishes.
+  void join_aux(detail::Process* caller, detail::Process* target);
+
+  /// Node bookkeeping (used by ProcContext and the models).
+  detail::NodeState& node_state(int node);
+
+  /// The process currently executing (valid only while one is).  The
+  /// simulated services (gates, file system, communicators) use this to
+  /// identify their caller without explicit context plumbing, mirroring
+  /// how real syscalls identify the calling thread.
+  [[nodiscard]] detail::Process* current() {
+    require(current_ != nullptr, "no simulated process is running");
+    return current_;
+  }
+
+  /// ProcContext for the currently running process.
+  [[nodiscard]] ProcContext current_context();
+
+  /// OS-noise-aware busy flag changes.
+  void set_cpu_busy(detail::Process* p, bool busy);
+
+  // -- shared resource clocks (used by the network and FS models) ----------
+  /// Returns a reference to a named monotone resource clock ("next free
+  /// time"), creating it at 0.
+  double& resource(const std::string& key);
+
+ private:
+  friend class ProcContext;
+
+  struct Event {
+    double time;
+    uint64_t seq;
+    detail::Process* proc;  ///< Resume this process...
+    std::function<void()> fn;  ///< ...or run this (exclusive).
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  void resume(detail::Process* p);
+  /// Called on the process thread: give control back to the scheduler.
+  void yield_to_scheduler(detail::Process* p);
+  void start_process_thread(detail::Process* p);
+  void finish_process(detail::Process* p);
+
+  Platform platform_;
+  double now_ = 0;
+  uint64_t next_seq_ = 0;
+  bool ran_ = false;
+  bool cancelled_ = false;
+  std::exception_ptr first_error_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<std::unique_ptr<detail::Process>> procs_;  // main, by rank
+  std::vector<std::unique_ptr<detail::Process>> aux_;
+  std::vector<detail::NodeState> nodes_;
+  std::map<std::string, double> resources_;
+
+  std::binary_semaphore sched_sem_{0};
+  detail::Process* current_ = nullptr;
+};
+
+}  // namespace roc::sim

@@ -1,0 +1,44 @@
+#include "util/crc64.h"
+
+#include <array>
+
+namespace roc {
+namespace {
+
+// ECMA-182 polynomial, bit-reflected form.
+constexpr uint64_t kPoly = 0xC96C5795D7870F42ULL;
+
+std::array<uint64_t, 256> make_table() {
+  std::array<uint64_t, 256> t{};
+  for (uint64_t i = 0; i < 256; ++i) {
+    uint64_t crc = i;
+    for (int b = 0; b < 8; ++b)
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    t[static_cast<size_t>(i)] = crc;
+  }
+  return t;
+}
+
+const std::array<uint64_t, 256>& table() {
+  static const std::array<uint64_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc64::update(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& t = table();
+  uint64_t crc = state_;
+  for (size_t i = 0; i < n; ++i)
+    crc = t[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  state_ = crc;
+}
+
+uint64_t crc64(const void* data, size_t n) {
+  Crc64 c;
+  c.update(data, n);
+  return c.value();
+}
+
+}  // namespace roc

@@ -1,0 +1,32 @@
+#pragma once
+/// \file crc64.h
+/// \brief CRC-64 (ECMA-182 polynomial) used for SHDF integrity checks and
+/// for state fingerprints in restart-equivalence tests.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace roc {
+
+/// Streaming CRC-64 accumulator.
+class Crc64 {
+ public:
+  /// Feeds `n` bytes into the running checksum.
+  void update(const void* data, size_t n);
+
+  template <typename T>
+  void update_value(const T& v) {
+    update(&v, sizeof(T));
+  }
+
+  /// Final checksum over everything fed so far.
+  [[nodiscard]] uint64_t value() const { return ~state_; }
+
+ private:
+  uint64_t state_ = ~0ULL;
+};
+
+/// One-shot convenience wrapper.
+uint64_t crc64(const void* data, size_t n);
+
+}  // namespace roc

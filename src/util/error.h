@@ -1,0 +1,61 @@
+#pragma once
+/// \file error.h
+/// \brief Exception hierarchy used across the rocpio libraries.
+///
+/// All library errors derive from roc::Error.  Each subsystem throws its own
+/// subclass so callers can discriminate failure domains without string
+/// matching.  Errors carry a human-readable message assembled at throw time.
+
+#include <stdexcept>
+#include <string>
+
+namespace roc {
+
+/// Base class for every error thrown by rocpio libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated an interface precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : Error("invalid argument: " + what) {}
+};
+
+/// File-system level failure (open, read, write, unlink, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("I/O error: " + what) {}
+};
+
+/// The bytes of an SHDF file do not form a valid file (bad magic, truncated
+/// section, checksum mismatch, unsupported version, ...).
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what)
+      : Error("format error: " + what) {}
+};
+
+/// Message-passing runtime failure (invalid rank, communicator misuse, ...).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what)
+      : Error("comm error: " + what) {}
+};
+
+/// Roccom registry failure (unknown window/attribute/function, duplicate
+/// registration, schema mismatch, ...).
+class RegistryError : public Error {
+ public:
+  explicit RegistryError(const std::string& what)
+      : Error("registry error: " + what) {}
+};
+
+/// Throws InvalidArgument if `cond` is false.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw InvalidArgument(what);
+}
+
+}  // namespace roc

@@ -1,0 +1,53 @@
+#pragma once
+/// \file log.h
+/// \brief Minimal thread-safe leveled logger.
+///
+/// The libraries log sparingly (warnings and debug traces around protocol
+/// steps); the default level is kWarn so tests and benchmarks stay quiet.
+
+#include <sstream>
+#include <string>
+
+namespace roc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr (thread-safe, single write call).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+/// RAII line builder: streams into a buffer, emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace roc
+
+#define ROC_LOG(level)                         \
+  if (::roc::log_level() > (level)) {          \
+  } else                                       \
+    ::roc::detail::LogStream(level)
+
+#define ROC_DEBUG ROC_LOG(::roc::LogLevel::kDebug)
+#define ROC_INFO ROC_LOG(::roc::LogLevel::kInfo)
+#define ROC_WARN ROC_LOG(::roc::LogLevel::kWarn)
+#define ROC_ERROR ROC_LOG(::roc::LogLevel::kError)

@@ -1,0 +1,14 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace roc {
+
+double Rng::next_exponential(double mean) {
+  // Inverse-CDF sampling; clamp away from 0 to avoid log(0).
+  double u = next_double();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace roc

@@ -1,0 +1,49 @@
+#pragma once
+/// \file rng.h
+/// \brief Deterministic pseudo-random number generation.
+///
+/// SplitMix64: fast, seedable, identical output on every platform.  Used by
+/// the mesh generators, workload synthesis, and the simulator's OS-noise
+/// model, so that every test and benchmark is exactly reproducible.
+
+#include <cstdint>
+
+namespace roc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n) for n > 0.
+  uint64_t next_below(uint64_t n) { return next_u64() % n; }
+
+  /// Uniform in [lo, hi] (inclusive).
+  int64_t next_range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_below(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed value with the given mean (>0).
+  double next_exponential(double mean);
+
+  /// Forks an independent stream (for per-entity deterministic noise).
+  Rng fork() { return Rng(next_u64() ^ 0xA5A5A5A5A5A5A5A5ULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace roc

@@ -1,0 +1,27 @@
+#pragma once
+/// \file stopwatch.h
+/// \brief Wall-clock stopwatch for the real (thread-backed) substrate.
+/// Simulated runs use the virtual clock in roc::sim instead.
+
+#include <chrono>
+
+namespace roc {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace roc

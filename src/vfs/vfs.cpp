@@ -1,0 +1,240 @@
+#include "vfs/vfs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+namespace roc::vfs {
+
+// ---------------------------------------------------------------------------
+// PosixFileSystem
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class PosixFile final : public File {
+ public:
+  PosixFile(std::FILE* f, std::string path) : f_(f), path_(std::move(path)) {}
+  ~PosixFile() override {
+    if (f_) std::fclose(f_);
+  }
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+
+  void write(const void* data, size_t n) override {
+    if (n == 0) return;
+    if (std::fwrite(data, 1, n, f_) != n)
+      throw IoError("short write to " + path_);
+  }
+
+  void read(void* out, size_t n) override {
+    if (n == 0) return;
+    if (std::fread(out, 1, n, f_) != n)
+      throw IoError("short read from " + path_);
+  }
+
+  void seek(uint64_t pos) override {
+    if (std::fseek(f_, static_cast<long>(pos), SEEK_SET) != 0)
+      throw IoError("seek failed on " + path_);
+  }
+
+  uint64_t tell() const override {
+    long p = std::ftell(f_);
+    if (p < 0) throw IoError("tell failed on " + path_);
+    return static_cast<uint64_t>(p);
+  }
+
+  uint64_t size() const override {
+    long cur = std::ftell(f_);
+    std::fseek(f_, 0, SEEK_END);
+    long end = std::ftell(f_);
+    std::fseek(f_, cur, SEEK_SET);
+    if (end < 0) throw IoError("size query failed on " + path_);
+    return static_cast<uint64_t>(end);
+  }
+
+  void flush() override {
+    if (std::fflush(f_) != 0) throw IoError("flush failed on " + path_);
+  }
+
+ private:
+  std::FILE* f_;
+  std::string path_;
+};
+
+}  // namespace
+
+PosixFileSystem::PosixFileSystem(std::string root) : root_(std::move(root)) {
+  if (!root_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(root_, ec);
+    if (ec) throw IoError("cannot create root directory " + root_);
+    if (root_.back() != '/') root_ += '/';
+  }
+}
+
+std::string PosixFileSystem::full(const std::string& path) const {
+  return root_ + path;
+}
+
+std::unique_ptr<File> PosixFileSystem::open(const std::string& path,
+                                            OpenMode mode) {
+  const std::string f = full(path);
+  const char* flags = nullptr;
+  switch (mode) {
+    case OpenMode::kRead: flags = "rb"; break;
+    case OpenMode::kTruncate: flags = "w+b"; break;
+    case OpenMode::kReadWrite: flags = "r+b"; break;
+  }
+  std::FILE* fp = std::fopen(f.c_str(), flags);
+  if (!fp) throw IoError("cannot open " + f);
+  return std::make_unique<PosixFile>(fp, f);
+}
+
+bool PosixFileSystem::exists(const std::string& path) {
+  return std::filesystem::exists(full(path));
+}
+
+void PosixFileSystem::remove(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(full(path), ec);
+}
+
+std::vector<std::string> PosixFileSystem::list(const std::string& prefix) {
+  // Paths are flat relative names under root_; walk root_ and filter.
+  std::vector<std::string> out;
+  const std::string base = root_.empty() ? "." : root_;
+  std::error_code ec;
+  for (auto it = std::filesystem::recursive_directory_iterator(base, ec);
+       !ec && it != std::filesystem::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    std::string rel = it->path().string();
+    if (!root_.empty() && rel.rfind(root_, 0) == 0) rel = rel.substr(root_.size());
+    if (rel.rfind(prefix, 0) == 0) out.push_back(rel);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MemFileSystem
+// ---------------------------------------------------------------------------
+
+struct MemFileSystem::Store {
+  struct FileData {
+    std::mutex mutex;
+    std::vector<unsigned char> bytes;
+  };
+  std::mutex mutex;  // guards the directory map
+  std::map<std::string, std::shared_ptr<FileData>> files;
+};
+
+namespace {
+
+class MemFile final : public File {
+ public:
+  MemFile(std::shared_ptr<MemFileSystem::Store::FileData> d, std::string path)
+      : data_(std::move(d)), path_(std::move(path)) {}
+
+  void write(const void* src, size_t n) override {
+    if (n == 0) return;
+    std::lock_guard<std::mutex> lock(data_->mutex);
+    if (pos_ + n > data_->bytes.size()) data_->bytes.resize(pos_ + n);
+    std::memcpy(data_->bytes.data() + pos_, src, n);
+    pos_ += n;
+  }
+
+  void read(void* out, size_t n) override {
+    if (n == 0) return;
+    std::lock_guard<std::mutex> lock(data_->mutex);
+    if (pos_ + n > data_->bytes.size())
+      throw IoError("short read from mem:" + path_);
+    std::memcpy(out, data_->bytes.data() + pos_, n);
+    pos_ += n;
+  }
+
+  void seek(uint64_t pos) override { pos_ = pos; }
+  uint64_t tell() const override { return pos_; }
+
+  uint64_t size() const override {
+    std::lock_guard<std::mutex> lock(data_->mutex);
+    return data_->bytes.size();
+  }
+
+  void flush() override {}
+
+ private:
+  std::shared_ptr<MemFileSystem::Store::FileData> data_;
+  std::string path_;
+  uint64_t pos_ = 0;
+};
+
+}  // namespace
+
+MemFileSystem::MemFileSystem() : store_(std::make_shared<Store>()) {}
+
+std::unique_ptr<File> MemFileSystem::open(const std::string& path,
+                                          OpenMode mode) {
+  std::shared_ptr<Store::FileData> data;
+  {
+    std::lock_guard<std::mutex> lock(store_->mutex);
+    auto it = store_->files.find(path);
+    switch (mode) {
+      case OpenMode::kRead:
+      case OpenMode::kReadWrite:
+        if (it == store_->files.end())
+          throw IoError("no such file: mem:" + path);
+        data = it->second;
+        break;
+      case OpenMode::kTruncate:
+        if (it == store_->files.end()) {
+          data = std::make_shared<Store::FileData>();
+          store_->files.emplace(path, data);
+        } else {
+          data = it->second;
+          std::lock_guard<std::mutex> flock(data->mutex);
+          data->bytes.clear();
+        }
+        break;
+    }
+  }
+  return std::make_unique<MemFile>(std::move(data), path);
+}
+
+bool MemFileSystem::exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(store_->mutex);
+  return store_->files.count(path) > 0;
+}
+
+void MemFileSystem::remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(store_->mutex);
+  store_->files.erase(path);
+}
+
+std::vector<std::string> MemFileSystem::list(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(store_->mutex);
+  std::vector<std::string> out;
+  for (auto& [name, _] : store_->files)
+    if (name.rfind(prefix, 0) == 0) out.push_back(name);
+  return out;
+}
+
+uint64_t MemFileSystem::total_bytes() const {
+  std::lock_guard<std::mutex> lock(store_->mutex);
+  uint64_t n = 0;
+  for (auto& [_, data] : store_->files) {
+    std::lock_guard<std::mutex> flock(data->mutex);
+    n += data->bytes.size();
+  }
+  return n;
+}
+
+size_t MemFileSystem::file_count() const {
+  std::lock_guard<std::mutex> lock(store_->mutex);
+  return store_->files.size();
+}
+
+}  // namespace roc::vfs

@@ -1,0 +1,50 @@
+#pragma once
+/// \file vtk_export.h
+/// \brief Rocketeer-lite: assembles a snapshot's data blocks into a legacy
+/// ASCII VTK unstructured grid for visualization.
+///
+/// The paper's downstream consumer is the Rocketeer visualization tool,
+/// which reads the HDF files "directly" (§3.1) — the file organisation
+/// (blocks as neighbouring datasets with coupled metadata) exists to serve
+/// it.  This module plays that role: it walks every file of a snapshot
+/// (written by any number of Rochdf processes or Rocpanda servers), merges
+/// all blocks of one window into a single point/cell soup, and emits
+/// `vtk DataFile Version 3.0` ASCII — loadable by ParaView/VisIt and
+/// simple enough to parse back in tests.
+///
+/// Structured blocks become hexahedron cells; unstructured blocks become
+/// tetrahedra.  Node-centred fields become POINT_DATA (scalars or
+/// 3-vectors), element-centred fields become CELL_DATA.
+
+#include <string>
+#include <vector>
+
+#include "vfs/vfs.h"
+
+namespace roc::viz {
+
+struct ExportStats {
+  size_t blocks = 0;
+  size_t points = 0;
+  size_t cells = 0;
+  size_t point_fields = 0;
+  size_t cell_fields = 0;
+};
+
+/// Exports `window` from the snapshot made of `snapshot_files` (every
+/// per-process or per-server SHDF file of one snapshot) into `out_path`
+/// on the same file system.  Throws FormatError/IoError on malformed
+/// input; returns what was written.
+ExportStats export_window_vtk(vfs::FileSystem& fs,
+                              const std::vector<std::string>& snapshot_files,
+                              const std::string& window,
+                              const std::string& out_path);
+
+/// Convenience: finds the snapshot's files by basename prefix (matches
+/// both Rochdf "_pNNNN" and Rocpanda "_sNNNN" naming) and exports.
+ExportStats export_snapshot_vtk(vfs::FileSystem& fs,
+                                const std::string& snapshot_base,
+                                const std::string& window,
+                                const std::string& out_path);
+
+}  // namespace roc::viz

@@ -1,0 +1,381 @@
+/// \file comm_test.cpp
+/// \brief Tests for the thread-backed message-passing runtime: p2p
+/// semantics, wildcards, probes, collectives and communicator splitting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "comm/comm.h"
+#include "comm/env.h"
+#include "comm/thread_comm.h"
+
+namespace roc::comm {
+namespace {
+
+std::vector<unsigned char> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+std::string string_of(const std::vector<unsigned char>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(World, RunsEveryRankExactlyOnce) {
+  std::atomic<int> count{0};
+  std::atomic<uint64_t> rank_mask{0};
+  World::run(8, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 8);
+    ++count;
+    rank_mask |= (1ULL << comm.rank());
+  });
+  EXPECT_EQ(count.load(), 8);
+  EXPECT_EQ(rank_mask.load(), 0xFFu);
+}
+
+TEST(World, PropagatesFirstException) {
+  EXPECT_THROW(World::run(4,
+                          [](Comm& comm) {
+                            if (comm.rank() == 2)
+                              throw IoError("boom from rank 2");
+                            // Other ranks return normally.
+                          }),
+               IoError);
+}
+
+TEST(ThreadComm, PingPong) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, bytes_of("ping"));
+      auto m = comm.recv(1, 8);
+      EXPECT_EQ(string_of(m.payload), "pong");
+      EXPECT_EQ(m.source, 1);
+      EXPECT_EQ(m.tag, 8);
+    } else {
+      auto m = comm.recv(0, 7);
+      EXPECT_EQ(string_of(m.payload), "ping");
+      comm.send(0, 8, bytes_of("pong"));
+    }
+  });
+}
+
+TEST(ThreadComm, NonOvertakingSameSourceAndTag) {
+  World::run(2, [](Comm& comm) {
+    constexpr int kN = 100;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kN; ++i)
+        comm.send(1, 3, &i, sizeof(i));
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        auto m = comm.recv(0, 3);
+        int v;
+        std::memcpy(&v, m.payload.data(), sizeof(v));
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(ThreadComm, TagSelectivity) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, bytes_of("one"));
+      comm.send(1, 2, bytes_of("two"));
+    } else {
+      // Receive out of send order by selecting tags.
+      auto m2 = comm.recv(0, 2);
+      auto m1 = comm.recv(0, 1);
+      EXPECT_EQ(string_of(m2.payload), "two");
+      EXPECT_EQ(string_of(m1.payload), "one");
+    }
+  });
+}
+
+TEST(ThreadComm, AnySourceAnyTag) {
+  World::run(4, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      int seen = 0;
+      for (int i = 0; i < 3; ++i) {
+        auto m = comm.recv(kAnySource, kAnyTag);
+        EXPECT_GE(m.source, 1);
+        EXPECT_LE(m.source, 3);
+        seen |= 1 << m.source;
+      }
+      EXPECT_EQ(seen, 0b1110);
+    } else {
+      comm.send(0, 10 + comm.rank(), bytes_of("hi"));
+    }
+  });
+}
+
+TEST(ThreadComm, ProbeDescribesWithoutConsuming) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 5, bytes_of("payload!"));
+    } else {
+      Status st = comm.probe(kAnySource, kAnyTag);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 5);
+      EXPECT_EQ(st.bytes, 8u);
+      // Still there:
+      Status st2;
+      EXPECT_TRUE(comm.iprobe(0, 5, &st2));
+      auto m = comm.recv(st.source, st.tag);
+      EXPECT_EQ(string_of(m.payload), "payload!");
+      EXPECT_FALSE(comm.iprobe(kAnySource, kAnyTag, &st2));
+    }
+  });
+}
+
+TEST(ThreadComm, IprobeReturnsFalseWhenEmpty) {
+  World::run(1, [](Comm& comm) {
+    Status st;
+    EXPECT_FALSE(comm.iprobe(kAnySource, kAnyTag, &st));
+  });
+}
+
+TEST(ThreadComm, EmptyMessageSignal) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.signal(1, 9);
+    } else {
+      auto m = comm.recv(0, 9);
+      EXPECT_TRUE(m.payload.empty());
+    }
+  });
+}
+
+TEST(ThreadComm, SendToInvalidRankThrows) {
+  World::run(1, [](Comm& comm) {
+    EXPECT_THROW(comm.send(5, 0, nullptr, 0), InvalidArgument);
+    EXPECT_THROW(comm.send(-1, 0, nullptr, 0), InvalidArgument);
+  });
+}
+
+TEST(Collectives, Barrier) {
+  // All ranks increment before the barrier; after it everyone sees the full
+  // count.
+  std::atomic<int> before{0};
+  World::run(6, [&](Comm& comm) {
+    ++before;
+    comm.barrier();
+    EXPECT_EQ(before.load(), 6);
+  });
+}
+
+TEST(Collectives, Bcast) {
+  World::run(5, [](Comm& comm) {
+    std::vector<unsigned char> data;
+    if (comm.rank() == 2) data = bytes_of("from two");
+    comm.bcast(data, 2);
+    EXPECT_EQ(string_of(data), "from two");
+  });
+}
+
+TEST(Collectives, GatherIndexedByRank) {
+  World::run(4, [](Comm& comm) {
+    auto mine = bytes_of(std::string(1, static_cast<char>('a' + comm.rank())));
+    auto all = comm.gather(mine, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int r = 0; r < 4; ++r)
+        EXPECT_EQ(string_of(all[static_cast<size_t>(r)]),
+                  std::string(1, static_cast<char>('a' + r)));
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Collectives, AllgatherVariableSizes) {
+  World::run(4, [](Comm& comm) {
+    // Rank r contributes r bytes (rank 0 contributes an empty payload).
+    std::vector<unsigned char> mine(static_cast<size_t>(comm.rank()),
+                                    static_cast<unsigned char>(comm.rank()));
+    auto all = comm.allgather(mine);
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_EQ(all[static_cast<size_t>(r)].size(), static_cast<size_t>(r));
+      for (auto b : all[static_cast<size_t>(r)])
+        EXPECT_EQ(b, static_cast<unsigned char>(r));
+    }
+  });
+}
+
+TEST(Collectives, TypedReductions) {
+  World::run(5, [](Comm& comm) {
+    const double r = comm.rank();
+    EXPECT_DOUBLE_EQ(allreduce_sum(comm, r), 0 + 1 + 2 + 3 + 4);
+    EXPECT_DOUBLE_EQ(allreduce_max(comm, r), 4);
+    EXPECT_DOUBLE_EQ(allreduce_min(comm, r), 0);
+    EXPECT_EQ(allreduce_sum(comm, comm.rank() * 10), 100);
+  });
+}
+
+TEST(Collectives, ScatterDistributesByRank) {
+  for (int n : {1, 2, 3, 5, 8}) {
+    World::run(n, [n](Comm& comm) {
+      std::vector<std::vector<unsigned char>> parts;
+      if (comm.rank() == n / 2) {  // non-zero root
+        for (int r = 0; r < n; ++r)
+          parts.push_back(bytes_of("to_" + std::to_string(r)));
+      }
+      const auto mine = comm.scatter(parts, n / 2);
+      EXPECT_EQ(string_of(mine), "to_" + std::to_string(comm.rank()));
+    });
+  }
+}
+
+TEST(Collectives, AlltoallPersonalizedExchange) {
+  World::run(4, [](Comm& comm) {
+    std::vector<std::vector<unsigned char>> parts;
+    for (int r = 0; r < 4; ++r)
+      parts.push_back(bytes_of(std::to_string(comm.rank()) + "->" +
+                               std::to_string(r)));
+    const auto got = comm.alltoall(parts);
+    ASSERT_EQ(got.size(), 4u);
+    for (int r = 0; r < 4; ++r)
+      EXPECT_EQ(string_of(got[static_cast<size_t>(r)]),
+                std::to_string(r) + "->" + std::to_string(comm.rank()));
+  });
+}
+
+TEST(Collectives, AlltoallVariableSizesAndRepeats) {
+  World::run(3, [](Comm& comm) {
+    for (int round = 0; round < 3; ++round) {
+      std::vector<std::vector<unsigned char>> parts;
+      for (int r = 0; r < 3; ++r)
+        parts.emplace_back(static_cast<size_t>(comm.rank() + r + round),
+                           static_cast<unsigned char>(round));
+      const auto got = comm.alltoall(parts);
+      for (int r = 0; r < 3; ++r) {
+        EXPECT_EQ(got[static_cast<size_t>(r)].size(),
+                  static_cast<size_t>(r + comm.rank() + round));
+        for (auto b : got[static_cast<size_t>(r)])
+          EXPECT_EQ(b, static_cast<unsigned char>(round));
+      }
+    }
+  });
+}
+
+TEST(Collectives, BcastAndGatherLargePayloadsAllRoots) {
+  // Binomial-tree paths exercised from every root with multi-KB payloads.
+  World::run(5, [](Comm& comm) {
+    for (int root = 0; root < 5; ++root) {
+      std::vector<unsigned char> data;
+      if (comm.rank() == root)
+        data.assign(10000, static_cast<unsigned char>(root));
+      comm.bcast(data, root);
+      ASSERT_EQ(data.size(), 10000u);
+      EXPECT_EQ(data[1234], static_cast<unsigned char>(root));
+
+      std::vector<unsigned char> mine(
+          static_cast<size_t>(100 + comm.rank()),
+          static_cast<unsigned char>(comm.rank()));
+      const auto all = comm.gather(mine, root);
+      if (comm.rank() == root) {
+        for (int r = 0; r < 5; ++r) {
+          ASSERT_EQ(all[static_cast<size_t>(r)].size(),
+                    static_cast<size_t>(100 + r));
+          EXPECT_EQ(all[static_cast<size_t>(r)][0],
+                    static_cast<unsigned char>(r));
+        }
+      }
+    }
+  });
+}
+
+TEST(Split, GroupsByColorOrderedByKey) {
+  World::run(6, [](Comm& comm) {
+    // Evens and odds; key reverses the order within each group.
+    const int color = comm.rank() % 2;
+    auto sub = comm.split(color, -comm.rank());
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(sub->size(), 3);
+    // Highest old rank gets new rank 0 (smallest key).
+    const int expected_new_rank = (5 - comm.rank()) / 2 - ((comm.rank() % 2) ? 0 : 0);
+    // For evens {0,2,4} with keys {0,-2,-4}: order 4,2,0.
+    // For odds  {1,3,5} with keys {-1,-3,-5}: order 5,3,1.
+    int pos = 0;
+    for (int r = 5; r >= 0; --r) {
+      if (r % 2 != comm.rank() % 2) continue;
+      if (r == comm.rank()) break;
+      ++pos;
+    }
+    EXPECT_EQ(sub->rank(), pos);
+    (void)expected_new_rank;
+
+    // The sub-communicator works for messaging.
+    const double sum = allreduce_sum(*sub, 1.0);
+    EXPECT_DOUBLE_EQ(sum, 3.0);
+  });
+}
+
+TEST(Split, NegativeColorYieldsNull) {
+  World::run(4, [](Comm& comm) {
+    auto sub = comm.split(comm.rank() == 0 ? -1 : 0, comm.rank());
+    if (comm.rank() == 0) {
+      EXPECT_EQ(sub, nullptr);
+    } else {
+      ASSERT_NE(sub, nullptr);
+      EXPECT_EQ(sub->size(), 3);
+      sub->barrier();
+    }
+  });
+}
+
+TEST(Split, ParentAndChildTrafficDoNotCross) {
+  World::run(4, [](Comm& comm) {
+    auto sub = comm.split(comm.rank() / 2, comm.rank());
+    // Same-tag messages on parent and child must not cross-match.
+    if (comm.rank() == 0) {
+      comm.send(1, 42, bytes_of("parent"));
+      sub->send(1, 42, bytes_of("child"));
+    } else if (comm.rank() == 1) {
+      auto c = sub->recv(0, 42);
+      auto p = comm.recv(0, 42);
+      EXPECT_EQ(string_of(c.payload), "child");
+      EXPECT_EQ(string_of(p.payload), "parent");
+    }
+    comm.barrier();
+  });
+}
+
+TEST(Split, SplitOfSplit) {
+  World::run(8, [](Comm& comm) {
+    auto half = comm.split(comm.rank() / 4, comm.rank());  // two groups of 4
+    ASSERT_NE(half, nullptr);
+    auto quarter = half->split(half->rank() / 2, half->rank());
+    ASSERT_NE(quarter, nullptr);
+    EXPECT_EQ(quarter->size(), 2);
+    EXPECT_DOUBLE_EQ(allreduce_sum(*quarter, 1.0), 2.0);
+  });
+}
+
+TEST(RealEnv, GatePredicateLoop) {
+  RealEnv env;
+  auto gate = env.make_gate();
+  bool flag = false;
+  auto worker = env.spawn_worker([&] {
+    GateLock lock(*gate);
+    flag = true;
+    gate->notify_all();
+  });
+  {
+    gate->lock();
+    while (!flag) gate->wait();
+    gate->unlock();
+  }
+  worker->join();
+  EXPECT_TRUE(flag);
+}
+
+TEST(RealEnv, NowAdvances) {
+  RealEnv env;
+  const double t0 = env.now();
+  env.compute(0.01);
+  EXPECT_GE(env.now() - t0, 0.009);
+}
+
+}  // namespace
+}  // namespace roc::comm

@@ -1,0 +1,429 @@
+/// \file genx_test.cpp
+/// \brief Integration tests for the mini-GENx simulation: the full
+/// multi-component time loop over the real I/O stacks, snapshot layout,
+/// adaptive refinement, and the restart-equivalence invariant
+/// (DESIGN.md §6.8) under both Rochdf and Rocpanda, across deployment
+/// shapes.
+
+#include <gtest/gtest.h>
+
+#include "comm/thread_comm.h"
+#include "genx/orchestrator.h"
+#include "roccom/blockio.h"
+#include "rochdf/rochdf.h"
+#include "rocpanda/client.h"
+#include "rocpanda/server.h"
+#include "shdf/reader.h"
+#include "vfs/vfs.h"
+
+namespace roc::genx {
+namespace {
+
+GenxConfig small_config(const std::string& name) {
+  GenxConfig cfg;
+  cfg.mesh_spec.fluid_blocks = 6;
+  cfg.mesh_spec.solid_blocks = 4;
+  cfg.mesh_spec.base_block_nodes = 5;
+  cfg.steps = 20;
+  cfg.snapshot_interval = 10;
+  cfg.run_name = name;
+  return cfg;
+}
+
+/// Runs `body(clients, env, io)` on `nclients` thread-backed processes
+/// with a Rochdf service.
+void with_rochdf(int nclients, vfs::FileSystem& fs, bool threaded,
+                 const std::function<void(comm::Comm&, comm::Env&,
+                                          roccom::IoService&)>& body) {
+  comm::World::run(nclients, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    rochdf::Options o;
+    o.threaded = threaded;
+    rochdf::Rochdf io(comm, env, fs, o);
+    body(comm, env, io);
+  });
+}
+
+/// Same with a full Rocpanda deployment (adds `nservers` processes).
+void with_rocpanda(int nclients, int nservers, vfs::FileSystem& fs,
+                   const std::function<void(comm::Comm&, comm::Env&,
+                                            roccom::IoService&)>& body) {
+  comm::World::run(nclients + nservers, [&](comm::Comm& world) {
+    comm::RealEnv env;
+    const rocpanda::Layout layout(world.size(), nservers);
+    auto local = world.split(layout.is_server(world.rank()) ? 1 : 0,
+                             world.rank());
+    if (layout.is_server(world.rank())) {
+      (void)rocpanda::run_server(world, *local, env, fs, layout,
+                                 rocpanda::ServerOptions{});
+    } else {
+      rocpanda::RocpandaClient client(world, env, layout);
+      body(*local, env, client);
+      client.shutdown();
+    }
+  });
+}
+
+TEST(Genx, FreshRunProducesAllSnapshots) {
+  vfs::MemFileSystem fs;
+  with_rochdf(2, fs, /*threaded=*/false,
+              [&](comm::Comm& clients, comm::Env& env,
+                  roccom::IoService& io) {
+                GenxRun run(clients, env, io, small_config("g1"));
+                run.init_fresh();
+                EXPECT_GT(run.local_block_count(), 0u);
+                run.run();
+                EXPECT_EQ(run.current_step(), 20);
+                EXPECT_EQ(run.stats().snapshots_written, 3);  // 0, 10, 20
+              });
+  // 3 snapshots x 2 processes.
+  EXPECT_EQ(fs.list("g1_snap_").size(), 6u);
+}
+
+TEST(Genx, SnapshotContainsAllThreeWindows) {
+  vfs::MemFileSystem fs;
+  with_rochdf(1, fs, false,
+              [&](comm::Comm& clients, comm::Env& env,
+                  roccom::IoService& io) {
+                GenxRun run(clients, env, io, small_config("g2"));
+                run.init_fresh();
+                run.run();
+              });
+  shdf::Reader r(fs, "g2_snap_000020_p0000.shdf");
+  EXPECT_FALSE(roccom::pane_ids_in_file(r, "fluid").empty());
+  EXPECT_FALSE(roccom::pane_ids_in_file(r, "solid").empty());
+  EXPECT_FALSE(roccom::pane_ids_in_file(r, "burn").empty());
+}
+
+TEST(Genx, PhysicsEvolvesState) {
+  vfs::MemFileSystem fs;
+  with_rochdf(1, fs, false,
+              [&](comm::Comm& clients, comm::Env& env,
+                  roccom::IoService& io) {
+                GenxConfig cfg = small_config("g3");
+                cfg.snapshot_interval = 0;
+                GenxRun run(clients, env, io, cfg);
+                run.init_fresh();
+                const uint64_t before = run.global_state_checksum();
+                run.run();
+                EXPECT_NE(run.global_state_checksum(), before);
+              });
+}
+
+TEST(Genx, StateChecksumIsPartitionIndependent) {
+  // The same simulation on 1, 2 and 3 clients must land on the SAME
+  // distributed state (bit-exact coupling reduction).
+  vfs::MemFileSystem fs;
+  std::vector<uint64_t> sums;
+  for (int nclients : {1, 2, 3}) {
+    uint64_t sum = 0;
+    with_rochdf(nclients, fs, false,
+                [&](comm::Comm& clients, comm::Env& env,
+                    roccom::IoService& io) {
+                  GenxConfig cfg = small_config("g4");
+                  cfg.snapshot_interval = 0;
+                  GenxRun run(clients, env, io, cfg);
+                  run.init_fresh();
+                  run.run();
+                  const uint64_t s = run.global_state_checksum();  // collective
+                  if (clients.rank() == 0) sum = s;
+                });
+    sums.push_back(sum);
+  }
+  EXPECT_EQ(sums[0], sums[1]);
+  EXPECT_EQ(sums[1], sums[2]);
+}
+
+class GenxRestartTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GenxRestartTest, RestartEquivalence) {
+  // (run 2k steps) == (run k, restart from snapshot k, run k) — the
+  // paper's checkpoint contract, exercised over each I/O stack.
+  const std::string mode = GetParam();
+  const int k = 10;
+
+  auto drive = [&](vfs::FileSystem& fs, const GenxConfig& cfg, bool restart,
+                   uint64_t* out) {
+    auto body = [&](comm::Comm& clients, comm::Env& env,
+                    roccom::IoService& io) {
+      GenxRun run(clients, env, io, cfg);
+      if (restart) {
+        run.init_restart(cfg.run_name + "_snap_000010");
+      } else {
+        run.init_fresh();
+      }
+      run.run();
+      const uint64_t s = run.global_state_checksum();  // collective
+      if (clients.rank() == 0) *out = s;
+    };
+    if (mode == std::string("rochdf")) {
+      with_rochdf(2, fs, false, body);
+    } else if (mode == std::string("t-rochdf")) {
+      with_rochdf(2, fs, true, body);
+    } else {
+      with_rocpanda(3, 1, fs, body);
+    }
+  };
+
+  // Reference: 2k steps in one go.
+  uint64_t reference = 0;
+  {
+    vfs::MemFileSystem fs;
+    GenxConfig cfg = small_config("ref");
+    cfg.steps = 2 * k;
+    cfg.snapshot_interval = k;
+    drive(fs, cfg, false, &reference);
+  }
+
+  // Interrupted: k steps, then restart and k more.
+  uint64_t resumed = 0;
+  {
+    vfs::MemFileSystem fs;
+    GenxConfig cfg = small_config("ref");
+    cfg.steps = k;
+    cfg.snapshot_interval = k;
+    drive(fs, cfg, false, &resumed);
+    GenxConfig cfg2 = small_config("ref");
+    cfg2.steps = k;
+    cfg2.snapshot_interval = k;
+    cfg2.write_initial_snapshot = false;  // step k snapshot already exists
+    drive(fs, cfg2, true, &resumed);
+  }
+  EXPECT_EQ(reference, resumed) << "restart diverged under " << mode;
+}
+
+INSTANTIATE_TEST_SUITE_P(IoModes, GenxRestartTest,
+                         ::testing::Values("rochdf", "t-rochdf", "rocpanda"));
+
+TEST(Genx, RestartWithDifferentClientCount) {
+  // Written by 3 clients through Rocpanda with 1 server; restarted by 2
+  // clients with 2 servers.
+  vfs::MemFileSystem fs;
+  uint64_t reference = 0;
+  with_rocpanda(3, 1, fs,
+                [&](comm::Comm& clients, comm::Env& env,
+                    roccom::IoService& io) {
+                  GenxConfig cfg = small_config("mix");
+                  cfg.steps = 10;
+                  cfg.snapshot_interval = 10;
+                  GenxRun run(clients, env, io, cfg);
+                  run.init_fresh();
+                  run.run();
+                  const uint64_t s = run.global_state_checksum();  // collective
+                  if (clients.rank() == 0) reference = s;
+                });
+  uint64_t restored = 0;
+  with_rocpanda(2, 2, fs,
+                [&](comm::Comm& clients, comm::Env& env,
+                    roccom::IoService& io) {
+                  GenxConfig cfg = small_config("mix");
+                  cfg.steps = 0;
+                  cfg.snapshot_interval = 0;
+                  GenxRun run(clients, env, io, cfg);
+                  run.init_restart("mix_snap_000010");
+                  const uint64_t s = run.global_state_checksum();  // collective
+                  if (clients.rank() == 0) restored = s;
+                });
+  EXPECT_EQ(reference, restored);
+}
+
+TEST(Genx, CrossModuleRestartBothDirections) {
+  // The services' checkpoints are interchangeable: a T-Rochdf snapshot
+  // restarts under Rocpanda and vice versa, landing on the same state as
+  // the uninterrupted reference run.
+  const int k = 8;
+  auto reference = [&] {
+    vfs::MemFileSystem fs;
+    uint64_t sum = 0;
+    with_rochdf(2, fs, false,
+                [&](comm::Comm& clients, comm::Env& env,
+                    roccom::IoService& io) {
+                  GenxConfig cfg = small_config("xm");
+                  cfg.steps = 2 * k;
+                  cfg.snapshot_interval = k;
+                  GenxRun run(clients, env, io, cfg);
+                  run.init_fresh();
+                  run.run();
+                  const uint64_t s = run.global_state_checksum();
+                  if (clients.rank() == 0) sum = s;
+                });
+    return sum;
+  }();
+
+  // T-Rochdf writes, Rocpanda restarts.
+  {
+    vfs::MemFileSystem fs;
+    with_rochdf(2, fs, true,
+                [&](comm::Comm& clients, comm::Env& env,
+                    roccom::IoService& io) {
+                  GenxConfig cfg = small_config("xm");
+                  cfg.steps = k;
+                  cfg.snapshot_interval = k;
+                  GenxRun run(clients, env, io, cfg);
+                  run.init_fresh();
+                  run.run();
+                });
+    uint64_t resumed = 0;
+    with_rocpanda(3, 1, fs,
+                  [&](comm::Comm& clients, comm::Env& env,
+                      roccom::IoService& io) {
+                    GenxConfig cfg = small_config("xm");
+                    cfg.steps = k;
+                    cfg.snapshot_interval = k;
+                    cfg.write_initial_snapshot = false;
+                    GenxRun run(clients, env, io, cfg);
+                    run.init_restart("xm_snap_000008");
+                    run.run();
+                    const uint64_t s = run.global_state_checksum();
+                    if (clients.rank() == 0) resumed = s;
+                  });
+    EXPECT_EQ(resumed, reference) << "T-Rochdf -> Rocpanda restart diverged";
+  }
+
+  // Rocpanda writes, Rochdf restarts.
+  {
+    vfs::MemFileSystem fs;
+    with_rocpanda(3, 1, fs,
+                  [&](comm::Comm& clients, comm::Env& env,
+                      roccom::IoService& io) {
+                    GenxConfig cfg = small_config("xm");
+                    cfg.steps = k;
+                    cfg.snapshot_interval = k;
+                    GenxRun run(clients, env, io, cfg);
+                    run.init_fresh();
+                    run.run();
+                  });
+    uint64_t resumed = 0;
+    with_rochdf(2, fs, false,
+                [&](comm::Comm& clients, comm::Env& env,
+                    roccom::IoService& io) {
+                  GenxConfig cfg = small_config("xm");
+                  cfg.steps = k;
+                  cfg.snapshot_interval = k;
+                  cfg.write_initial_snapshot = false;
+                  GenxRun run(clients, env, io, cfg);
+                  run.init_restart("xm_snap_000008");
+                  run.run();
+                  const uint64_t s = run.global_state_checksum();
+                  if (clients.rank() == 0) resumed = s;
+                });
+    EXPECT_EQ(resumed, reference) << "Rocpanda -> Rochdf restart diverged";
+  }
+}
+
+TEST(Genx, RestartFromMissingSnapshotFailsLoudly) {
+  vfs::MemFileSystem fs;
+  with_rochdf(1, fs, false,
+              [&](comm::Comm& clients, comm::Env& env,
+                  roccom::IoService& io) {
+                GenxConfig cfg = small_config("nosnap");
+                GenxRun run(clients, env, io, cfg);
+                EXPECT_THROW(run.init_restart("nosnap_snap_000010"),
+                             InvalidArgument);
+              });
+}
+
+TEST(Genx, AdaptiveRefinementGrowsBlockListAndKeepsSnapshotsReadable) {
+  vfs::MemFileSystem fs;
+  size_t blocks_before = 0, blocks_after = 0;
+  with_rochdf(2, fs, false,
+              [&](comm::Comm& clients, comm::Env& env,
+                  roccom::IoService& io) {
+                GenxConfig cfg = small_config("ref5");
+                cfg.refine_every = 5;
+                cfg.steps = 20;
+                cfg.snapshot_interval = 10;
+                GenxRun run(clients, env, io, cfg);
+                run.init_fresh();
+                const size_t before = run.local_block_count();
+                run.run();
+                if (clients.rank() == 0) {
+                  blocks_before = before;
+                  blocks_after = run.local_block_count();
+                }
+              });
+  EXPECT_GT(blocks_after, blocks_before)
+      << "refinement should have split blocks";
+  // The post-refinement snapshot is fully readable: every pane id in the
+  // last snapshot resolves to a reconstructible block.
+  for (const auto& path : fs.list("ref5_snap_000020_p")) {
+    shdf::Reader r(fs, path);
+    for (const char* win : {"fluid", "solid", "burn"})
+      for (int id : roccom::pane_ids_in_file(r, win))
+        EXPECT_NO_THROW((void)roccom::read_block(r, win, id));
+  }
+}
+
+TEST(Genx, RebalancePreservesStateAndImprovesBalance) {
+  // Dynamic load balancing (paper §4.1): migrating blocks between
+  // processors changes nothing physical and must not disturb I/O.
+  vfs::MemFileSystem fs;
+  with_rochdf(3, fs, false,
+              [&](comm::Comm& clients, comm::Env& env,
+                  roccom::IoService& io) {
+                GenxConfig cfg = small_config("rb");
+                cfg.refine_every = 4;  // splits create imbalance
+                cfg.steps = 12;
+                cfg.snapshot_interval = 0;
+                GenxRun run(clients, env, io, cfg);
+                run.init_fresh();
+                run.run();
+
+                const double before = run.load_imbalance();
+                const uint64_t state = run.global_state_checksum();
+                (void)run.rebalance();
+                EXPECT_EQ(run.global_state_checksum(), state)
+                    << "migration altered physical state";
+                EXPECT_LE(run.load_imbalance(), before + 1e-12);
+
+                // I/O still works on the migrated distribution with the
+                // SAME calls (the paper's flexibility claim).
+                io.write_attribute(run.com(),
+                                   roccom::IoRequest{"fluid", "all",
+                                                     "rb_after", 0.0});
+                io.sync();
+              });
+  EXPECT_EQ(fs.list("rb_after_p").size(), 3u);
+}
+
+TEST(Genx, PeriodicRebalanceKeepsRunCorrect) {
+  // Rebalancing mid-run must not break the time loop or snapshots.
+  vfs::MemFileSystem fs;
+  with_rochdf(2, fs, false,
+              [&](comm::Comm& clients, comm::Env& env,
+                  roccom::IoService& io) {
+                GenxConfig cfg = small_config("rb2");
+                cfg.refine_every = 3;
+                cfg.rebalance_every = 6;
+                cfg.steps = 18;
+                cfg.snapshot_interval = 9;
+                GenxRun run(clients, env, io, cfg);
+                run.init_fresh();
+                run.run();
+                EXPECT_EQ(run.current_step(), 18);
+              });
+  // The final snapshot is complete and readable.
+  size_t blocks = 0;
+  for (const auto& path : fs.list("rb2_snap_000018_p")) {
+    shdf::Reader r(fs, path);
+    for (const char* win : {"fluid", "solid", "burn"})
+      blocks += roccom::pane_ids_in_file(r, win).size();
+  }
+  EXPECT_GT(blocks, 10u);
+}
+
+TEST(Genx, VisibleOutputTimeTrackedPerService) {
+  vfs::MemFileSystem fs;
+  with_rochdf(1, fs, false,
+              [&](comm::Comm& clients, comm::Env& env,
+                  roccom::IoService& io) {
+                GenxRun run(clients, env, io, small_config("g6"));
+                run.init_fresh();
+                run.run();
+                EXPECT_GT(run.stats().visible_output_seconds, 0.0);
+                EXPECT_GT(run.stats().compute_seconds, 0.0);
+              });
+}
+
+}  // namespace
+}  // namespace roc::genx

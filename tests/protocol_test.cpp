@@ -1,0 +1,202 @@
+/// \file protocol_test.cpp
+/// \brief Collective-sequence tests for the Rocpanda protocol: mixed
+/// write/sync/read/list sequences, repeated syncs, interleaved windows,
+/// fast-vs-slow client skew, and hierarchy-mode interactions — the
+/// orderings that historically exposed the convoy/deadlock bugs fixed
+/// during development.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/thread_comm.h"
+#include "mesh/generators.h"
+#include "roccom/blockio.h"
+#include "rocpanda/client.h"
+#include "rocpanda/server.h"
+#include "shdf/reader.h"
+#include "vfs/vfs.h"
+
+namespace roc::rocpanda {
+namespace {
+
+using roccom::IoRequest;
+using roccom::Roccom;
+
+mesh::MeshBlock make_block(int id, int n = 4) {
+  auto b = mesh::MeshBlock::structured(id, {n, n, n});
+  mesh::add_fluid_schema(b);
+  auto& p = b.field("pressure");
+  std::iota(p.data.begin(), p.data.end(), static_cast<double>(id * 100));
+  return b;
+}
+
+void deploy(int nclients, int nservers, vfs::FileSystem& fs,
+            ClientOptions copts,
+            const std::function<void(comm::Comm&, RocpandaClient&,
+                                     Roccom&, mesh::MeshBlock&)>& body) {
+  comm::World::run(nclients + nservers, [&](comm::Comm& world) {
+    comm::RealEnv env;
+    const Layout layout(world.size(), nservers);
+    auto local = world.split(layout.is_server(world.rank()) ? 1 : 0,
+                             world.rank());
+    if (layout.is_server(world.rank())) {
+      (void)run_server(world, *local, env, fs, layout, ServerOptions{});
+      return;
+    }
+    RocpandaClient client(world, env, layout, copts);
+    Roccom com;
+    auto& w = com.create_window("w");
+    auto b = make_block(local->rank());
+    w.register_pane(b.id(), &b);
+    body(*local, client, com, b);
+    client.shutdown();
+  });
+}
+
+class ProtocolSequences : public ::testing::TestWithParam<bool> {
+ protected:
+  ClientOptions opts() const {
+    ClientOptions o;
+    o.client_buffering = GetParam();
+    return o;
+  }
+};
+
+TEST_P(ProtocolSequences, WriteSyncWriteReadListMixed) {
+  vfs::MemFileSystem fs;
+  deploy(3, 1, fs, opts(),
+         [&](comm::Comm& clients, RocpandaClient& panda, Roccom& com,
+             mesh::MeshBlock& b) {
+           panda.write_attribute(com, IoRequest{"w", "all", "s0", 0.0});
+           panda.sync();
+           b.field("pressure").data[0] = 42;
+           panda.write_attribute(com, IoRequest{"w", "all", "s1", 0.0});
+           const auto back = panda.fetch_blocks("s1", {clients.rank()});
+           EXPECT_EQ(back[0].field("pressure").data[0], 42);
+           EXPECT_EQ(panda.list_panes("s0"),
+                     (std::vector<int>{0, 1, 2}));
+           panda.write_attribute(com, IoRequest{"w", "all", "s2", 0.0});
+           panda.sync();
+         });
+  EXPECT_EQ(fs.list("s2_s").size(), 1u);
+}
+
+TEST_P(ProtocolSequences, RepeatedSyncsIncludingEmptyOnes) {
+  vfs::MemFileSystem fs;
+  deploy(2, 1, fs, opts(),
+         [&](comm::Comm&, RocpandaClient& panda, Roccom& com,
+             mesh::MeshBlock&) {
+           panda.sync();  // nothing outstanding
+           panda.sync();
+           panda.write_attribute(com, IoRequest{"w", "all", "r0", 0.0});
+           panda.sync();
+           panda.sync();
+           EXPECT_GE(panda.stats().sync_calls, 4u);
+         });
+}
+
+TEST_P(ProtocolSequences, SkewedClientsDoNotConvoy) {
+  // A fast client races through writes + sync while slow clients are
+  // still marshalling: the collective deferral must neither deadlock nor
+  // mis-order (this is the exact pattern behind the historical convoy).
+  vfs::MemFileSystem fs;
+  deploy(4, 1, fs, opts(),
+         [&](comm::Comm& clients, RocpandaClient& panda, Roccom& com,
+             mesh::MeshBlock& b) {
+           // Rank 0 writes tiny payloads (fast), others heavier (slow).
+           if (clients.rank() != 0) {
+             b.coords().assign(b.coords().size(), 1.0);
+           }
+           for (int s = 0; s < 3; ++s) {
+             panda.write_attribute(
+                 com, IoRequest{"w", "all", "k" + std::to_string(s), 0.0});
+           }
+           panda.sync();
+           const auto ids = panda.list_panes("k2");
+           EXPECT_EQ(ids, (std::vector<int>{0, 1, 2, 3}));
+         });
+}
+
+TEST_P(ProtocolSequences, AlternatingWindowsWithinSnapshot) {
+  vfs::MemFileSystem fs;
+  comm::World::run(3, [&](comm::Comm& world) {
+    comm::RealEnv env;
+    const Layout layout(3, 1);
+    auto local = world.split(layout.is_server(world.rank()) ? 1 : 0,
+                             world.rank());
+    if (layout.is_server(world.rank())) {
+      (void)run_server(world, *local, env, fs, layout, ServerOptions{});
+      return;
+    }
+    RocpandaClient client(world, env, layout, opts());
+    Roccom com;
+    auto& wa = com.create_window("a");
+    auto& wb = com.create_window("b");
+    auto b1 = make_block(local->rank());
+    auto b2 = make_block(10 + local->rank());
+    wa.register_pane(b1.id(), &b1);
+    wb.register_pane(b2.id(), &b2);
+    // Interleaved multi-window output phases across two snapshots: the
+    // per-(file, window) dataset groups must land intact.
+    for (int snap = 0; snap < 2; ++snap) {
+      const std::string base = "alt" + std::to_string(snap);
+      client.write_attribute(com, IoRequest{"a", "all", base, 0.0});
+      client.write_attribute(com, IoRequest{"b", "all", base, 0.0});
+    }
+    client.sync();
+    client.shutdown();
+  });
+  shdf::Reader r(fs, fs.list("alt0_s")[0]);
+  EXPECT_EQ(roccom::pane_ids_in_file(r, "a").size(), 2u);
+  EXPECT_EQ(roccom::pane_ids_in_file(r, "b").size(), 2u);
+}
+
+TEST_P(ProtocolSequences, ManySmallSnapshotsBackToBack) {
+  vfs::MemFileSystem fs;
+  deploy(2, 1, fs, opts(),
+         [&](comm::Comm& clients, RocpandaClient& panda, Roccom& com,
+             mesh::MeshBlock& b) {
+           for (int s = 0; s < 12; ++s) {
+             b.field("pressure").data[0] = s;
+             panda.write_attribute(
+                 com, IoRequest{"w", "all", "m" + std::to_string(s), 0.0});
+           }
+           panda.sync();
+           for (int s = 0; s < 12; ++s) {
+             const auto back = panda.fetch_blocks("m" + std::to_string(s),
+                                                  {clients.rank()});
+             EXPECT_EQ(back[0].field("pressure").data[0],
+                       static_cast<double>(s))
+                 << "snapshot " << s;
+           }
+         });
+}
+
+INSTANTIATE_TEST_SUITE_P(BufferModes, ProtocolSequences, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Hierarchy" : "ServerOnly";
+                         });
+
+TEST(Protocol, SelectiveFieldThenMeshThenFullAcrossSnapshots) {
+  vfs::MemFileSystem fs;
+  deploy(2, 1, fs, ClientOptions{},
+         [&](comm::Comm& clients, RocpandaClient& panda, Roccom& com,
+             mesh::MeshBlock&) {
+           panda.write_attribute(com, IoRequest{"w", "mesh", "sel0", 0.0});
+           panda.write_attribute(com,
+                                 IoRequest{"w", "pressure", "sel0", 0.0});
+           panda.write_attribute(com, IoRequest{"w", "all", "sel1", 0.0});
+           panda.sync();
+           (void)clients;
+         });
+  shdf::Reader r0(fs, "sel0_s0000.shdf");
+  EXPECT_TRUE(r0.has_dataset("w/block_000000/coords"));
+  EXPECT_TRUE(r0.has_dataset("w/block_000000/field:pressure"));
+  EXPECT_FALSE(r0.has_dataset("w/block_000000/field:velocity"));
+  shdf::Reader r1(fs, "sel1_s0000.shdf");
+  EXPECT_TRUE(r1.has_dataset("w/block_000001/field:velocity"));
+}
+
+}  // namespace
+}  // namespace roc::rocpanda

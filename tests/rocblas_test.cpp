@@ -1,0 +1,173 @@
+/// \file rocblas_test.cpp
+/// \brief Tests for Rocblas-lite: element-wise operators over window
+/// attributes, partition-independent global reductions, and the loadable
+/// module interface.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "comm/thread_comm.h"
+#include "mesh/generators.h"
+#include "rocblas/rocblas.h"
+
+namespace roc::rocblas {
+namespace {
+
+using roccom::Arg;
+using roccom::Roccom;
+
+/// Two fields ("x", "y") on every block so the binary ops have operands.
+mesh::MeshBlock make_xy_block(int id, int n) {
+  auto b = mesh::MeshBlock::structured(id, {n, n, n});
+  auto& x = b.add_field("x", mesh::Centering::kElement, 1);
+  b.add_field("y", mesh::Centering::kElement, 1);
+  std::iota(x.data.begin(), x.data.end(), static_cast<double>(id));
+  return b;
+}
+
+class RocblasFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& w = com_.create_window("v");
+    w.declare_field({"x", mesh::Centering::kElement, 1});
+    w.declare_field({"y", mesh::Centering::kElement, 1});
+    blocks_.push_back(make_xy_block(0, 3));
+    blocks_.push_back(make_xy_block(1, 4));  // irregular sizes
+    for (auto& b : blocks_) w.register_pane(b.id(), &b);
+  }
+  Roccom com_;
+  std::vector<mesh::MeshBlock> blocks_;
+};
+
+TEST_F(RocblasFixture, FillScaleCopy) {
+  fill(com_, "v", "y", 2.5);
+  for (const auto& b : blocks_)
+    for (double v : b.field("y").data) EXPECT_DOUBLE_EQ(v, 2.5);
+
+  scale(com_, "v", "y", 2.0);
+  for (const auto& b : blocks_)
+    for (double v : b.field("y").data) EXPECT_DOUBLE_EQ(v, 5.0);
+
+  copy(com_, "v", "x", "y");
+  for (const auto& b : blocks_)
+    EXPECT_EQ(b.field("y").data, b.field("x").data);
+}
+
+TEST_F(RocblasFixture, AxpyAndJump) {
+  fill(com_, "v", "y", 1.0);
+  axpy(com_, "v", 3.0, "x", "y");
+  for (const auto& b : blocks_)
+    for (size_t i = 0; i < b.field("y").data.size(); ++i)
+      EXPECT_DOUBLE_EQ(b.field("y").data[i],
+                       1.0 + 3.0 * b.field("x").data[i]);
+
+  jump(com_, "v", -1.0, "x", 10.0, "y");
+  for (const auto& b : blocks_)
+    for (size_t i = 0; i < b.field("y").data.size(); ++i)
+      EXPECT_DOUBLE_EQ(b.field("y").data[i],
+                       10.0 - b.field("x").data[i]);
+}
+
+TEST_F(RocblasFixture, MissingFieldThrows) {
+  EXPECT_THROW(fill(com_, "v", "nope", 0.0), InvalidArgument);
+  EXPECT_THROW(axpy(com_, "v", 1.0, "x", "nope"), InvalidArgument);
+}
+
+TEST(Rocblas, GlobalReductionsSingleProcess) {
+  comm::World::run(1, [](comm::Comm& comm) {
+    Roccom com;
+    auto& w = com.create_window("v");
+    w.declare_field({"x", mesh::Centering::kElement, 1});
+    w.declare_field({"y", mesh::Centering::kElement, 1});
+    auto b = make_xy_block(0, 3);  // x = 0..7 over 8 elements
+    w.register_pane(0, &b);
+
+    EXPECT_DOUBLE_EQ(global_sum(comm, com, "v", "x"), 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+    EXPECT_DOUBLE_EQ(global_min(comm, com, "v", "x"), 0);
+    EXPECT_DOUBLE_EQ(global_max(comm, com, "v", "x"), 7);
+    fill(com, "v", "y", 2.0);
+    EXPECT_DOUBLE_EQ(dot(comm, com, "v", "x", "y"), 2.0 * 28);
+    fill(com, "v", "x", 3.0);
+    EXPECT_DOUBLE_EQ(norm2(comm, com, "v", "x"),
+                     std::sqrt(9.0 * 8));
+  });
+}
+
+TEST(Rocblas, ReductionsArePartitionIndependent) {
+  // The same 6 blocks on 1, 2 and 3 processes give bit-identical results.
+  std::vector<double> dots, sums;
+  for (int nprocs : {1, 2, 3}) {
+    double d = 0, s = 0;
+    comm::World::run(nprocs, [&](comm::Comm& comm) {
+      Roccom com;
+      auto& w = com.create_window("v");
+      w.declare_field({"x", mesh::Centering::kElement, 1});
+      w.declare_field({"y", mesh::Centering::kElement, 1});
+      std::vector<mesh::MeshBlock> mine;
+      for (int id = 0; id < 6; ++id) {
+        if (id % nprocs != comm.rank()) continue;
+        auto b = make_xy_block(id, 3 + id % 3);
+        auto& y = b.field("y");
+        for (size_t i = 0; i < y.data.size(); ++i)
+          y.data[i] = 0.1 * static_cast<double>(i) - id;
+        mine.push_back(std::move(b));
+      }
+      for (auto& b : mine) w.register_pane(b.id(), &b);
+      const double dd = dot(comm, com, "v", "x", "y");
+      const double ss = global_sum(comm, com, "v", "y");
+      if (comm.rank() == 0) {
+        d = dd;
+        s = ss;
+      }
+    });
+    dots.push_back(d);
+    sums.push_back(s);
+  }
+  EXPECT_EQ(dots[0], dots[1]);
+  EXPECT_EQ(dots[1], dots[2]);
+  EXPECT_EQ(sums[0], sums[1]);
+  EXPECT_EQ(sums[1], sums[2]);
+}
+
+TEST(Rocblas, LoadableModuleInterface) {
+  comm::World::run(1, [](comm::Comm& comm) {
+    Roccom com;
+    auto& w = com.create_window("v");
+    w.declare_field({"x", mesh::Centering::kElement, 1});
+    w.declare_field({"y", mesh::Centering::kElement, 1});
+    auto b = make_xy_block(0, 3);
+    w.register_pane(0, &b);
+
+    RocblasModuleHandle blas(com, comm, "BLAS");
+    EXPECT_TRUE(com.has_window("BLAS"));
+
+    com.call_function("BLAS.fill",
+                      {Arg(std::string("v")), Arg(std::string("y")),
+                       Arg(2.0)});
+    EXPECT_DOUBLE_EQ(b.field("y").data[0], 2.0);
+
+    com.call_function("BLAS.axpy",
+                      {Arg(std::string("v")), Arg(0.5),
+                       Arg(std::string("x")), Arg(std::string("y"))});
+    EXPECT_DOUBLE_EQ(b.field("y").data[3], 2.0 + 0.5 * 3.0);
+
+    double out = 0;
+    com.call_function("BLAS.dot",
+                      {Arg(std::string("v")), Arg(std::string("x")),
+                       Arg(std::string("x")),
+                       Arg(static_cast<void*>(&out))});
+    EXPECT_DOUBLE_EQ(out, 0 + 1 + 4 + 9 + 16 + 25 + 36 + 49);
+
+    // Bad arity is a structured error.
+    EXPECT_THROW(com.call_function("BLAS.fill", {Arg(1.0)}),
+                 InvalidArgument);
+
+    blas.unload();
+    EXPECT_FALSE(com.has_window("BLAS"));
+  });
+}
+
+}  // namespace
+}  // namespace roc::rocblas

@@ -1,0 +1,322 @@
+/// \file roccom_test.cpp
+/// \brief Tests for the Roccom framework: windows, panes, schema
+/// validation, function registration/invocation, I/O module loading and
+/// the block <-> SHDF dataset layout contract.
+
+#include <gtest/gtest.h>
+
+#include "comm/env.h"
+#include "comm/thread_comm.h"
+#include "mesh/generators.h"
+#include "roccom/blockio.h"
+#include "roccom/io_service.h"
+#include "roccom/roccom.h"
+#include "rochdf/rochdf.h"
+#include "shdf/reader.h"
+#include "shdf/writer.h"
+#include "vfs/vfs.h"
+
+namespace roc::roccom {
+namespace {
+
+mesh::MeshBlock make_fluid_block(int id) {
+  auto b = mesh::MeshBlock::structured(id, {4, 4, 4});
+  mesh::add_fluid_schema(b);
+  for (size_t i = 0; i < b.coords().size(); ++i)
+    b.coords()[i] = 0.5 * static_cast<double>(i + id);
+  auto& p = b.field("pressure");
+  for (size_t i = 0; i < p.data.size(); ++i)
+    p.data[i] = static_cast<double>(id * 1000 + static_cast<int>(i));
+  return b;
+}
+
+TEST(Window, CreateDeleteAndLookup) {
+  Roccom com;
+  com.create_window("fluid");
+  EXPECT_TRUE(com.has_window("fluid"));
+  EXPECT_THROW(com.create_window("fluid"), RegistryError);
+  EXPECT_THROW(com.create_window("bad.name"), RegistryError);
+  EXPECT_THROW(com.create_window(""), RegistryError);
+  EXPECT_THROW((void)com.window("nope"), RegistryError);
+  com.delete_window("fluid");
+  EXPECT_FALSE(com.has_window("fluid"));
+  EXPECT_THROW(com.delete_window("fluid"), RegistryError);
+}
+
+TEST(Window, SchemaValidationOnPaneRegistration) {
+  Roccom com;
+  Window& w = com.create_window("fluid");
+  w.declare_field({"velocity", mesh::Centering::kNode, 3});
+  w.declare_field({"pressure", mesh::Centering::kElement, 1});
+  EXPECT_THROW(w.declare_field({"velocity", mesh::Centering::kNode, 3}),
+               RegistryError);
+
+  auto good = make_fluid_block(0);
+  w.register_pane(0, &good);
+
+  // Schema frozen once panes exist.
+  EXPECT_THROW(w.declare_field({"late", mesh::Centering::kNode, 1}),
+               RegistryError);
+
+  // Missing field.
+  auto bare = mesh::MeshBlock::structured(1, {3, 3, 3});
+  EXPECT_THROW(w.register_pane(1, &bare), RegistryError);
+
+  // Wrong component count.
+  auto wrong = mesh::MeshBlock::structured(2, {3, 3, 3});
+  wrong.add_field("velocity", mesh::Centering::kNode, 2);
+  wrong.add_field("pressure", mesh::Centering::kElement, 1);
+  EXPECT_THROW(w.register_pane(2, &wrong), RegistryError);
+
+  // Wrong centering.
+  auto wrong2 = mesh::MeshBlock::structured(3, {3, 3, 3});
+  wrong2.add_field("velocity", mesh::Centering::kElement, 3);
+  wrong2.add_field("pressure", mesh::Centering::kElement, 1);
+  EXPECT_THROW(w.register_pane(3, &wrong2), RegistryError);
+}
+
+TEST(Window, PanesVaryInSizeUnderOneSchema) {
+  // The paper: all panes share the schema but sizes differ per pane.
+  Roccom com;
+  Window& w = com.create_window("fluid");
+  w.declare_field({"pressure", mesh::Centering::kElement, 1});
+
+  auto small = mesh::MeshBlock::structured(1, {3, 3, 3});
+  small.add_field("pressure", mesh::Centering::kElement, 1);
+  auto large = mesh::MeshBlock::structured(2, {9, 9, 9});
+  large.add_field("pressure", mesh::Centering::kElement, 1);
+  w.register_pane(1, &small);
+  w.register_pane(2, &large);
+  EXPECT_EQ(w.pane_count(), 2u);
+  EXPECT_NE(w.pane(1).block->payload_bytes(),
+            w.pane(2).block->payload_bytes());
+}
+
+TEST(Window, PaneLifecycle) {
+  Roccom com;
+  Window& w = com.create_window("win");
+  auto b1 = make_fluid_block(1);
+  auto b2 = make_fluid_block(2);
+  w.register_pane(1, &b1);
+  w.register_pane(2, &b2);
+  EXPECT_THROW(w.register_pane(1, &b2), RegistryError);
+  EXPECT_THROW(w.register_pane(3, nullptr), RegistryError);
+
+  auto panes = w.panes();
+  ASSERT_EQ(panes.size(), 2u);
+  EXPECT_EQ(panes[0]->id, 1);  // pane-id order
+  EXPECT_EQ(panes[1]->id, 2);
+
+  w.remove_pane(1);
+  EXPECT_FALSE(w.has_pane(1));
+  EXPECT_THROW(w.remove_pane(1), RegistryError);
+  w.clear_panes();
+  EXPECT_EQ(w.pane_count(), 0u);
+}
+
+TEST(Functions, RegistrationAndQualifiedCall) {
+  Roccom com;
+  Window& w = com.create_window("solver");
+  int calls = 0;
+  double got = 0;
+  w.register_function("step", [&](std::span<const Arg> args) {
+    ++calls;
+    if (!args.empty()) got = std::get<double>(args[0]);
+  });
+  com.call_function("solver.step");
+  com.call_function("solver.step", {Arg(2.5)});
+  EXPECT_EQ(calls, 2);
+  EXPECT_DOUBLE_EQ(got, 2.5);
+
+  EXPECT_THROW(com.call_function("solver.missing"), RegistryError);
+  EXPECT_THROW(com.call_function("nope.step"), RegistryError);
+  EXPECT_THROW(com.call_function("malformed"), RegistryError);
+  EXPECT_THROW(com.call_function("solver."), RegistryError);
+  EXPECT_THROW(w.register_function("step", [](std::span<const Arg>) {}),
+               RegistryError);
+  EXPECT_THROW(w.register_function("empty", Function{}), RegistryError);
+}
+
+TEST(Functions, HeterogeneousArgPack) {
+  Roccom com;
+  Window& w = com.create_window("w");
+  w.register_function("f", [](std::span<const Arg> args) {
+    EXPECT_EQ(std::get<int64_t>(args[0]), 42);
+    EXPECT_DOUBLE_EQ(std::get<double>(args[1]), 1.5);
+    EXPECT_EQ(std::get<std::string>(args[2]), "str");
+  });
+  com.call_function("w.f", {Arg(int64_t{42}), Arg(1.5), Arg(std::string("str"))});
+}
+
+TEST(IoModule, LoadRegistersVerbsAndUnloadRemovesWindow) {
+  // Any service works; Rochdf is the simplest.
+  vfs::MemFileSystem fs;
+  comm::RealEnv env;
+  comm::World::run(1, [&](comm::Comm& comm) {
+    Roccom com;
+    Window& w = com.create_window("fluid");
+    w.declare_field({"pressure", mesh::Centering::kElement, 1});
+    auto b = make_fluid_block(0);
+    com.window("fluid").register_pane(0, &b);
+
+    {
+      IoModuleHandle handle(
+          com, "RIO",
+          std::make_unique<rochdf::Rochdf>(comm, env, fs, rochdf::Options{}));
+      EXPECT_TRUE(com.has_window("RIO"));
+      EXPECT_TRUE(com.window("RIO").has_function("write_attribute"));
+      EXPECT_TRUE(com.window("RIO").has_function("read_attribute"));
+      EXPECT_TRUE(com.window("RIO").has_function("sync"));
+
+      IoRequest req{"fluid", "all", "snap_000", 0.5};
+      com_write_attribute(com, "RIO", req);
+      com_sync(com, "RIO");
+      EXPECT_TRUE(fs.exists("snap_000_p0000.shdf"));
+
+      // Mutate and restore through the verbs.
+      const auto original = b.field("pressure").data;
+      b.field("pressure").data.assign(b.field("pressure").data.size(), -1.0);
+      com_read_attribute(com, "RIO", req);
+      EXPECT_EQ(b.field("pressure").data, original);
+    }
+    EXPECT_FALSE(com.has_window("RIO"));  // handle unloads on destruction
+  });
+}
+
+TEST(IoModule, SwitchingModulesKeepsApplicationCodeUnchanged) {
+  // The application only knows the window name "RIO"; loading a different
+  // module swaps the I/O strategy (paper §5).
+  vfs::MemFileSystem fs;
+  comm::RealEnv env;
+  comm::World::run(1, [&](comm::Comm& comm) {
+    Roccom com;
+    Window& w = com.create_window("fluid");
+    w.declare_field({"pressure", mesh::Centering::kElement, 1});
+    auto b = make_fluid_block(0);
+    w.register_pane(0, &b);
+
+    auto app_writes_snapshot = [&](const std::string& file) {
+      IoRequest req{"fluid", "all", file, 0.0};
+      com_write_attribute(com, "RIO", req);
+      com_sync(com, "RIO");
+    };
+
+    {
+      rochdf::Options plain;
+      IoModuleHandle h(com, "RIO", std::make_unique<rochdf::Rochdf>(
+                                        comm, env, fs, plain));
+      app_writes_snapshot("snap_a");
+    }
+    {
+      rochdf::Options threaded;
+      threaded.threaded = true;
+      IoModuleHandle h(com, "RIO", std::make_unique<rochdf::Rochdf>(
+                                        comm, env, fs, threaded));
+      app_writes_snapshot("snap_b");
+    }
+    EXPECT_TRUE(fs.exists("snap_a_p0000.shdf"));
+    EXPECT_TRUE(fs.exists("snap_b_p0000.shdf"));
+  });
+}
+
+// --- blockio layout contract -------------------------------------------------
+
+TEST(BlockIo, DatasetNamingConvention) {
+  EXPECT_EQ(block_prefix("fluid", 7), "fluid/block_000007/");
+  EXPECT_EQ(block_prefix("solid", 123456), "solid/block_123456/");
+}
+
+TEST(BlockIo, StructuredBlockRoundTrip) {
+  vfs::MemFileSystem fs;
+  auto b = make_fluid_block(3);
+  {
+    shdf::Writer w(fs, "f.shdf");
+    write_block(w, "fluid", b, "all", 1.25);
+  }
+  shdf::Reader r(fs, "f.shdf");
+  EXPECT_EQ(pane_ids_in_file(r, "fluid"), std::vector<int>{3});
+  EXPECT_DOUBLE_EQ(block_time(r, "fluid", 3), 1.25);
+
+  const auto c = read_block(r, "fluid", 3);
+  EXPECT_EQ(c.state_checksum(), b.state_checksum());
+}
+
+TEST(BlockIo, UnstructuredBlockRoundTrip) {
+  vfs::MemFileSystem fs;
+  mesh::LabScaleSpec spec;
+  spec.fluid_blocks = 1;
+  spec.solid_blocks = 1;
+  auto mesh_obj = mesh::make_lab_scale_rocket(spec);
+  const auto& b = mesh_obj.solid[0];
+  {
+    shdf::Writer w(fs, "s.shdf");
+    write_block(w, "solid", b, "all", 0.0);
+  }
+  shdf::Reader r(fs, "s.shdf");
+  const auto c = read_block(r, "solid", b.id());
+  EXPECT_EQ(c.kind(), mesh::MeshKind::kUnstructured);
+  EXPECT_EQ(c.connectivity(), b.connectivity());
+  EXPECT_EQ(c.state_checksum(), b.state_checksum());
+}
+
+TEST(BlockIo, MeshOnlyAndSingleFieldSelectors) {
+  vfs::MemFileSystem fs;
+  auto b = make_fluid_block(1);
+  {
+    shdf::Writer w(fs, "sel.shdf");
+    write_block(w, "fluid", b, "mesh", 0.0);
+  }
+  {
+    shdf::Reader r(fs, "sel.shdf");
+    EXPECT_TRUE(r.has_dataset("fluid/block_000001/coords"));
+    EXPECT_FALSE(r.has_dataset("fluid/block_000001/field:pressure"));
+  }
+  {
+    shdf::Writer w = shdf::Writer::append(fs, "sel.shdf");
+    write_block(w, "fluid", b, "pressure", 0.0);
+  }
+  shdf::Reader r(fs, "sel.shdf");
+  EXPECT_TRUE(r.has_dataset("fluid/block_000001/field:pressure"));
+  EXPECT_FALSE(r.has_dataset("fluid/block_000001/field:velocity"));
+
+  // read_into_block with a single-field selector only touches that field.
+  auto c = make_fluid_block(1);
+  c.field("pressure").data.assign(c.field("pressure").data.size(), 0.0);
+  c.field("temperature").data.assign(c.field("temperature").data.size(), 7.0);
+  read_into_block(r, "fluid", "pressure", c);
+  EXPECT_EQ(c.field("pressure").data, b.field("pressure").data);
+  EXPECT_EQ(c.field("temperature").data[0], 7.0);
+}
+
+TEST(BlockIo, MultipleBlocksAndWindowsInOneFile) {
+  vfs::MemFileSystem fs;
+  auto b1 = make_fluid_block(1);
+  auto b2 = make_fluid_block(2);
+  auto b9 = make_fluid_block(9);
+  {
+    shdf::Writer w(fs, "multi.shdf");
+    write_block(w, "fluid", b2, "all", 0.0);
+    write_block(w, "fluid", b1, "all", 0.0);
+    write_block(w, "other", b9, "all", 0.0);
+  }
+  shdf::Reader r(fs, "multi.shdf");
+  EXPECT_EQ(pane_ids_in_file(r, "fluid"), (std::vector<int>{1, 2}));
+  EXPECT_EQ(pane_ids_in_file(r, "other"), (std::vector<int>{9}));
+  EXPECT_EQ(pane_ids_in_file(r, "ghost"), std::vector<int>{});
+}
+
+TEST(BlockIo, ReadIntoBlockValidatesSizes) {
+  vfs::MemFileSystem fs;
+  auto b = make_fluid_block(1);
+  {
+    shdf::Writer w(fs, "v.shdf");
+    write_block(w, "fluid", b, "all", 0.0);
+  }
+  shdf::Reader r(fs, "v.shdf");
+  auto wrong = mesh::MeshBlock::structured(1, {5, 5, 5});
+  mesh::add_fluid_schema(wrong);
+  EXPECT_THROW(read_into_block(r, "fluid", "all", wrong), FormatError);
+}
+
+}  // namespace
+}  // namespace roc::roccom

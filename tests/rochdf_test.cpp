@@ -1,0 +1,339 @@
+/// \file rochdf_test.cpp
+/// \brief Tests for Rochdf (individual I/O) and T-Rochdf (background I/O
+/// thread): per-process files, buffer-reuse safety, snapshot back-pressure,
+/// sync semantics, restart via fetch_blocks/list_panes.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/thread_comm.h"
+#include "mesh/generators.h"
+#include "rochdf/rochdf.h"
+#include "shdf/reader.h"
+#include "vfs/vfs.h"
+
+namespace roc::rochdf {
+namespace {
+
+using roccom::IoRequest;
+using roccom::Roccom;
+
+mesh::MeshBlock make_block(int id, int n = 4) {
+  auto b = mesh::MeshBlock::structured(id, {n, n, n});
+  mesh::add_fluid_schema(b);
+  auto& p = b.field("pressure");
+  std::iota(p.data.begin(), p.data.end(), static_cast<double>(id * 10000));
+  for (size_t i = 0; i < b.coords().size(); ++i)
+    b.coords()[i] = static_cast<double>(id) + 0.001 * static_cast<double>(i);
+  return b;
+}
+
+/// Fixture parameterized over {non-threaded, threaded}.
+class RochdfTest : public ::testing::TestWithParam<bool> {
+ protected:
+  Options opts() const {
+    Options o;
+    o.threaded = GetParam();
+    return o;
+  }
+};
+
+TEST_P(RochdfTest, FileNaming) {
+  EXPECT_EQ(Rochdf::proc_file("", "snap_1", 3), "snap_1_p0003.shdf");
+  EXPECT_EQ(Rochdf::proc_file("out/", "snap_1", 12), "out/snap_1_p0012.shdf");
+}
+
+TEST_P(RochdfTest, OneFilePerProcessPerSnapshot) {
+  vfs::MemFileSystem fs;
+  comm::World::run(4, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    Roccom com;
+    auto& w = com.create_window("fluid");
+    auto b = make_block(comm.rank());
+    w.register_pane(comm.rank(), &b);
+
+    Rochdf io(comm, env, fs, opts());
+    io.write_attribute(com, IoRequest{"fluid", "all", "snap_000", 0.0});
+    io.sync();
+    comm.barrier();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(fs.list("snap_000_p").size(), 4u);
+    }
+  });
+}
+
+TEST_P(RochdfTest, WriteReadRoundTrip) {
+  vfs::MemFileSystem fs;
+  comm::World::run(2, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    Roccom com;
+    auto& w = com.create_window("fluid");
+    auto b1 = make_block(comm.rank() * 2);
+    auto b2 = make_block(comm.rank() * 2 + 1, 5);
+    w.register_pane(b1.id(), &b1);
+    w.register_pane(b2.id(), &b2);
+    const auto crc1 = b1.state_checksum();
+    const auto crc2 = b2.state_checksum();
+
+    Rochdf io(comm, env, fs, opts());
+    io.write_attribute(com, IoRequest{"fluid", "all", "rt", 1.0});
+    io.sync();
+
+    // Clobber, then restore.
+    b1.field("pressure").data.assign(b1.field("pressure").data.size(), -9.0);
+    b2.coords().assign(b2.coords().size(), -9.0);
+    io.read_attribute(com, IoRequest{"fluid", "all", "rt", 1.0});
+    EXPECT_EQ(b1.state_checksum(), crc1);
+    EXPECT_EQ(b2.state_checksum(), crc2);
+  });
+}
+
+TEST_P(RochdfTest, BufferReuseSafety) {
+  // The paper's transparency contract: mutate the block immediately after
+  // write_attribute returns; the file must hold the pre-mutation values.
+  vfs::MemFileSystem fs;
+  comm::World::run(1, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    Roccom com;
+    auto& w = com.create_window("fluid");
+    auto b = make_block(0);
+    w.register_pane(0, &b);
+    const auto saved = b.field("pressure").data;
+
+    Rochdf io(comm, env, fs, opts());
+    io.write_attribute(com, IoRequest{"fluid", "all", "reuse", 0.0});
+    // Mutate instantly -- the service must have copied or written already.
+    b.field("pressure").data.assign(b.field("pressure").data.size(), 1e9);
+    io.sync();
+
+    shdf::Reader r(fs, "reuse_p0000.shdf");
+    EXPECT_EQ(r.read<double>("fluid/block_000000/field:pressure"), saved);
+  });
+}
+
+TEST_P(RochdfTest, MultipleModulesAppendToOneSnapshotFile) {
+  // Back-to-back write requests from different windows within one snapshot
+  // end up in the same per-process file (the paper's multi-component
+  // output phase).
+  vfs::MemFileSystem fs;
+  comm::World::run(1, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    Roccom com;
+    auto& wf = com.create_window("fluid");
+    auto& ws = com.create_window("solid");
+    auto bf = make_block(0);
+    auto bs = make_block(1);
+    wf.register_pane(0, &bf);
+    ws.register_pane(1, &bs);
+
+    Rochdf io(comm, env, fs, opts());
+    io.write_attribute(com, IoRequest{"fluid", "all", "multi", 0.0});
+    io.write_attribute(com, IoRequest{"solid", "all", "multi", 0.0});
+    io.sync();
+
+    shdf::Reader r(fs, "multi_p0000.shdf");
+    EXPECT_EQ(roccom::pane_ids_in_file(r, "fluid"), std::vector<int>{0});
+    EXPECT_EQ(roccom::pane_ids_in_file(r, "solid"), std::vector<int>{1});
+    EXPECT_EQ(fs.file_count(), 1u);
+  });
+}
+
+TEST_P(RochdfTest, SelectiveAttributeWrite) {
+  vfs::MemFileSystem fs;
+  comm::World::run(1, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    Roccom com;
+    auto& w = com.create_window("fluid");
+    auto b = make_block(0);
+    w.register_pane(0, &b);
+
+    Rochdf io(comm, env, fs, opts());
+    io.write_attribute(com, IoRequest{"fluid", "pressure", "sel", 0.0});
+    io.sync();
+    shdf::Reader r(fs, "sel_p0000.shdf");
+    EXPECT_TRUE(r.has_dataset("fluid/block_000000/field:pressure"));
+    EXPECT_FALSE(r.has_dataset("fluid/block_000000/coords"));
+  });
+}
+
+TEST_P(RochdfTest, SuccessiveSnapshotsAllComplete) {
+  vfs::MemFileSystem fs;
+  comm::World::run(2, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    Roccom com;
+    auto& w = com.create_window("fluid");
+    auto b = make_block(comm.rank());
+    w.register_pane(comm.rank(), &b);
+
+    Rochdf io(comm, env, fs, opts());
+    for (int snap = 0; snap < 5; ++snap) {
+      // Each snapshot captures a different field value.
+      b.field("pressure").data.assign(b.field("pressure").data.size(),
+                                      static_cast<double>(snap));
+      io.write_attribute(
+          com, IoRequest{"fluid", "all", "s" + std::to_string(snap),
+                         static_cast<double>(snap)});
+    }
+    io.sync();
+    for (int snap = 0; snap < 5; ++snap) {
+      shdf::Reader r(fs, Rochdf::proc_file("", "s" + std::to_string(snap),
+                                           comm.rank()));
+      const auto p = r.read<double>(
+          roccom::block_prefix("fluid", comm.rank()) + "field:pressure");
+      EXPECT_EQ(p[0], static_cast<double>(snap))
+          << "snapshot " << snap << " holds wrong data";
+    }
+  });
+}
+
+TEST_P(RochdfTest, FetchBlocksAcrossDifferentProcessCount) {
+  // Written with 4 processes, fetched with 2 -- Rochdf scans all files.
+  vfs::MemFileSystem fs;
+  comm::World::run(4, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    Roccom com;
+    auto& w = com.create_window("fluid");
+    auto b = make_block(comm.rank());
+    w.register_pane(comm.rank(), &b);
+    Rochdf io(comm, env, fs, opts());
+    io.write_attribute(com, IoRequest{"fluid", "all", "fetch", 0.0});
+    io.sync();
+  });
+  comm::World::run(2, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    Rochdf io(comm, env, fs, opts());
+    EXPECT_EQ(io.list_panes("fetch"), (std::vector<int>{0, 1, 2, 3}));
+    // Each new process claims two blocks.
+    const std::vector<int> mine = comm.rank() == 0 ? std::vector<int>{0, 1}
+                                                   : std::vector<int>{2, 3};
+    const auto blocks = io.fetch_blocks("fetch", mine);
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[0].id(), mine[0]);
+    EXPECT_EQ(blocks[1].id(), mine[1]);
+    EXPECT_EQ(blocks[0].state_checksum(), make_block(mine[0]).state_checksum());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RochdfTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Threaded" : "Plain";
+                         });
+
+// --- T-Rochdf-specific semantics ---------------------------------------------
+
+TEST(TRochdf, VisibleCallDoesNotWriteSynchronously) {
+  // After write_attribute returns (without sync), the data may not be on
+  // "disk" yet -- but after sync it must be.
+  vfs::MemFileSystem fs;
+  comm::World::run(1, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    Roccom com;
+    auto& w = com.create_window("fluid");
+    auto b = make_block(0, 12);
+    w.register_pane(0, &b);
+
+    Options o;
+    o.threaded = true;
+    Rochdf io(comm, env, fs, o);
+    io.write_attribute(com, IoRequest{"fluid", "all", "bg", 0.0});
+    const auto st = io.stats();
+    EXPECT_EQ(st.write_calls, 1u);
+    EXPECT_GT(st.bytes_buffered, 0u);
+    io.sync();
+    EXPECT_TRUE(fs.exists("bg_p0000.shdf"));
+    EXPECT_EQ(io.stats().blocks_written, 1u);
+  });
+}
+
+TEST(TRochdf, AtMostOneSnapshotInFlight) {
+  // Queue many snapshots back-to-back; the per-snapshot back-pressure
+  // guarantees they are all written completely and in order.
+  vfs::MemFileSystem fs;
+  comm::World::run(1, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    Roccom com;
+    auto& w = com.create_window("fluid");
+    auto b = make_block(0, 10);
+    w.register_pane(0, &b);
+
+    Options o;
+    o.threaded = true;
+    Rochdf io(comm, env, fs, o);
+    for (int snap = 0; snap < 8; ++snap) {
+      b.field("pressure").data.assign(b.field("pressure").data.size(),
+                                      static_cast<double>(snap));
+      io.write_attribute(com,
+                         IoRequest{"fluid", "all", "q" + std::to_string(snap),
+                                   static_cast<double>(snap)});
+    }
+    io.sync();
+    for (int snap = 0; snap < 8; ++snap) {
+      shdf::Reader r(fs, "q" + std::to_string(snap) + "_p0000.shdf");
+      EXPECT_EQ(r.read<double>("fluid/block_000000/field:pressure")[0],
+                static_cast<double>(snap));
+    }
+  });
+}
+
+TEST(TRochdf, DestructorDrainsOutstandingWrites) {
+  vfs::MemFileSystem fs;
+  comm::World::run(1, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    Roccom com;
+    auto& w = com.create_window("fluid");
+    auto b = make_block(0);
+    w.register_pane(0, &b);
+    {
+      Options o;
+      o.threaded = true;
+      Rochdf io(comm, env, fs, o);
+      io.write_attribute(com, IoRequest{"fluid", "all", "drop", 0.0});
+      // no sync -- destructor must not lose the snapshot
+    }
+    shdf::Reader r(fs, "drop_p0000.shdf");
+    EXPECT_EQ(roccom::pane_ids_in_file(r, "fluid"), std::vector<int>{0});
+  });
+}
+
+TEST(TRochdf, SyncIsIdempotentAndReentrant) {
+  vfs::MemFileSystem fs;
+  comm::World::run(1, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    Roccom com;
+    auto& w = com.create_window("fluid");
+    auto b = make_block(0);
+    w.register_pane(0, &b);
+    Options o;
+    o.threaded = true;
+    Rochdf io(comm, env, fs, o);
+    io.sync();  // nothing outstanding
+    io.write_attribute(com, IoRequest{"fluid", "all", "x", 0.0});
+    io.sync();
+    io.sync();
+    EXPECT_TRUE(fs.exists("x_p0000.shdf"));
+  });
+}
+
+TEST(Rochdf, StatsAccumulate) {
+  vfs::MemFileSystem fs;
+  comm::World::run(1, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    Roccom com;
+    auto& w = com.create_window("fluid");
+    auto b1 = make_block(0);
+    auto b2 = make_block(1);
+    w.register_pane(0, &b1);
+    w.register_pane(1, &b2);
+    Rochdf io(comm, env, fs, Options{});
+    io.write_attribute(com, IoRequest{"fluid", "all", "s1", 0.0});
+    io.write_attribute(com, IoRequest{"fluid", "all", "s2", 0.0});
+    const auto st = io.stats();
+    EXPECT_EQ(st.write_calls, 2u);
+    EXPECT_EQ(st.blocks_written, 4u);
+    EXPECT_EQ(st.files_written, 2u);
+  });
+}
+
+}  // namespace
+}  // namespace roc::rochdf

@@ -1,0 +1,442 @@
+/// \file shdf_test.cpp
+/// \brief Tests for the SHDF scientific file format: round trips,
+/// attributes, directory engines, append mode, integrity and corruption
+/// detection.
+
+#include <gtest/gtest.h>
+
+#include "shdf/reader.h"
+#include "shdf/writer.h"
+#include "util/rng.h"
+#include "vfs/vfs.h"
+
+namespace roc::shdf {
+namespace {
+
+class ShdfTest : public ::testing::TestWithParam<DirectoryKind> {
+ protected:
+  vfs::MemFileSystem fs_;
+};
+
+TEST_P(ShdfTest, EmptyFileRoundTrip) {
+  {
+    Writer w(fs_, "empty.shdf", GetParam());
+    w.close();
+  }
+  Reader r(fs_, "empty.shdf");
+  EXPECT_EQ(r.dataset_count(), 0u);
+  EXPECT_EQ(r.directory_kind(), GetParam());
+  EXPECT_FALSE(r.has_dataset("anything"));
+}
+
+TEST_P(ShdfTest, TypedRoundTrip) {
+  const std::vector<double> d{1.5, -2.5, 3.25};
+  const std::vector<int32_t> i{10, -20, 30, 40};
+  const std::vector<float> f{0.5f, 1.5f};
+  const std::vector<uint8_t> b{1, 2, 255};
+  {
+    Writer w(fs_, "typed.shdf", GetParam());
+    w.add("doubles", d);
+    w.add("ints", i);
+    w.add("floats", f);
+    w.add("bytes", b);
+  }
+  Reader r(fs_, "typed.shdf");
+  EXPECT_EQ(r.dataset_count(), 4u);
+  EXPECT_EQ(r.read<double>("doubles"), d);
+  EXPECT_EQ(r.read<int32_t>("ints"), i);
+  EXPECT_EQ(r.read<float>("floats"), f);
+  EXPECT_EQ(r.read<uint8_t>("bytes"), b);
+}
+
+TEST_P(ShdfTest, TypeMismatchThrows) {
+  {
+    Writer w(fs_, "t.shdf", GetParam());
+    w.add("x", std::vector<double>{1.0});
+  }
+  Reader r(fs_, "t.shdf");
+  EXPECT_THROW((void)r.read<int32_t>("x"), FormatError);
+}
+
+TEST_P(ShdfTest, MultiDimensionalDims) {
+  std::vector<double> data(3 * 4 * 5);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<double>(i);
+  {
+    Writer w(fs_, "md.shdf", GetParam());
+    w.add("cube", data, {}, {3, 4, 5});
+  }
+  Reader r(fs_, "md.shdf");
+  EXPECT_EQ(r.info("cube").def.dims, (std::vector<uint64_t>{3, 4, 5}));
+  EXPECT_EQ(r.read<double>("cube"), data);
+}
+
+TEST_P(ShdfTest, DimsElementCountMismatchRejected) {
+  Writer w(fs_, "bad.shdf", GetParam());
+  EXPECT_THROW(w.add("x", std::vector<double>{1, 2, 3}, {}, {2, 2}),
+               InvalidArgument);
+}
+
+TEST_P(ShdfTest, AttributesOfAllKinds) {
+  {
+    Writer w(fs_, "attrs.shdf", GetParam());
+    w.add("data", std::vector<double>{1.0},
+          {Attribute{"count", int64_t{42}},
+           Attribute{"dt", 0.125},
+           Attribute{"label", std::string("pressure")},
+           Attribute{"dims", std::vector<int64_t>{4, 5, 6}},
+           Attribute{"weights", std::vector<double>{0.5, 0.25}}});
+  }
+  Reader r(fs_, "attrs.shdf");
+  EXPECT_EQ(std::get<int64_t>(*r.attribute("data", "count")), 42);
+  EXPECT_DOUBLE_EQ(std::get<double>(*r.attribute("data", "dt")), 0.125);
+  EXPECT_EQ(std::get<std::string>(*r.attribute("data", "label")), "pressure");
+  EXPECT_EQ(std::get<std::vector<int64_t>>(*r.attribute("data", "dims")),
+            (std::vector<int64_t>{4, 5, 6}));
+  EXPECT_EQ(std::get<std::vector<double>>(*r.attribute("data", "weights")),
+            (std::vector<double>{0.5, 0.25}));
+  EXPECT_FALSE(r.attribute("data", "absent").has_value());
+}
+
+TEST_P(ShdfTest, DuplicateNameRejected) {
+  Writer w(fs_, "dup.shdf", GetParam());
+  w.add("x", std::vector<double>{1.0});
+  EXPECT_THROW(w.add("x", std::vector<double>{2.0}), InvalidArgument);
+}
+
+TEST_P(ShdfTest, ManyDatasetsAllRecoverable) {
+  constexpr int kN = 200;
+  {
+    Writer w(fs_, "many.shdf", GetParam());
+    for (int i = 0; i < kN; ++i)
+      w.add("ds_" + std::to_string(i),
+            std::vector<int64_t>{i, i * 2, i * 3});
+  }
+  Reader r(fs_, "many.shdf");
+  EXPECT_EQ(r.dataset_count(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    const auto v = r.read<int64_t>("ds_" + std::to_string(i));
+    EXPECT_EQ(v, (std::vector<int64_t>{i, i * 2, i * 3}));
+  }
+}
+
+TEST_P(ShdfTest, PrefixQueriesFollowGroupConvention) {
+  {
+    Writer w(fs_, "groups.shdf", GetParam());
+    w.add("fluid/block_000001/coords", std::vector<double>{1});
+    w.add("fluid/block_000001/field:p", std::vector<double>{2});
+    w.add("fluid/block_000002/coords", std::vector<double>{3});
+    w.add("solid/block_000003/coords", std::vector<double>{4});
+  }
+  Reader r(fs_, "groups.shdf");
+  EXPECT_EQ(r.dataset_names_with_prefix("fluid/").size(), 3u);
+  EXPECT_EQ(r.dataset_names_with_prefix("fluid/block_000001/").size(), 2u);
+  EXPECT_EQ(r.dataset_names_with_prefix("solid/").size(), 1u);
+  EXPECT_EQ(r.dataset_names_with_prefix("gas/").size(), 0u);
+}
+
+TEST_P(ShdfTest, AppendPreservesExistingDatasets) {
+  {
+    Writer w(fs_, "app.shdf", GetParam());
+    w.add("first", std::vector<double>{1, 2});
+  }
+  {
+    Writer w = Writer::append(fs_, "app.shdf");
+    w.add("second", std::vector<double>{3, 4, 5});
+  }
+  {
+    Writer w = Writer::append(fs_, "app.shdf");
+    w.add("third", std::vector<int32_t>{6});
+  }
+  Reader r(fs_, "app.shdf");
+  EXPECT_EQ(r.dataset_count(), 3u);
+  EXPECT_EQ(r.read<double>("first"), (std::vector<double>{1, 2}));
+  EXPECT_EQ(r.read<double>("second"), (std::vector<double>{3, 4, 5}));
+  EXPECT_EQ(r.read<int32_t>("third"), (std::vector<int32_t>{6}));
+  EXPECT_EQ(r.directory_kind(), GetParam());  // kind survives append
+}
+
+TEST_P(ShdfTest, AppendRejectsDuplicateOfExisting) {
+  {
+    Writer w(fs_, "app2.shdf", GetParam());
+    w.add("x", std::vector<double>{1});
+  }
+  Writer w = Writer::append(fs_, "app2.shdf");
+  EXPECT_THROW(w.add("x", std::vector<double>{2}), InvalidArgument);
+}
+
+TEST_P(ShdfTest, ChecksumDetectsPayloadCorruption) {
+  {
+    Writer w(fs_, "corrupt.shdf", GetParam());
+    w.add("x", std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  }
+  // Flip one byte inside the payload.
+  {
+    Reader probe(fs_, "corrupt.shdf");
+    const auto off = probe.info("x").data_offset;
+    auto f = fs_.open("corrupt.shdf", vfs::OpenMode::kReadWrite);
+    f->seek(off + 5);
+    unsigned char b;
+    f->read(&b, 1);
+    b ^= 0xFF;
+    f->seek(off + 5);
+    f->write(&b, 1);
+  }
+  Reader r(fs_, "corrupt.shdf");
+  EXPECT_THROW((void)r.read_raw("x"), FormatError);
+}
+
+TEST_P(ShdfTest, ImplicitCloseOnDestruction) {
+  {
+    Writer w(fs_, "implicit.shdf", GetParam());
+    w.add("x", std::vector<double>{9.0});
+    // no close()
+  }
+  Reader r(fs_, "implicit.shdf");
+  EXPECT_EQ(r.read<double>("x"), (std::vector<double>{9.0}));
+}
+
+TEST_P(ShdfTest, ZeroElementDataset) {
+  {
+    Writer w(fs_, "zero.shdf", GetParam());
+    w.add("empty", std::vector<double>{});
+  }
+  Reader r(fs_, "zero.shdf");
+  EXPECT_TRUE(r.read<double>("empty").empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(DirectoryKinds, ShdfTest,
+                         ::testing::Values(DirectoryKind::kLinear,
+                                           DirectoryKind::kIndexed),
+                         [](const auto& info) {
+                           return info.param == DirectoryKind::kLinear
+                                      ? "Linear"
+                                      : "Indexed";
+                         });
+
+// --- codecs (SHDF's analogue of HDF I/O filters) -----------------------------
+
+TEST(Codec, ZeroRleRoundTripShapes) {
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<unsigned char> data(rng.next_below(5000));
+    // Mix of zero runs and random bytes.
+    size_t i = 0;
+    while (i < data.size()) {
+      const size_t run = 1 + rng.next_below(200);
+      const bool zeros = rng.next_below(2) == 0;
+      for (size_t k = 0; k < run && i < data.size(); ++k, ++i)
+        data[i] = zeros ? 0 : static_cast<unsigned char>(rng.next_u64());
+    }
+    const auto enc = encode(Codec::kZeroRle, data.data(), data.size());
+    const auto dec =
+        decode(Codec::kZeroRle, enc.data(), enc.size(), data.size());
+    EXPECT_EQ(dec, data);
+  }
+}
+
+TEST(Codec, ZeroHeavyDataCompressesWell) {
+  std::vector<unsigned char> data(100000, 0);
+  data[5] = 1;
+  data[99999] = 2;
+  const auto enc = encode(Codec::kZeroRle, data.data(), data.size());
+  EXPECT_LT(enc.size(), data.size() / 100);
+}
+
+TEST(Codec, IncompressibleDataGrowsOnlyMarginally) {
+  Rng rng(12);
+  std::vector<unsigned char> data(10000);
+  for (auto& b : data) b = static_cast<unsigned char>(1 + rng.next_below(255));
+  const auto enc = encode(Codec::kZeroRle, data.data(), data.size());
+  EXPECT_LT(enc.size(), data.size() + 16);
+}
+
+TEST(Codec, MalformedStreamsRejected) {
+  std::vector<unsigned char> data(64, 0);
+  auto enc = encode(Codec::kZeroRle, data.data(), data.size());
+  // Truncation.
+  EXPECT_THROW((void)decode(Codec::kZeroRle, enc.data(), enc.size() - 1, 64),
+               FormatError);
+  // Wrong expected size (both directions).
+  EXPECT_THROW((void)decode(Codec::kZeroRle, enc.data(), enc.size(), 63),
+               FormatError);
+  EXPECT_THROW((void)decode(Codec::kZeroRle, enc.data(), enc.size(), 65),
+               FormatError);
+  // Unknown token.
+  enc[0] = 0x7F;
+  EXPECT_THROW((void)decode(Codec::kZeroRle, enc.data(), enc.size(), 64),
+               FormatError);
+}
+
+TEST(Codec, CompressedDatasetRoundTripThroughFile) {
+  vfs::MemFileSystem fs;
+  std::vector<double> sparse(5000, 0.0);  // zero-heavy: compresses
+  sparse[7] = 3.25;
+  sparse[4999] = -1.5;
+  std::vector<double> dense(512);
+  Rng rng(13);
+  for (auto& v : dense) v = rng.next_double();
+  {
+    Writer w(fs, "codec.shdf");
+    DatasetDef def;
+    def.name = "sparse";
+    def.type = DataType::kFloat64;
+    def.codec = Codec::kZeroRle;
+    def.dims = {sparse.size()};
+    w.add_dataset(def, sparse.data());
+    w.add("dense", dense);  // default: uncompressed
+  }
+  Reader r(fs, "codec.shdf");
+  EXPECT_EQ(r.read<double>("sparse"), sparse);
+  EXPECT_EQ(r.read<double>("dense"), dense);
+  // The stored footprint of the sparse dataset is far below its logical
+  // size, and the metadata reports both.
+  EXPECT_EQ(r.info("sparse").data_bytes, sparse.size() * 8);
+  EXPECT_LT(r.info("sparse").stored_bytes, sparse.size());
+  EXPECT_EQ(r.info("dense").stored_bytes, r.info("dense").data_bytes);
+}
+
+TEST(Codec, ChecksumStillDetectsCorruptionUnderCompression) {
+  vfs::MemFileSystem fs;
+  std::vector<double> v(1000, 0.0);
+  v[500] = 42.0;
+  {
+    Writer w(fs, "c.shdf");
+    DatasetDef def;
+    def.name = "x";
+    def.type = DataType::kFloat64;
+    def.codec = Codec::kZeroRle;
+    def.dims = {v.size()};
+    w.add_dataset(def, v.data());
+  }
+  // Flip a byte inside the stored (compressed) payload.
+  {
+    Reader probe(fs, "c.shdf");
+    const auto off = probe.info("x").data_offset;
+    auto f = fs.open("c.shdf", vfs::OpenMode::kReadWrite);
+    unsigned char b;
+    f->seek(off + 7);
+    f->read(&b, 1);
+    b ^= 0x5A;
+    f->seek(off + 7);
+    f->write(&b, 1);
+  }
+  Reader r(fs, "c.shdf");
+  EXPECT_THROW((void)r.read_raw("x"), FormatError);
+}
+
+TEST(Codec, WorksWithAppendAndBothDirectoryKinds) {
+  for (auto kind : {DirectoryKind::kLinear, DirectoryKind::kIndexed}) {
+    vfs::MemFileSystem fs;
+    std::vector<double> zeros(2000, 0.0);
+    {
+      Writer w(fs, "a.shdf", kind);
+      DatasetDef def;
+      def.name = "z0";
+      def.codec = Codec::kZeroRle;
+      def.dims = {zeros.size()};
+      w.add_dataset(def, zeros.data());
+    }
+    {
+      Writer w = Writer::append(fs, "a.shdf");
+      DatasetDef def;
+      def.name = "z1";
+      def.codec = Codec::kZeroRle;
+      def.dims = {zeros.size()};
+      w.add_dataset(def, zeros.data());
+    }
+    Reader r(fs, "a.shdf");
+    EXPECT_EQ(r.read<double>("z0"), zeros);
+    EXPECT_EQ(r.read<double>("z1"), zeros);
+  }
+}
+
+TEST(Shdf, NotAnShdfFileRejected) {
+  vfs::MemFileSystem fs;
+  {
+    auto f = fs.open("junk.bin", vfs::OpenMode::kTruncate);
+    const std::string junk(1024, 'J');
+    f->write(junk.data(), junk.size());
+  }
+  EXPECT_THROW(Reader(fs, "junk.bin"), FormatError);
+}
+
+TEST(Shdf, TruncatedFileRejected) {
+  vfs::MemFileSystem fs;
+  {
+    Writer w(fs, "full.shdf");
+    w.add("x", std::vector<double>(100, 1.0));
+  }
+  // Copy only the first half of the bytes into a new file.
+  {
+    auto in = fs.open("full.shdf", vfs::OpenMode::kRead);
+    std::vector<unsigned char> half(in->size() / 2);
+    in->read(half.data(), half.size());
+    auto out = fs.open("half.shdf", vfs::OpenMode::kTruncate);
+    out->write(half.data(), half.size());
+  }
+  EXPECT_THROW(Reader(fs, "half.shdf"), Error);
+}
+
+TEST(Shdf, LinearModeKeepsDirectoryCurrentAfterEveryAppend) {
+  // A kLinear file is readable even if the writer never closes (HDF4-like
+  // on-disk bookkeeping): the directory written after the last add is
+  // complete.
+  vfs::MemFileSystem fs;
+  auto w = std::make_unique<Writer>(fs, "live.shdf", DirectoryKind::kLinear);
+  w->add("a", std::vector<double>{1});
+  w->add("b", std::vector<double>{2});
+  {
+    Reader r(fs, "live.shdf");
+    EXPECT_EQ(r.dataset_count(), 2u);
+    EXPECT_EQ(r.read<double>("b"), (std::vector<double>{2}));
+  }
+  w.reset();
+}
+
+TEST(Shdf, IndexedLookupIsNameOrderIndependent) {
+  vfs::MemFileSystem fs;
+  {
+    Writer w(fs, "ord.shdf", DirectoryKind::kIndexed);
+    w.add("zeta", std::vector<double>{1});
+    w.add("alpha", std::vector<double>{2});
+    w.add("mid", std::vector<double>{3});
+  }
+  Reader r(fs, "ord.shdf");
+  EXPECT_EQ(r.read<double>("zeta"), (std::vector<double>{1}));
+  EXPECT_EQ(r.read<double>("alpha"), (std::vector<double>{2}));
+  EXPECT_EQ(r.read<double>("mid"), (std::vector<double>{3}));
+  // Indexed directory lists names sorted.
+  const auto names = r.dataset_names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Shdf, LargeDatasetHeaderWithManyAttributes) {
+  // Exceeds the reader's 64 KiB header probe window to exercise the re-read
+  // path.
+  vfs::MemFileSystem fs;
+  {
+    Writer w(fs, "big_header.shdf");
+    std::vector<Attribute> attrs;
+    attrs.push_back(
+        Attribute{"huge", std::vector<double>(20000, 0.5)});  // 160 KB attr
+    w.add("x", std::vector<double>{1.0, 2.0}, std::move(attrs));
+  }
+  Reader r(fs, "big_header.shdf");
+  EXPECT_EQ(r.read<double>("x"), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(std::get<std::vector<double>>(*r.attribute("x", "huge")).size(),
+            20000u);
+}
+
+TEST(Shdf, WorksOnPosixFilesToo) {
+  vfs::PosixFileSystem fs("/tmp/rocpio_shdf_test");
+  {
+    Writer w(fs, "posix.shdf");
+    w.add("x", std::vector<double>{7.0});
+  }
+  Reader r(fs, "posix.shdf");
+  EXPECT_EQ(r.read<double>("x"), (std::vector<double>{7.0}));
+  fs.remove("posix.shdf");
+}
+
+}  // namespace
+}  // namespace roc::shdf

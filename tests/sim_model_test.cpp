@@ -1,0 +1,265 @@
+/// \file sim_model_test.cpp
+/// \brief Properties of the simulator's cost models: platform presets,
+/// OS-noise scaling with node count, byte_scale linearity, contention
+/// response, aux-worker CPU accounting, and failure injection (a crashed
+/// client is detected as a deadlock, never a hang).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "mesh/generators.h"
+#include "roccom/roccom.h"
+#include "rocpanda/client.h"
+#include "rocpanda/server.h"
+#include "rocpanda/wire.h"
+#include "sim/platform.h"
+#include "sim/sim_comm.h"
+#include "sim/sim_env.h"
+#include "sim/sim_fs.h"
+#include "sim/simulation.h"
+
+namespace roc::sim {
+namespace {
+
+TEST(Platforms, PresetsAreInternallyConsistent) {
+  for (const Platform& p : {turing_platform(), frost_platform()}) {
+    EXPECT_GE(p.node.cpus, 1) << p.name;
+    EXPECT_GT(p.net.intra_bandwidth, 0.0) << p.name;
+    EXPECT_GT(p.net.inter_bandwidth, 0.0) << p.name;
+    EXPECT_GE(p.fs.write_channels, 1) << p.name;
+    EXPECT_GE(p.fs.read_channels, 1) << p.name;
+    EXPECT_GT(p.fs.write_bandwidth, 0.0) << p.name;
+    EXPECT_GT(p.memcpy_bandwidth, 0.0) << p.name;
+  }
+  // The presets encode the paper's machines.
+  EXPECT_EQ(turing_platform().node.cpus, 2);
+  EXPECT_EQ(turing_platform().fs.write_channels, 1);   // one NFS server
+  EXPECT_GT(turing_platform().net.interference_per_proc, 0.0);
+  EXPECT_EQ(frost_platform().node.cpus, 16);
+  EXPECT_EQ(frost_platform().fs.write_channels, 2);    // two GPFS servers
+  EXPECT_GT(frost_platform().node.os_noise_fraction, 0.0);
+}
+
+/// Per-step-synchronized compute on `nodes` full nodes; returns the total
+/// time (the Fig 3(b) 16NS pattern).
+double noisy_compute_time(int nodes, int steps) {
+  Platform p = frost_platform();
+  Simulation sim(p);
+  const int nprocs = nodes * p.node.cpus;
+  auto world = std::make_shared<SimWorld>(sim, nprocs);
+  std::vector<double> t(static_cast<size_t>(nprocs), 0);
+  for (int r = 0; r < nprocs; ++r) {
+    sim.add_process([world, &t, steps](ProcContext& ctx) {
+      auto comm = world->attach();
+      for (int s = 0; s < steps; ++s) {
+        ctx.compute(1.0);
+        comm->barrier();
+      }
+      t[static_cast<size_t>(comm->rank())] = ctx.now();
+    });
+  }
+  sim.run();
+  return *std::max_element(t.begin(), t.end());
+}
+
+TEST(OsNoise, LossGrowsWithNodeCountUnderSynchronization) {
+  // E[max over nodes of the noise] grows with the node count -- the
+  // mechanism behind Fig 3(b)'s 16NS curve.
+  const double t1 = noisy_compute_time(1, 10);
+  const double t4 = noisy_compute_time(4, 10);
+  const double t16 = noisy_compute_time(16, 10);
+  EXPECT_GT(t1, 10.0);   // fully-busy node: some noise
+  EXPECT_LT(t1, t4);
+  EXPECT_LT(t4, t16);
+  EXPECT_LT(t16, 10.0 * 1.5);  // bounded, not runaway
+}
+
+TEST(ByteScale, CostsScaleLinearlyWithoutChangingProtocol) {
+  auto run_with_scale = [](double scale) {
+    Platform p;  // generic platform, no noise
+    p.byte_scale = scale;
+    p.net.inter_latency = 0;  // isolate the bandwidth term
+    p.net.intra_latency = 0;
+    Simulation sim(p);
+    auto world = std::make_shared<SimWorld>(sim, 2);
+    double elapsed = 0;
+    for (int r = 0; r < 2; ++r) {
+      sim.add_process([world, &elapsed](ProcContext& ctx) {
+        auto comm = world->attach();
+        std::vector<unsigned char> mb(1'000'000);
+        if (comm->rank() == 0) {
+          comm->send(1, 1, mb.data(), mb.size());
+        } else {
+          (void)comm->recv(0, 1);
+          elapsed = ctx.now();
+        }
+      });
+    }
+    sim.run();
+    return elapsed;
+  };
+  const double t1 = run_with_scale(1.0);
+  const double t4 = run_with_scale(4.0);
+  EXPECT_NEAR(t4 / t1, 4.0, 0.01);
+}
+
+TEST(Contention, MoreConcurrentWritersRaiseOpOverhead) {
+  // Measure one process's write time alone vs with 31 other open writers.
+  auto op_time = [](int other_writers) {
+    Platform p;
+    p.fs.contention_a = 2.9;
+    p.fs.contention_c0 = 32;
+    p.fs.contention_p = 4.4;
+    p.fs.write_op_overhead = 1e-3;
+    p.fs.write_bandwidth = 1e12;  // isolate the overhead term
+    p.fs.open_cost = 0;
+    p.fs.close_cost = 0;
+    p.fs.cpu_fraction = 0;
+    p.fs.write_channels = 64;  // no queueing, only the multiplier
+    Simulation sim(p);
+    auto fs = std::make_shared<SimFileSystem>(sim);
+    double dt = 0;
+    sim.add_process([fs, other_writers, &dt](ProcContext& ctx) {
+      std::vector<std::unique_ptr<vfs::File>> held;
+      for (int i = 0; i < other_writers; ++i)
+        held.push_back(fs->open("h" + std::to_string(i),
+                                vfs::OpenMode::kTruncate));
+      auto f = fs->open("mine", vfs::OpenMode::kTruncate);
+      const double t0 = ctx.now();
+      int x = 7;
+      f->write(&x, sizeof(x));
+      dt = ctx.now() - t0;
+    });
+    sim.run();
+    return dt;
+  };
+  const double alone = op_time(0);
+  const double crowded = op_time(31);  // at the c0=32 peak
+  EXPECT_GT(crowded, alone * 2);
+}
+
+TEST(AuxWorkers, DoNotOccupyACpuSlot) {
+  // A T-Rochdf-style worker on a full node must not push the node into
+  // the no-idle-CPU noise regime by itself.
+  Platform p;
+  p.node.cpus = 2;
+  p.node.os_noise_fraction = 0.5;  // huge, to make any regression obvious
+  Simulation sim(p);
+  double t0 = -1, t1 = -1;
+  // Two main processes fill the node; one spawns an idle-ish worker.
+  sim.add_process([&](ProcContext& ctx) {
+    SimEnv env(ctx.sim());
+    auto gate = env.make_gate();
+    bool stop = false;
+    auto worker = env.spawn_worker([&] {
+      comm::GateLock lock(*gate);
+      while (!stop) gate->wait();
+    });
+    ctx.compute(1.0);  // both CPUs busy -> noise applies regardless
+    t0 = ctx.now();
+    {
+      comm::GateLock lock(*gate);
+      stop = true;
+      gate->notify_all();
+    }
+    worker->join();
+  });
+  sim.add_process([&](ProcContext& ctx) {
+    ctx.compute(1.0);
+    t1 = ctx.now();
+  });
+  sim.run();
+  // Noise hit (no idle CPU among the MAIN processes), but the worker
+  // itself added no extra occupancy: both finish in the same regime.
+  EXPECT_GT(std::max(t0, t1), 1.0);
+  EXPECT_LT(std::max(t0, t1), 5.0);
+}
+
+TEST(FailureInjection, CrashedClientIsDetectedNotHung) {
+  // A client that dies mid-protocol (no shutdown, no blocks after the
+  // header) leaves the server waiting forever; the simulator detects the
+  // quiescent deadlock instead of hanging.
+  Platform p;
+  Simulation sim(p);
+  auto world = std::make_shared<SimWorld>(sim, 3);
+  auto fs = std::make_shared<SimFileSystem>(sim);
+  for (int r = 0; r < 3; ++r) {
+    sim.add_process([world, fs](ProcContext& ctx) {
+      auto comm = world->attach();
+      SimEnv env(ctx.sim());
+      const rocpanda::Layout layout(3, 1);
+      auto local = comm->split(layout.is_server(comm->rank()) ? 1 : 0,
+                               comm->rank());
+      if (layout.is_server(comm->rank())) {
+        (void)rocpanda::run_server(*comm, *local, env, *fs, layout,
+                                   rocpanda::ServerOptions{});
+        return;
+      }
+      if (comm->rank() == 1) {
+        // "Crash": announce two blocks, deliver none, vanish.
+        rocpanda::WriteHeader h{"crash", "w", "all", 0.0, 2};
+        comm->send(0, rocpanda::kTagWriteBegin, h.serialize());
+        return;
+      }
+      // The healthy client completes and shuts down.
+      roccom::Roccom com;
+      auto& w = com.create_window("w");
+      auto b = mesh::MeshBlock::structured(0, {3, 3, 3});
+      mesh::add_fluid_schema(b);
+      w.register_pane(0, &b);
+      rocpanda::RocpandaClient client(*comm, env, layout);
+      client.write_attribute(com, roccom::IoRequest{"w", "all", "crash", 0});
+      client.shutdown();
+    });
+  }
+  EXPECT_THROW(sim.run(), CommError);  // "simulation deadlock: ..."
+}
+
+TEST(Determinism, WholeRocpandaDeploymentIsBitStable) {
+  auto run_once = [] {
+    Platform p = turing_platform();
+    Simulation sim(p);
+    auto world = std::make_shared<SimWorld>(sim, 5);
+    auto fs = std::make_shared<SimFileSystem>(sim);
+    for (int r = 0; r < 5; ++r) {
+      sim.add_process([world, fs](ProcContext& ctx) {
+        auto comm = world->attach();
+        SimEnv env(ctx.sim());
+        const rocpanda::Layout layout(5, 1);
+        auto local = comm->split(layout.is_server(comm->rank()) ? 1 : 0,
+                                 comm->rank());
+        if (layout.is_server(comm->rank())) {
+          (void)rocpanda::run_server(*comm, *local, env, *fs, layout,
+                                     rocpanda::ServerOptions{});
+          return;
+        }
+        roccom::Roccom com;
+        auto& w = com.create_window("w");
+        auto b = mesh::MeshBlock::structured(local->rank(), {5, 5, 5});
+        mesh::add_fluid_schema(b);
+        w.register_pane(b.id(), &b);
+        rocpanda::RocpandaClient client(*comm, env, layout);
+        for (int s = 0; s < 3; ++s) {
+          ctx.compute(0.5);
+          client.write_attribute(
+              com, roccom::IoRequest{"w", "all", "d" + std::to_string(s),
+                                     0.0});
+        }
+        client.sync();
+        client.shutdown();
+      });
+    }
+    sim.run();
+    return sim.now();
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace roc::sim

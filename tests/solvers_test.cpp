@@ -1,0 +1,207 @@
+/// \file solvers_test.cpp
+/// \brief Unit tests for the mini-GENx physics modules: fluid, solid and
+/// burn updates, the APN burn law, coupling extraction/reduction, and the
+/// partition-independence contract of the reduction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "genx/solvers.h"
+#include "mesh/generators.h"
+
+namespace roc::genx {
+namespace {
+
+mesh::MeshBlock fluid_block() {
+  auto b = mesh::MeshBlock::structured(0, {4, 4, 4});
+  mesh::add_fluid_schema(b);
+  return b;
+}
+
+mesh::MeshBlock solid_block() {
+  auto b = mesh::MeshBlock::unstructured(1, 5, {0, 1, 2, 3, 1, 2, 3, 4});
+  mesh::add_solid_schema(b);
+  // Non-degenerate radii for the displacement update.
+  for (size_t n = 0; n < b.node_count(); ++n) {
+    b.coords()[3 * n] = 0.1 + 0.01 * static_cast<double>(n);
+    b.coords()[3 * n + 1] = 0.05;
+  }
+  return b;
+}
+
+mesh::MeshBlock burn_block() {
+  auto b = mesh::MeshBlock::structured(2, {2, 2, 4});
+  add_burn_schema(b);
+  return b;
+}
+
+TEST(FluidStep, PressureRelaxesTowardBurnDrivenTarget) {
+  auto b = fluid_block();
+  InterfaceState s;
+  s.burn_rate = 0.5;  // target pressure = 1 + 4*0.5 = 3
+  auto& p = b.field("pressure").data;
+  p.assign(p.size(), 1.0);
+  double prev_gap = std::abs(p[0] - 3.0);
+  for (int i = 0; i < 50; ++i) {
+    fluid_step(b, 0.01, s);
+    const double gap = std::abs(p[0] - 3.0);
+    EXPECT_LE(gap, prev_gap + 1e-12);
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 0.9);  // moved substantially toward the target
+}
+
+TEST(FluidStep, AxialVelocityGrowsUnderPressure) {
+  auto b = fluid_block();
+  InterfaceState s;
+  s.mean_pressure = 2.0;
+  const double vz0 = b.field("velocity").data[2];
+  fluid_step(b, 0.01, s);
+  EXPECT_GT(b.field("velocity").data[2], vz0);
+}
+
+TEST(FluidStep, EquilibriumIsSteady) {
+  // At pressure == 1, burn == 0 and zero velocity, nothing moves.
+  auto b = fluid_block();
+  b.field("pressure").data.assign(b.field("pressure").data.size(), 1.0);
+  b.field("temperature").data.assign(b.field("temperature").data.size(),
+                                     300.0);
+  InterfaceState s;  // mean_pressure = 1, burn = 0
+  const auto before = b.state_checksum();
+  fluid_step(b, 0.01, s);
+  EXPECT_EQ(b.state_checksum(), before);
+}
+
+TEST(SolidStep, DisplacementRespondsToPressureAndRelaxesBack) {
+  auto b = solid_block();
+  InterfaceState s;
+  s.mean_pressure = 3.0;
+  solid_step(b, 0.01, s);
+  double moved = 0;
+  for (double v : b.field("displacement").data) moved += std::abs(v);
+  EXPECT_GT(moved, 0.0);
+
+  // With the load removed, displacement decays toward zero.
+  s.mean_pressure = 1.0;
+  for (int i = 0; i < 200; ++i) solid_step(b, 0.05, s);
+  double residual = 0;
+  for (double v : b.field("displacement").data)
+    residual = std::max(residual, std::abs(v));
+  EXPECT_LT(residual, 1e-4);
+}
+
+TEST(SolidStep, SurfaceLoadAddsToTheResponse) {
+  auto a = solid_block();
+  auto b = solid_block();
+  b.field("surface_load").data.assign(b.field("surface_load").data.size(),
+                                      5.0);
+  InterfaceState s;
+  s.mean_pressure = 2.0;
+  solid_step(a, 0.01, s);
+  solid_step(b, 0.01, s);
+  double da = 0, db = 0;
+  for (double v : a.field("displacement").data) da += std::abs(v);
+  for (double v : b.field("displacement").data) db += std::abs(v);
+  EXPECT_GT(db, da);
+}
+
+TEST(BurnStep, ApnLawSteadyState) {
+  // r -> a * P^n  (a=0.04, n=0.7); iterate to steady state and check.
+  auto b = burn_block();
+  InterfaceState s;
+  s.mean_pressure = 4.0;
+  for (int i = 0; i < 2000; ++i) burn_step(b, 0.01, s);
+  const double expected = 0.04 * std::pow(4.0, 0.7);
+  for (double r : b.field("burn_rate").data)
+    EXPECT_NEAR(r, expected, 1e-6);
+}
+
+TEST(BurnStep, RateIncreasesWithPressure) {
+  auto lo = burn_block();
+  auto hi = burn_block();
+  InterfaceState s_lo, s_hi;
+  s_lo.mean_pressure = 1.0;
+  s_hi.mean_pressure = 9.0;
+  for (int i = 0; i < 500; ++i) {
+    burn_step(lo, 0.01, s_lo);
+    burn_step(hi, 0.01, s_hi);
+  }
+  EXPECT_GT(hi.field("burn_rate").data[0], lo.field("burn_rate").data[0]);
+}
+
+TEST(Coupling, ContributionExtractsTheRightFields) {
+  auto f = fluid_block();
+  f.field("pressure").data.assign(f.field("pressure").data.size(), 2.0);
+  const auto cf = coupling_contribution(f);
+  EXPECT_EQ(cf.block_id, 0);
+  EXPECT_DOUBLE_EQ(cf.pressure_sum, 2.0 * 27);
+  EXPECT_DOUBLE_EQ(cf.pressure_count, 27);
+  EXPECT_DOUBLE_EQ(cf.burn_count, 0);
+
+  auto bb = burn_block();
+  bb.field("burn_rate").data.assign(bb.field("burn_rate").data.size(), 0.25);
+  const auto cb = coupling_contribution(bb);
+  EXPECT_DOUBLE_EQ(cb.burn_sum, 0.25 * 3);
+  EXPECT_DOUBLE_EQ(cb.burn_count, 3);
+  EXPECT_DOUBLE_EQ(cb.pressure_count, 0);
+
+  auto sb = solid_block();  // neither pressure nor burn_rate
+  const auto cs = coupling_contribution(sb);
+  EXPECT_DOUBLE_EQ(cs.pressure_count, 0);
+  EXPECT_DOUBLE_EQ(cs.burn_count, 0);
+}
+
+TEST(Coupling, ReduceComputesGlobalMeans) {
+  std::vector<CouplingContribution> cs(2);
+  cs[0].block_id = 0;
+  cs[0].pressure_sum = 10;
+  cs[0].pressure_count = 5;
+  cs[1].block_id = 1;
+  cs[1].pressure_sum = 2;
+  cs[1].pressure_count = 1;
+  cs[1].burn_sum = 3;
+  cs[1].burn_count = 6;
+  const auto s = reduce_coupling(cs);
+  EXPECT_DOUBLE_EQ(s.mean_pressure, 12.0 / 6.0);
+  EXPECT_DOUBLE_EQ(s.burn_rate, 0.5);
+}
+
+TEST(Coupling, EmptyInputFallsBackToAmbient) {
+  const auto s = reduce_coupling({});
+  EXPECT_DOUBLE_EQ(s.mean_pressure, 1.0);
+  EXPECT_DOUBLE_EQ(s.burn_rate, 0.0);
+}
+
+TEST(Coupling, SortedReductionIsOrderOfInputIndependentOnlyWhenSorted) {
+  // The contract: callers sort by block id before reducing.  This test
+  // documents why -- floating-point addition is not associative, so the
+  // sorted order is the canonical one.
+  std::vector<CouplingContribution> cs(3);
+  cs[0] = {0, 0.1, 1, 0, 0};
+  cs[1] = {1, 1e16, 1, 0, 0};
+  cs[2] = {2, -1e16, 1, 0, 0};
+  const double sorted_mean = reduce_coupling(cs).mean_pressure;
+  std::rotate(cs.begin(), cs.begin() + 1, cs.end());  // 1e16, -1e16, 0.1
+  const double shuffled_mean = reduce_coupling(cs).mean_pressure;
+  // The two differ (non-associativity), which is exactly why the callers
+  // gather-and-sort by block id.
+  EXPECT_NE(sorted_mean, shuffled_mean);
+}
+
+TEST(Solvers, StepsAreDeterministic) {
+  auto a = fluid_block();
+  auto b = fluid_block();
+  InterfaceState s;
+  s.mean_pressure = 1.5;
+  s.burn_rate = 0.1;
+  for (int i = 0; i < 10; ++i) {
+    fluid_step(a, 0.01, s);
+    fluid_step(b, 0.01, s);
+  }
+  EXPECT_EQ(a.state_checksum(), b.state_checksum());
+}
+
+}  // namespace
+}  // namespace roc::genx

@@ -1,0 +1,168 @@
+/// \file util_test.cpp
+/// \brief Unit tests for serialization, CRC-64, RNG, logging and errors.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/crc64.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace roc {
+namespace {
+
+TEST(Serialize, RoundTripScalars) {
+  ByteWriter w;
+  w.put<int32_t>(-42);
+  w.put<uint64_t>(0xDEADBEEFCAFEBABEULL);
+  w.put<double>(3.14159);
+  w.put<float>(-2.5f);
+  w.put<uint8_t>(255);
+  w.put<int64_t>(std::numeric_limits<int64_t>::min());
+
+  ByteReader r(w.data(), w.size());
+  EXPECT_EQ(r.get<int32_t>(), -42);
+  EXPECT_EQ(r.get<uint64_t>(), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.14159);
+  EXPECT_FLOAT_EQ(r.get<float>(), -2.5f);
+  EXPECT_EQ(r.get<uint8_t>(), 255);
+  EXPECT_EQ(r.get<int64_t>(), std::numeric_limits<int64_t>::min());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, RoundTripStringsAndVectors) {
+  ByteWriter w;
+  w.put_string("hello world");
+  w.put_string("");
+  w.put_vector(std::vector<double>{1.0, 2.0, 3.0});
+  w.put_vector(std::vector<int32_t>{});
+
+  ByteReader r(w.data(), w.size());
+  EXPECT_EQ(r.get_string(), "hello world");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_vector<double>(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_TRUE(r.get_vector<int32_t>().empty());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, LittleEndianOnDisk) {
+  // The encoding contract: 0x01020304 must serialize as 04 03 02 01.
+  ByteWriter w;
+  w.put<uint32_t>(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[1], 0x03);
+  EXPECT_EQ(w.data()[2], 0x02);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Serialize, TruncationThrowsFormatError) {
+  ByteWriter w;
+  w.put<uint32_t>(7);
+  ByteReader r(w.data(), w.size());
+  (void)r.get<uint32_t>();
+  EXPECT_THROW((void)r.get<uint8_t>(), FormatError);
+}
+
+TEST(Serialize, TruncatedStringThrows) {
+  ByteWriter w;
+  w.put<uint32_t>(100);  // claims 100 bytes follow; none do
+  ByteReader r(w.data(), w.size());
+  EXPECT_THROW((void)r.get_string(), FormatError);
+}
+
+TEST(Serialize, HugeVectorCountRejectedBeforeAllocation) {
+  ByteWriter w;
+  w.put<uint64_t>(std::numeric_limits<uint64_t>::max());  // absurd count
+  ByteReader r(w.data(), w.size());
+  EXPECT_THROW((void)r.get_vector<double>(), FormatError);
+}
+
+TEST(Serialize, SkipAndRemaining) {
+  ByteWriter w;
+  w.put<uint64_t>(1);
+  w.put<uint64_t>(2);
+  ByteReader r(w.data(), w.size());
+  EXPECT_EQ(r.remaining(), 16u);
+  r.skip(8);
+  EXPECT_EQ(r.get<uint64_t>(), 2u);
+  EXPECT_THROW(r.skip(1), FormatError);
+}
+
+TEST(Crc64, KnownProperties) {
+  // Deterministic, order-sensitive, spread.
+  const char a[] = "hello";
+  const char b[] = "hellp";
+  EXPECT_EQ(crc64(a, 5), crc64(a, 5));
+  EXPECT_NE(crc64(a, 5), crc64(b, 5));
+  EXPECT_NE(crc64(a, 5), crc64(a, 4));
+  EXPECT_NE(crc64(a, 0), crc64(a, 1));
+}
+
+TEST(Crc64, StreamingMatchesOneShot) {
+  std::vector<unsigned char> data(1000);
+  for (size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<unsigned char>(i * 31);
+  Crc64 c;
+  c.update(data.data(), 400);
+  c.update(data.data() + 400, 600);
+  EXPECT_EQ(c.value(), crc64(data.data(), data.size()));
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(12345), b(12345), c(54321);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng a2(12345);
+  EXPECT_NE(a2.next_u64(), c.next_u64());
+}
+
+TEST(Rng, RangesRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const int64_t v = rng.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    EXPECT_LT(rng.next_below(10), 10u);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(99);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng a(1);
+  Rng b = a.fork();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Error, HierarchyAndMessages) {
+  try {
+    throw IoError("disk on fire");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("disk on fire"), std::string::npos);
+  }
+  EXPECT_THROW(require(false, "nope"), InvalidArgument);
+  EXPECT_NO_THROW(require(true, "fine"));
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  ROC_WARN << "suppressed (below kError)";
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace roc
