@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_probe.dir/bench_ablation_probe.cpp.o"
+  "CMakeFiles/bench_ablation_probe.dir/bench_ablation_probe.cpp.o.d"
+  "bench_ablation_probe"
+  "bench_ablation_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

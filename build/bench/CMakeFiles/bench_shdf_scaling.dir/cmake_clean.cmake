@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shdf_scaling.dir/bench_shdf_scaling.cpp.o"
+  "CMakeFiles/bench_shdf_scaling.dir/bench_shdf_scaling.cpp.o.d"
+  "bench_shdf_scaling"
+  "bench_shdf_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shdf_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_io.dir/adaptive_io.cpp.o"
+  "CMakeFiles/adaptive_io.dir/adaptive_io.cpp.o.d"
+  "adaptive_io"
+  "adaptive_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

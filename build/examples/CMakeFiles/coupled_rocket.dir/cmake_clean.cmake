@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled_rocket.dir/coupled_rocket.cpp.o"
+  "CMakeFiles/coupled_rocket.dir/coupled_rocket.cpp.o.d"
+  "coupled_rocket"
+  "coupled_rocket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled_rocket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocket_demo.dir/rocket_demo.cpp.o"
+  "CMakeFiles/rocket_demo.dir/rocket_demo.cpp.o.d"
+  "rocket_demo"
+  "rocket_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocket_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shdf_inspect.dir/shdf_inspect.cpp.o"
+  "CMakeFiles/shdf_inspect.dir/shdf_inspect.cpp.o.d"
+  "shdf_inspect"
+  "shdf_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shdf_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_to_vtk.dir/snapshot_to_vtk.cpp.o"
+  "CMakeFiles/snapshot_to_vtk.dir/snapshot_to_vtk.cpp.o.d"
+  "snapshot_to_vtk"
+  "snapshot_to_vtk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_to_vtk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

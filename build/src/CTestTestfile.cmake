@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("vfs")
+subdirs("comm")
+subdirs("shdf")
+subdirs("mesh")
+subdirs("sim")
+subdirs("roccom")
+subdirs("rocblas")
+subdirs("rochdf")
+subdirs("rocpanda")
+subdirs("genx")
+subdirs("viz")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_comm.dir/comm.cpp.o"
+  "CMakeFiles/roc_comm.dir/comm.cpp.o.d"
+  "CMakeFiles/roc_comm.dir/env.cpp.o"
+  "CMakeFiles/roc_comm.dir/env.cpp.o.d"
+  "CMakeFiles/roc_comm.dir/thread_comm.cpp.o"
+  "CMakeFiles/roc_comm.dir/thread_comm.cpp.o.d"
+  "libroc_comm.a"
+  "libroc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

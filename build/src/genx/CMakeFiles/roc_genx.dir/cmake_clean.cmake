@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_genx.dir/orchestrator.cpp.o"
+  "CMakeFiles/roc_genx.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/roc_genx.dir/rocface.cpp.o"
+  "CMakeFiles/roc_genx.dir/rocface.cpp.o.d"
+  "CMakeFiles/roc_genx.dir/solvers.cpp.o"
+  "CMakeFiles/roc_genx.dir/solvers.cpp.o.d"
+  "libroc_genx.a"
+  "libroc_genx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_genx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

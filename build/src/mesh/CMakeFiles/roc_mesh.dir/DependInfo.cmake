@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/generators.cpp" "src/mesh/CMakeFiles/roc_mesh.dir/generators.cpp.o" "gcc" "src/mesh/CMakeFiles/roc_mesh.dir/generators.cpp.o.d"
+  "/root/repo/src/mesh/mesh_block.cpp" "src/mesh/CMakeFiles/roc_mesh.dir/mesh_block.cpp.o" "gcc" "src/mesh/CMakeFiles/roc_mesh.dir/mesh_block.cpp.o.d"
+  "/root/repo/src/mesh/partition.cpp" "src/mesh/CMakeFiles/roc_mesh.dir/partition.cpp.o" "gcc" "src/mesh/CMakeFiles/roc_mesh.dir/partition.cpp.o.d"
+  "/root/repo/src/mesh/refine.cpp" "src/mesh/CMakeFiles/roc_mesh.dir/refine.cpp.o" "gcc" "src/mesh/CMakeFiles/roc_mesh.dir/refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/roc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_mesh.dir/generators.cpp.o"
+  "CMakeFiles/roc_mesh.dir/generators.cpp.o.d"
+  "CMakeFiles/roc_mesh.dir/mesh_block.cpp.o"
+  "CMakeFiles/roc_mesh.dir/mesh_block.cpp.o.d"
+  "CMakeFiles/roc_mesh.dir/partition.cpp.o"
+  "CMakeFiles/roc_mesh.dir/partition.cpp.o.d"
+  "CMakeFiles/roc_mesh.dir/refine.cpp.o"
+  "CMakeFiles/roc_mesh.dir/refine.cpp.o.d"
+  "libroc_mesh.a"
+  "libroc_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

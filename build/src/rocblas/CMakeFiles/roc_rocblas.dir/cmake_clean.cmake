@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_rocblas.dir/rocblas.cpp.o"
+  "CMakeFiles/roc_rocblas.dir/rocblas.cpp.o.d"
+  "libroc_rocblas.a"
+  "libroc_rocblas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_rocblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

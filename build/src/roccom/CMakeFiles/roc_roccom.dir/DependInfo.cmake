@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roccom/blockio.cpp" "src/roccom/CMakeFiles/roc_roccom.dir/blockio.cpp.o" "gcc" "src/roccom/CMakeFiles/roc_roccom.dir/blockio.cpp.o.d"
+  "/root/repo/src/roccom/io_service.cpp" "src/roccom/CMakeFiles/roc_roccom.dir/io_service.cpp.o" "gcc" "src/roccom/CMakeFiles/roc_roccom.dir/io_service.cpp.o.d"
+  "/root/repo/src/roccom/roccom.cpp" "src/roccom/CMakeFiles/roc_roccom.dir/roccom.cpp.o" "gcc" "src/roccom/CMakeFiles/roc_roccom.dir/roccom.cpp.o.d"
+  "/root/repo/src/roccom/roccom_c.cpp" "src/roccom/CMakeFiles/roc_roccom.dir/roccom_c.cpp.o" "gcc" "src/roccom/CMakeFiles/roc_roccom.dir/roccom_c.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/roc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/roc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/shdf/CMakeFiles/roc_shdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/roc_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_roccom.dir/blockio.cpp.o"
+  "CMakeFiles/roc_roccom.dir/blockio.cpp.o.d"
+  "CMakeFiles/roc_roccom.dir/io_service.cpp.o"
+  "CMakeFiles/roc_roccom.dir/io_service.cpp.o.d"
+  "CMakeFiles/roc_roccom.dir/roccom.cpp.o"
+  "CMakeFiles/roc_roccom.dir/roccom.cpp.o.d"
+  "CMakeFiles/roc_roccom.dir/roccom_c.cpp.o"
+  "CMakeFiles/roc_roccom.dir/roccom_c.cpp.o.d"
+  "libroc_roccom.a"
+  "libroc_roccom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_roccom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

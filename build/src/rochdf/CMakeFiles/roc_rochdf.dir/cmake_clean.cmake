@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_rochdf.dir/rochdf.cpp.o"
+  "CMakeFiles/roc_rochdf.dir/rochdf.cpp.o.d"
+  "libroc_rochdf.a"
+  "libroc_rochdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_rochdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

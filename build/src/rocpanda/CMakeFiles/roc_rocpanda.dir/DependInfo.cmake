@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rocpanda/client.cpp" "src/rocpanda/CMakeFiles/roc_rocpanda.dir/client.cpp.o" "gcc" "src/rocpanda/CMakeFiles/roc_rocpanda.dir/client.cpp.o.d"
+  "/root/repo/src/rocpanda/layout.cpp" "src/rocpanda/CMakeFiles/roc_rocpanda.dir/layout.cpp.o" "gcc" "src/rocpanda/CMakeFiles/roc_rocpanda.dir/layout.cpp.o.d"
+  "/root/repo/src/rocpanda/server.cpp" "src/rocpanda/CMakeFiles/roc_rocpanda.dir/server.cpp.o" "gcc" "src/rocpanda/CMakeFiles/roc_rocpanda.dir/server.cpp.o.d"
+  "/root/repo/src/rocpanda/wire.cpp" "src/rocpanda/CMakeFiles/roc_rocpanda.dir/wire.cpp.o" "gcc" "src/rocpanda/CMakeFiles/roc_rocpanda.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roccom/CMakeFiles/roc_roccom.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/roc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/roc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/roc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/shdf/CMakeFiles/roc_shdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/roc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

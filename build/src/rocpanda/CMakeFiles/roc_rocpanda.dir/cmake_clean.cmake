@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_rocpanda.dir/client.cpp.o"
+  "CMakeFiles/roc_rocpanda.dir/client.cpp.o.d"
+  "CMakeFiles/roc_rocpanda.dir/layout.cpp.o"
+  "CMakeFiles/roc_rocpanda.dir/layout.cpp.o.d"
+  "CMakeFiles/roc_rocpanda.dir/server.cpp.o"
+  "CMakeFiles/roc_rocpanda.dir/server.cpp.o.d"
+  "CMakeFiles/roc_rocpanda.dir/wire.cpp.o"
+  "CMakeFiles/roc_rocpanda.dir/wire.cpp.o.d"
+  "libroc_rocpanda.a"
+  "libroc_rocpanda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_rocpanda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shdf/codec.cpp" "src/shdf/CMakeFiles/roc_shdf.dir/codec.cpp.o" "gcc" "src/shdf/CMakeFiles/roc_shdf.dir/codec.cpp.o.d"
+  "/root/repo/src/shdf/format.cpp" "src/shdf/CMakeFiles/roc_shdf.dir/format.cpp.o" "gcc" "src/shdf/CMakeFiles/roc_shdf.dir/format.cpp.o.d"
+  "/root/repo/src/shdf/reader.cpp" "src/shdf/CMakeFiles/roc_shdf.dir/reader.cpp.o" "gcc" "src/shdf/CMakeFiles/roc_shdf.dir/reader.cpp.o.d"
+  "/root/repo/src/shdf/writer.cpp" "src/shdf/CMakeFiles/roc_shdf.dir/writer.cpp.o" "gcc" "src/shdf/CMakeFiles/roc_shdf.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/roc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/roc_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_shdf.dir/codec.cpp.o"
+  "CMakeFiles/roc_shdf.dir/codec.cpp.o.d"
+  "CMakeFiles/roc_shdf.dir/format.cpp.o"
+  "CMakeFiles/roc_shdf.dir/format.cpp.o.d"
+  "CMakeFiles/roc_shdf.dir/reader.cpp.o"
+  "CMakeFiles/roc_shdf.dir/reader.cpp.o.d"
+  "CMakeFiles/roc_shdf.dir/writer.cpp.o"
+  "CMakeFiles/roc_shdf.dir/writer.cpp.o.d"
+  "libroc_shdf.a"
+  "libroc_shdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_shdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/roc_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/roc_sim.dir/platform.cpp.o.d"
+  "/root/repo/src/sim/sim_comm.cpp" "src/sim/CMakeFiles/roc_sim.dir/sim_comm.cpp.o" "gcc" "src/sim/CMakeFiles/roc_sim.dir/sim_comm.cpp.o.d"
+  "/root/repo/src/sim/sim_env.cpp" "src/sim/CMakeFiles/roc_sim.dir/sim_env.cpp.o" "gcc" "src/sim/CMakeFiles/roc_sim.dir/sim_env.cpp.o.d"
+  "/root/repo/src/sim/sim_fs.cpp" "src/sim/CMakeFiles/roc_sim.dir/sim_fs.cpp.o" "gcc" "src/sim/CMakeFiles/roc_sim.dir/sim_fs.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/roc_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/roc_sim.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/roc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/roc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/roc_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

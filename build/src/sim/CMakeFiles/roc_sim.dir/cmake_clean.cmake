@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_sim.dir/platform.cpp.o"
+  "CMakeFiles/roc_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/roc_sim.dir/sim_comm.cpp.o"
+  "CMakeFiles/roc_sim.dir/sim_comm.cpp.o.d"
+  "CMakeFiles/roc_sim.dir/sim_env.cpp.o"
+  "CMakeFiles/roc_sim.dir/sim_env.cpp.o.d"
+  "CMakeFiles/roc_sim.dir/sim_fs.cpp.o"
+  "CMakeFiles/roc_sim.dir/sim_fs.cpp.o.d"
+  "CMakeFiles/roc_sim.dir/simulation.cpp.o"
+  "CMakeFiles/roc_sim.dir/simulation.cpp.o.d"
+  "libroc_sim.a"
+  "libroc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

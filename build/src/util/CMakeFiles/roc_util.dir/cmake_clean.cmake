@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_util.dir/crc64.cpp.o"
+  "CMakeFiles/roc_util.dir/crc64.cpp.o.d"
+  "CMakeFiles/roc_util.dir/log.cpp.o"
+  "CMakeFiles/roc_util.dir/log.cpp.o.d"
+  "CMakeFiles/roc_util.dir/rng.cpp.o"
+  "CMakeFiles/roc_util.dir/rng.cpp.o.d"
+  "libroc_util.a"
+  "libroc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

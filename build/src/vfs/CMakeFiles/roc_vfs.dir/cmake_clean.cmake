@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_vfs.dir/vfs.cpp.o"
+  "CMakeFiles/roc_vfs.dir/vfs.cpp.o.d"
+  "libroc_vfs.a"
+  "libroc_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roc_viz.dir/vtk_export.cpp.o"
+  "CMakeFiles/roc_viz.dir/vtk_export.cpp.o.d"
+  "libroc_viz.a"
+  "libroc_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roc_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genx_test.dir/genx_test.cpp.o"
+  "CMakeFiles/genx_test.dir/genx_test.cpp.o.d"
+  "genx_test"
+  "genx_test.pdb"
+  "genx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

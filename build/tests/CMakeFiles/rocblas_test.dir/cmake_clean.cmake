@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocblas_test.dir/rocblas_test.cpp.o"
+  "CMakeFiles/rocblas_test.dir/rocblas_test.cpp.o.d"
+  "rocblas_test"
+  "rocblas_test.pdb"
+  "rocblas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocblas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roccom_test.dir/roccom_test.cpp.o"
+  "CMakeFiles/roccom_test.dir/roccom_test.cpp.o.d"
+  "roccom_test"
+  "roccom_test.pdb"
+  "roccom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roccom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocface_test.dir/rocface_test.cpp.o"
+  "CMakeFiles/rocface_test.dir/rocface_test.cpp.o.d"
+  "rocface_test"
+  "rocface_test.pdb"
+  "rocface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rochdf_test.dir/rochdf_test.cpp.o"
+  "CMakeFiles/rochdf_test.dir/rochdf_test.cpp.o.d"
+  "rochdf_test"
+  "rochdf_test.pdb"
+  "rochdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rochdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

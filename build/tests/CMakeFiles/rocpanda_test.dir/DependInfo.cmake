@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rocpanda_test.cpp" "tests/CMakeFiles/rocpanda_test.dir/rocpanda_test.cpp.o" "gcc" "tests/CMakeFiles/rocpanda_test.dir/rocpanda_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rocpanda/CMakeFiles/roc_rocpanda.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/roc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/roccom/CMakeFiles/roc_roccom.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/roc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/shdf/CMakeFiles/roc_shdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/roc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/roc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

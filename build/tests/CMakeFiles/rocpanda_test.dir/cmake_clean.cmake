@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocpanda_test.dir/rocpanda_test.cpp.o"
+  "CMakeFiles/rocpanda_test.dir/rocpanda_test.cpp.o.d"
+  "rocpanda_test"
+  "rocpanda_test.pdb"
+  "rocpanda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocpanda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shdf_test.dir/shdf_test.cpp.o"
+  "CMakeFiles/shdf_test.dir/shdf_test.cpp.o.d"
+  "shdf_test"
+  "shdf_test.pdb"
+  "shdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
