@@ -41,7 +41,7 @@ constexpr double kBytesPerProc = 2.0 * 1024 * 1024;  // per snapshot
 
 enum class Config { k16NS, k15NS, k15S };
 
-const char* config_name(Config c) {
+[[maybe_unused]] const char* config_name(Config c) {
   switch (c) {
     case Config::k16NS: return "16NS";
     case Config::k15NS: return "15NS";

@@ -1,9 +1,9 @@
 #include "comm/env.h"
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.h"
 
 namespace roc::comm {
 
@@ -11,19 +11,22 @@ namespace {
 
 class RealGate final : public Gate {
  public:
-  void lock() override { lock_.lock(); }
-  void unlock() override { lock_.unlock(); }
-  void wait() override {
-    // The caller holds lock_ per the Gate contract; adopt it for the wait.
-    std::unique_lock<std::mutex> lk(lock_, std::adopt_lock);
-    cv_.wait(lk);
-    lk.release();  // Caller still owns the lock after wait() returns.
+  void lock() ROC_ACQUIRE() ROC_NO_THREAD_SAFETY_ANALYSIS override {
+    lock_.lock();
+  }
+  void unlock() ROC_RELEASE() ROC_NO_THREAD_SAFETY_ANALYSIS override {
+    lock_.unlock();
+  }
+  void wait() ROC_REQUIRES(this) ROC_NO_THREAD_SAFETY_ANALYSIS override {
+    // The caller holds lock_ per the Gate contract; CondVar::wait adopts
+    // it for the wait and hands it back on return.
+    cv_.wait(lock_);
   }
   void notify_all() override { cv_.notify_all(); }
 
  private:
-  std::mutex lock_;
-  std::condition_variable cv_;
+  roc::Mutex lock_{"gate", /*level=*/-1};
+  roc::CondVar cv_;
 };
 
 class RealWorker final : public Worker {

@@ -13,6 +13,8 @@
 #include <functional>
 #include <memory>
 
+#include "util/thread_annotations.h"
+
 namespace roc::comm {
 
 /// A monitor: mutual exclusion + condition waiting, in the style of
@@ -24,21 +26,29 @@ namespace roc::comm {
 ///   gate->unlock();
 ///
 /// notify_all() may be called with or without the lock held.
-class Gate {
+///
+/// Gate is a thread-safety *capability*: fields coordinated through a gate
+/// are declared ROC_GUARDED_BY(gate_) and Clang Thread Safety Analysis
+/// verifies every access happens with the gate held.  Implementations
+/// (RealGate, SimGate) must repeat these annotations on their overrides and
+/// mark the bodies ROC_NO_THREAD_SAFETY_ANALYSIS (they manipulate the
+/// underlying primitive the interface annotation already describes).
+class ROC_CAPABILITY("gate") Gate {
  public:
   virtual ~Gate() = default;
-  virtual void lock() = 0;
-  virtual void unlock() = 0;
-  /// Atomically releases the lock, waits for a notify, re-acquires.
-  virtual void wait() = 0;
+  virtual void lock() ROC_ACQUIRE() = 0;
+  virtual void unlock() ROC_RELEASE() = 0;
+  /// Atomically releases the lock, waits for a notify, re-acquires.  The
+  /// gate is held on entry and held again on return.
+  virtual void wait() ROC_REQUIRES(this) = 0;
   virtual void notify_all() = 0;
 };
 
 /// RAII lock for a Gate.
-class GateLock {
+class ROC_SCOPED_CAPABILITY GateLock {
  public:
-  explicit GateLock(Gate& g) : g_(g) { g_.lock(); }
-  ~GateLock() { g_.unlock(); }
+  explicit GateLock(Gate& g) ROC_ACQUIRE(g) : g_(g) { g.lock(); }
+  ~GateLock() ROC_RELEASE() { g_.unlock(); }
   GateLock(const GateLock&) = delete;
   GateLock& operator=(const GateLock&) = delete;
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <exception>
 #include <thread>
 
+#include "util/mutex.h"
 #include "util/serialize.h"
 
 namespace roc::comm {
@@ -21,9 +23,9 @@ struct Envelope {
 
 /// Per-process mailbox: FIFO of envelopes + wakeup signalling.
 struct Mailbox {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<Envelope> queue;
+  roc::Mutex mutex{"mailbox"};
+  roc::CondVar cv;
+  std::deque<Envelope> queue ROC_GUARDED_BY(mutex);
 };
 
 /// Shared state of one World: mailboxes indexed by global rank.
@@ -66,7 +68,7 @@ void ThreadComm::send(int dest, int tag, const void* data, size_t n) {
   e.payload.assign(static_cast<const unsigned char*>(data),
                    static_cast<const unsigned char*>(data) + n);
   {
-    std::lock_guard<std::mutex> lock(box.mutex);
+    roc::MutexLock lock(box.mutex);
     box.queue.push_back(std::move(e));
   }
   box.cv.notify_all();
@@ -77,7 +79,7 @@ Message ThreadComm::recv(int source, int tag) {
           "recv: source rank out of range");
   Mailbox& box =
       world_->mailboxes[static_cast<size_t>(members_[static_cast<size_t>(rank_)])];
-  std::unique_lock<std::mutex> lock(box.mutex);
+  roc::MutexLock lock(box.mutex);
   for (;;) {
     auto it = std::find_if(box.queue.begin(), box.queue.end(),
                            [&](const Envelope& e) {
@@ -91,14 +93,14 @@ Message ThreadComm::recv(int source, int tag) {
       box.queue.erase(it);
       return m;
     }
-    box.cv.wait(lock);
+    box.cv.wait(box.mutex);
   }
 }
 
 bool ThreadComm::iprobe(int source, int tag, Status* st) {
   Mailbox& box =
       world_->mailboxes[static_cast<size_t>(members_[static_cast<size_t>(rank_)])];
-  std::lock_guard<std::mutex> lock(box.mutex);
+  roc::MutexLock lock(box.mutex);
   auto it = std::find_if(box.queue.begin(), box.queue.end(),
                          [&](const Envelope& e) {
                            return detail::matches(e, comm_id_, source, tag);
@@ -115,7 +117,7 @@ bool ThreadComm::iprobe(int source, int tag, Status* st) {
 Status ThreadComm::probe(int source, int tag) {
   Mailbox& box =
       world_->mailboxes[static_cast<size_t>(members_[static_cast<size_t>(rank_)])];
-  std::unique_lock<std::mutex> lock(box.mutex);
+  roc::MutexLock lock(box.mutex);
   for (;;) {
     auto it = std::find_if(box.queue.begin(), box.queue.end(),
                            [&](const Envelope& e) {
@@ -128,7 +130,7 @@ Status ThreadComm::probe(int source, int tag) {
       st.bytes = it->payload.size();
       return st;
     }
-    box.cv.wait(lock);
+    box.cv.wait(box.mutex);
   }
 }
 
@@ -212,7 +214,7 @@ void World::run(int n, const Body& body) {
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(n));
-  std::mutex error_mutex;
+  roc::Mutex error_mutex{"world-error"};
   std::exception_ptr first_error;
 
   for (int r = 0; r < n; ++r) {
@@ -221,7 +223,7 @@ void World::run(int n, const Body& body) {
         ThreadComm comm(state, /*comm_id=*/0, members, r);
         body(comm);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        roc::MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     });

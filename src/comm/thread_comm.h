@@ -10,10 +10,9 @@
 /// Usage:
 ///   roc::comm::World::run(8, [](roc::comm::Comm& comm) { ... });
 
-#include <condition_variable>
-#include <deque>
+#include <functional>
 #include <memory>
-#include <mutex>
+#include <vector>
 
 #include "comm/comm.h"
 

@@ -77,15 +77,13 @@ const Field* MeshBlock::find_field(const std::string& name) const {
 
 Field& MeshBlock::field(const std::string& name) {
   Field* f = find_field(name);
-  require(f != nullptr, "no field '" + name + "' on block " +
-                            std::to_string(id_));
+  require(f != nullptr, "no field '", name, "' on block ", id_);
   return *f;
 }
 
 const Field& MeshBlock::field(const std::string& name) const {
   const Field* f = find_field(name);
-  require(f != nullptr, "no field '" + name + "' on block " +
-                            std::to_string(id_));
+  require(f != nullptr, "no field '", name, "' on block ", id_);
   return *f;
 }
 

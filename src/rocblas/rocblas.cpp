@@ -219,7 +219,7 @@ RocblasModuleHandle::RocblasModuleHandle(Roccom& com, comm::Comm& clients,
 RocblasModuleHandle::~RocblasModuleHandle() {
   try {
     unload();
-  } catch (...) {
+  } catch (...) {  // LINT-ALLOW(catch-all): destructors must not throw
   }
 }
 

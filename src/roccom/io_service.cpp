@@ -32,7 +32,7 @@ IoModuleHandle::IoModuleHandle(Roccom& com, std::string window_name,
 IoModuleHandle::~IoModuleHandle() {
   try {
     unload();
-  } catch (...) {
+  } catch (...) {  // LINT-ALLOW(catch-all): destructors must not throw
     // Window may already be gone if the registry outlived differently;
     // unloading during teardown must not throw.
   }

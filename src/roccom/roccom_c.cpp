@@ -48,7 +48,7 @@ const char* COM_last_error(void) { return g_last_error.c_str(); }
 COM_registry* COM_create(void) {
   try {
     return reinterpret_cast<COM_registry*>(new roc::roccom::Roccom());
-  } catch (...) {
+  } catch (...) {  // LINT-ALLOW(catch-all): C ABI boundary, error via code
     g_last_error = "allocation failure";
     return nullptr;
   }

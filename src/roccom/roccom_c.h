@@ -1,5 +1,4 @@
-#ifndef ROCPIO_ROCCOM_C_H_
-#define ROCPIO_ROCCOM_C_H_
+#pragma once
 /** \file roccom_c.h
  *  \brief C bindings for the Roccom framework (paper §5: "Its interface
  *  routines have different bindings for C, C++, and Fortran 90, with
@@ -94,4 +93,3 @@ unsigned long long COM_block_checksum(const COM_block* block);
 }
 #endif
 
-#endif /* ROCPIO_ROCCOM_C_H_ */

@@ -19,7 +19,8 @@ Rochdf::Rochdf(comm::Comm& comm, comm::Env& env, vfs::FileSystem& fs,
       env_(env),
       fs_(fs),
       options_(std::move(options)),
-      gate_(env.make_gate()) {
+      gate_storage_(env.make_gate()),
+      gate_(gate_storage_.get()) {
   if (options_.threaded)
     worker_ = env_.spawn_worker([this] { worker_loop(); });
 }

@@ -21,6 +21,8 @@
 #include <map>
 #include <set>
 
+#include "util/thread_annotations.h"
+
 #include "comm/comm.h"
 #include "comm/env.h"
 #include "roccom/blockio.h"
@@ -74,7 +76,7 @@ class Rochdf final : public roccom::IoService {
     return options_.threaded ? "T-Rochdf" : "Rochdf";
   }
 
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const ROC_EXCLUDES(gate_);
 
   /// File written by rank `rank` for basename `base`.
   [[nodiscard]] static std::string proc_file(const std::string& prefix,
@@ -96,31 +98,37 @@ class Rochdf final : public roccom::IoService {
   /// the worker in threaded mode).
   void write_now(const std::string& path, const std::string& window,
                  const std::string& attribute, double time,
-                 const std::vector<const roccom::Pane*>& panes);
-  void write_job(const Job& job);
+                 const std::vector<const roccom::Pane*>& panes)
+      ROC_EXCLUDES(gate_);
+  void write_job(const Job& job) ROC_EXCLUDES(gate_);
 
-  void worker_loop();
+  void worker_loop() ROC_EXCLUDES(gate_);
 
   /// Blocks (predicate loop on gate_) until no job for `file` is queued or
   /// being written and the worker's writer for it is closed.
-  void wait_file_complete(const std::string& file);
+  void wait_file_complete(const std::string& file) ROC_EXCLUDES(gate_);
 
   comm::Comm& comm_;
   comm::Env& env_;
   vfs::FileSystem& fs_;
   Options options_;
 
-  // --- worker coordination (threaded mode); all fields below are guarded
-  // by gate_ unless noted.
-  std::unique_ptr<comm::Gate> gate_;
+  // --- worker coordination (threaded mode).  gate_ is the capability the
+  // ROC_GUARDED_BY annotations below refer to; gate_storage_ only owns it.
+  std::unique_ptr<comm::Gate> gate_storage_;
+  comm::Gate* const gate_;
   std::unique_ptr<comm::Worker> worker_;
-  std::deque<Job> queue_;
-  std::map<std::string, int> pending_;  ///< Outstanding jobs per file.
-  std::string open_file_;  ///< File the worker currently has open ("" none).
-  std::string current_snapshot_;  ///< Basename being buffered by callers.
-  std::set<std::string> started_files_;  ///< Truncate-vs-append decision.
-  bool stop_ = false;
-  Stats stats_;
+  std::deque<Job> queue_ ROC_GUARDED_BY(gate_);
+  /// Outstanding jobs per file.
+  std::map<std::string, int> pending_ ROC_GUARDED_BY(gate_);
+  /// File the worker currently has open ("" none).
+  std::string open_file_ ROC_GUARDED_BY(gate_);
+  /// Basename being buffered by callers.
+  std::string current_snapshot_ ROC_GUARDED_BY(gate_);
+  /// Truncate-vs-append decision.
+  std::set<std::string> started_files_ ROC_GUARDED_BY(gate_);
+  bool stop_ ROC_GUARDED_BY(gate_) = false;
+  Stats stats_ ROC_GUARDED_BY(gate_);
 
   // Worker-owned; accessed only from the writing thread (no guard needed).
   std::unique_ptr<shdf::Writer> writer_;

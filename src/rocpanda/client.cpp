@@ -20,7 +20,8 @@ RocpandaClient::RocpandaClient(comm::Comm& world, comm::Env& env,
       layout_(layout),
       options_(options),
       server_(layout.server_of_client(world.rank())),
-      gate_(env.make_gate()) {
+      gate_storage_(env.make_gate()),
+      gate_(gate_storage_.get()) {
   require(!layout_.is_server(world_.rank()),
           "RocpandaClient constructed on a server rank");
   if (options_.client_buffering)
@@ -54,11 +55,8 @@ void RocpandaClient::shutdown() {
 
 void RocpandaClient::ship(const Job& job) {
   world_.send(server_, kTagWriteBegin, job.header);
-  for (const auto& bytes : job.blocks) {
-    stats_.bytes_sent += bytes.size();
-    ++stats_.blocks_sent;
+  for (const auto& bytes : job.blocks)
     world_.send(server_, kTagWriteBlock, bytes);
-  }
   // The server acks every request (including empty ones).
   (void)world_.recv(server_, kTagWriteAck);
 }
@@ -75,6 +73,8 @@ void RocpandaClient::worker_loop() {
       gate_->lock();
       shipping_ = false;
       queued_bytes_ -= job.bytes;
+      stats_.bytes_sent += job.bytes;
+      stats_.blocks_sent += job.blocks.size();
       gate_->notify_all();
       continue;
     }
@@ -100,7 +100,10 @@ void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
   h.attribute = req.attribute;
   h.time = req.time;
   h.nblocks = static_cast<uint32_t>(panes.size());
-  ++stats_.write_calls;
+  {
+    comm::GateLock lock(*gate_);
+    ++stats_.write_calls;
+  }
 
   if (worker_) {
     // Hierarchy mode: marshal into the local buffer and return; the
@@ -133,24 +136,33 @@ void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
 
   // One message per block: the granularity at which the server can yield
   // between buffering, writing and probing (paper §6.1).
+  uint64_t sent_bytes = 0;
   for (const Pane* p : panes) {
     const WireBlock wb = WireBlock::from_block(*p->block, req.attribute);
     auto bytes = wb.serialize();
     env_.charge_local_copy(bytes.size());  // marshalling copy
-    stats_.bytes_sent += bytes.size();
-    ++stats_.blocks_sent;
+    sent_bytes += bytes.size();
     world_.send(server_, kTagWriteBlock, bytes);
   }
 
   // Visible cost ends when the server confirms everything is buffered.
   (void)world_.recv(server_, kTagWriteAck);
+  comm::GateLock lock(*gate_);
+  stats_.bytes_sent += sent_bytes;
+  stats_.blocks_sent += panes.size();
 }
 
 void RocpandaClient::sync() {
   drain_local();  // everything locally buffered must reach the server first
   world_.signal(server_, kTagSyncReq);
   (void)world_.recv(server_, kTagSyncAck);
+  comm::GateLock lock(*gate_);
   ++stats_.sync_calls;
+}
+
+ClientStats RocpandaClient::stats() const {
+  comm::GateLock lock(*gate_);
+  return stats_;
 }
 
 std::vector<mesh::MeshBlock> RocpandaClient::fetch_internal(
@@ -175,7 +187,10 @@ std::vector<mesh::MeshBlock> RocpandaClient::fetch_internal(
     auto msg = world_.recv(comm::kAnySource, kTagReadBlock);
     blocks.push_back(
         mesh::MeshBlock::deserialize(msg.payload.data(), msg.payload.size()));
-    ++stats_.blocks_fetched;
+  }
+  {
+    comm::GateLock lock(*gate_);
+    stats_.blocks_fetched += count;
   }
 
   if (count != pane_ids.size()) {

@@ -16,6 +16,8 @@
 
 #include <deque>
 
+#include "util/thread_annotations.h"
+
 #include "comm/comm.h"
 #include "comm/env.h"
 #include "roccom/io_service.h"
@@ -75,7 +77,9 @@ class RocpandaClient final : public roccom::IoService {
   /// the destructor if not called explicitly.
   void shutdown();
 
-  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+  /// Snapshot of the counters.  Taken under the gate: in hierarchy mode
+  /// the background worker updates them concurrently.
+  [[nodiscard]] ClientStats stats() const ROC_EXCLUDES(gate_);
 
  private:
   [[nodiscard]] std::vector<mesh::MeshBlock> fetch_internal(
@@ -90,10 +94,10 @@ class RocpandaClient final : public roccom::IoService {
   };
 
   /// Ships one job to the server and waits for the buffering ack.
-  void ship(const Job& job);
-  void worker_loop();
+  void ship(const Job& job) ROC_EXCLUDES(gate_);
+  void worker_loop() ROC_EXCLUDES(gate_);
   /// Blocks until the local buffer is fully shipped (hierarchy mode).
-  void drain_local();
+  void drain_local() ROC_EXCLUDES(gate_);
 
   comm::Comm& world_;
   comm::Env& env_;
@@ -101,15 +105,17 @@ class RocpandaClient final : public roccom::IoService {
   ClientOptions options_;
   int server_;  ///< World rank of this client's server.
   bool shut_down_ = false;
-  ClientStats stats_;
 
-  // --- client-side buffering (hierarchy mode); guarded by gate_ ----------
-  std::unique_ptr<comm::Gate> gate_;
+  // --- client-side buffering (hierarchy mode).  gate_ is the capability
+  // the ROC_GUARDED_BY annotations refer to; gate_storage_ only owns it.
+  std::unique_ptr<comm::Gate> gate_storage_;
+  comm::Gate* const gate_;
   std::unique_ptr<comm::Worker> worker_;
-  std::deque<Job> queue_;
-  uint64_t queued_bytes_ = 0;
-  bool shipping_ = false;  ///< Worker is mid-job.
-  bool stop_ = false;
+  ClientStats stats_ ROC_GUARDED_BY(gate_);
+  std::deque<Job> queue_ ROC_GUARDED_BY(gate_);
+  uint64_t queued_bytes_ ROC_GUARDED_BY(gate_) = 0;
+  bool shipping_ ROC_GUARDED_BY(gate_) = false;  ///< Worker is mid-job.
+  bool stop_ ROC_GUARDED_BY(gate_) = false;
 };
 
 }  // namespace roc::rocpanda

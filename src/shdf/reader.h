@@ -51,7 +51,9 @@ class Reader {
                         std::string(type_name(TypeTag<T>::value)));
     auto raw = read_raw(name);
     std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
+    // Zero-element datasets are legal; memcpy's arguments are declared
+    // nonnull even for zero sizes.
+    if (!out.empty()) std::memcpy(out.data(), raw.data(), raw.size());
     return out;
   }
 

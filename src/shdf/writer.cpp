@@ -75,10 +75,10 @@ Writer::~Writer() {
 }
 
 void Writer::add_dataset(const DatasetDef& def, const void* data) {
-  require(!closed_, "add_dataset after close on " + path_);
+  require(!closed_, "add_dataset after close on ", path_);
   require(!def.name.empty(), "dataset name must not be empty");
   require(names_.insert(def.name).second,
-          "duplicate dataset name: " + def.name);
+          "duplicate dataset name: ", def.name);
 
   const uint64_t bytes = def.byte_count();
   const uint64_t checksum = crc64(data, static_cast<size_t>(bytes));

@@ -23,10 +23,13 @@ class SimGate final : public comm::Gate {
  public:
   explicit SimGate(Simulation& sim) : sim_(sim) {}
 
-  void lock() override {}
-  void unlock() override {}
+  // Lock/unlock are no-ops because the scheduler guarantees mutual
+  // exclusion; the ROC_ACQUIRE/ROC_RELEASE annotations still describe the
+  // capability protocol to the static analysis, exactly as for RealGate.
+  void lock() ROC_ACQUIRE() ROC_NO_THREAD_SAFETY_ANALYSIS override {}
+  void unlock() ROC_RELEASE() ROC_NO_THREAD_SAFETY_ANALYSIS override {}
 
-  void wait() override {
+  void wait() ROC_REQUIRES(this) ROC_NO_THREAD_SAFETY_ANALYSIS override {
     waiters_.push_back(sim_.current());
     sim_.current_context().block();
   }

@@ -107,6 +107,21 @@ void Simulation::wake(Process* p, double t) {
   events_.push(Event{std::max(t, now_), next_seq_++, p, {}});
 }
 
+void Simulation::record_error(std::exception_ptr e) {
+  roc::MutexLock lock(error_mutex_);
+  if (!first_error_) first_error_ = std::move(e);
+}
+
+bool Simulation::has_error() {
+  roc::MutexLock lock(error_mutex_);
+  return first_error_ != nullptr;
+}
+
+std::exception_ptr Simulation::take_error() {
+  roc::MutexLock lock(error_mutex_);
+  return first_error_;
+}
+
 void Simulation::start_process_thread(Process* p) {
   p->started = true;
   p->thread = std::thread([this, p] {
@@ -122,7 +137,7 @@ void Simulation::start_process_thread(Process* p) {
     } catch (const SimCancelled&) {
       // Clean unwind during cancellation.
     } catch (...) {
-      if (!first_error_) first_error_ = std::current_exception();
+      record_error(std::current_exception());
     }
     finish_process(p);
     sched_sem_.release();
@@ -182,7 +197,7 @@ void Simulation::run() {
     wake(p.get(), 0.0);
   }
 
-  while (!events_.empty() && !first_error_) {
+  while (!events_.empty() && !has_error()) {
     Event e = events_.top();
     events_.pop();
     now_ = std::max(now_, e.time);
@@ -195,19 +210,19 @@ void Simulation::run() {
     }
   }
 
-  if (!first_error_) {
+  if (!has_error()) {
     std::string stuck;
     for (const auto& p : procs_)
       if (!p->finished) stuck += " " + std::to_string(p->rank);
     for (const auto& p : aux_)
       if (!p->finished) stuck += " aux@" + std::to_string(p->node);
     if (!stuck.empty())
-      first_error_ = std::make_exception_ptr(
+      record_error(std::make_exception_ptr(
           CommError("simulation deadlock: processes blocked forever:" +
-                    stuck));
+                    stuck)));
   }
 
-  if (first_error_) {
+  if (std::exception_ptr err = take_error()) {
     // Abnormal end: blocked process threads cannot be unwound safely (their
     // stacks may be inside destructors).  Detach and intentionally leak
     // them; this only happens on bugs or test-asserted failures.
@@ -226,10 +241,11 @@ void Simulation::run() {
     };
     abandon(procs_);
     abandon(aux_);
-    if (leaked > 0)
+    if (leaked > 0) {
       ROC_WARN << "simulation aborted; leaked " << leaked
                << " blocked process thread(s)";
-    std::rethrow_exception(first_error_);
+    }
+    std::rethrow_exception(err);
   }
 }
 

@@ -28,6 +28,7 @@
 
 #include "sim/platform.h"
 #include "util/error.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 
 namespace roc::sim {
@@ -178,12 +179,21 @@ class Simulation {
   void start_process_thread(detail::Process* p);
   void finish_process(detail::Process* p);
 
+  /// Records the first failure.  Callable from any process thread (the
+  /// scheduler handoff serialises them in practice, but the error path
+  /// must stay safe even when that invariant is being violated — which is
+  /// exactly when errors happen).
+  void record_error(std::exception_ptr e) ROC_EXCLUDES(error_mutex_);
+  [[nodiscard]] bool has_error() ROC_EXCLUDES(error_mutex_);
+  [[nodiscard]] std::exception_ptr take_error() ROC_EXCLUDES(error_mutex_);
+
   Platform platform_;
   double now_ = 0;
   uint64_t next_seq_ = 0;
   bool ran_ = false;
   bool cancelled_ = false;
-  std::exception_ptr first_error_;
+  roc::Mutex error_mutex_{"sim-error"};
+  std::exception_ptr first_error_ ROC_GUARDED_BY(error_mutex_);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::vector<std::unique_ptr<detail::Process>> procs_;  // main, by rank

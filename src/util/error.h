@@ -8,6 +8,9 @@
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
 
 namespace roc {
 
@@ -53,9 +56,52 @@ class RegistryError : public Error {
       : Error("registry error: " + what) {}
 };
 
+namespace detail {
+
+inline void append_part(std::string& s, std::string_view part) { s += part; }
+inline void append_part(std::string& s, const char* part) { s += part; }
+inline void append_part(std::string& s, const std::string& part) {
+  s += part;
+}
+inline void append_part(std::string& s, char part) { s += part; }
+template <typename T,
+          typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+inline void append_part(std::string& s, T part) {
+  s += std::to_string(part);
+}
+
+/// Builds the failure message.  Deliberately out of the inline hot path:
+/// only instantiated and called once a precondition has actually failed.
+template <typename... Parts>
+[[noreturn]] inline void require_fail(Parts&&... parts) {
+  std::string msg;
+  (append_part(msg, std::forward<Parts>(parts)), ...);
+  throw InvalidArgument(msg);
+}
+
+/// Lazily-invoked message builders: require(cond, [&]{ return ...; }).
+template <typename F,
+          typename = std::enable_if_t<std::is_invocable_v<F&>>>
+[[noreturn]] inline void require_fail(F&& message_fn) {
+  throw InvalidArgument(std::string(message_fn()));
+}
+
+}  // namespace detail
+
 /// Throws InvalidArgument if `cond` is false.
-inline void require(bool cond, const std::string& what) {
-  if (!cond) throw InvalidArgument(what);
+///
+/// The message is assembled ONLY on failure, so hot paths (wire decode,
+/// SHDF codec, per-block loops) pay nothing when the condition holds.
+/// Three spellings:
+///
+///   require(ok, "literal message");                       // no allocation
+///   require(ok, "pane ", id, " missing in ", file);       // lazy concat
+///   require(ok, [&] { return expensive_description(); }); // lazy callable
+template <typename... Parts>
+inline void require(bool cond, Parts&&... parts) {
+  if (cond) [[likely]]
+    return;
+  detail::require_fail(std::forward<Parts>(parts)...);
 }
 
 }  // namespace roc

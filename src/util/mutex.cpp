@@ -1,0 +1,104 @@
+#include "util/mutex.h"
+
+#if defined(ROCPIO_DEBUG_LOCKS)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+/// Debug lock checker (ROCPIO_DEBUG_LOCKS builds only).
+///
+/// Maintains a per-thread stack of held roc::Mutex instances and enforces:
+///  * no recursive acquisition (immediate self-deadlock) -> abort;
+///  * level ordering: while holding a levelled mutex, only strictly
+///    greater levels may be acquired -> abort (potential cross-thread
+///    deadlock);
+///  * held-too-long: a warning on stderr when a critical section exceeds
+///    ROC_LOCK_WARN_MS milliseconds of wall time (CondVar waits excluded).
+///
+/// Diagnostics go straight to stderr (not roc::log) because the logger
+/// itself locks a roc::Mutex.
+
+namespace roc::lockdebug {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Held {
+  const Mutex* m;
+  const char* name;
+  int level;
+  Clock::time_point since;
+};
+
+thread_local std::vector<Held> t_held;
+
+double warn_threshold_ms() {
+  static const double ms = [] {
+    if (const char* env = std::getenv("ROC_LOCK_WARN_MS"))
+      return std::atof(env);
+    return 500.0;
+  }();
+  return ms;
+}
+
+[[noreturn]] void die(const char* what, const char* a, const char* b) {
+  std::fprintf(stderr, "[LOCKDEBUG] fatal: %s (acquiring '%s', holding '%s')\n",
+               what, a, b);
+  std::abort();
+}
+
+void push(const Mutex* m, const char* name, int level) {
+  for (const Held& h : t_held) {
+    if (h.m == m) die("recursive mutex acquisition", name, h.name);
+    if (level >= 0 && h.level >= 0 && h.level >= level)
+      die("lock-order violation (level must strictly increase)", name,
+          h.name);
+  }
+  t_held.push_back(Held{m, name, level, Clock::now()});
+}
+
+void pop(const Mutex* m, const char* name, bool check_duration) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->m != m) continue;
+    if (check_duration) {
+      const double held_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - it->since)
+              .count();
+      if (held_ms > warn_threshold_ms())
+        std::fprintf(stderr,
+                     "[LOCKDEBUG] warning: '%s' held for %.1f ms "
+                     "(threshold %.1f ms)\n",
+                     name, held_ms, warn_threshold_ms());
+    }
+    t_held.erase(std::next(it).base());
+    return;
+  }
+  std::fprintf(stderr, "[LOCKDEBUG] fatal: releasing '%s' not held by this "
+               "thread\n", name);
+  std::abort();
+}
+
+}  // namespace
+
+void note_acquire(const Mutex* m, const char* name, int level) {
+  push(m, name, level);
+}
+
+void note_release(const Mutex* m, const char* name) {
+  pop(m, name, /*check_duration=*/true);
+}
+
+void note_wait_begin(const Mutex* m, const char* name) {
+  // The wait releases the mutex; blocked time must not count as held time.
+  pop(m, name, /*check_duration=*/true);
+}
+
+void note_wait_end(const Mutex* m, const char* name, int level) {
+  push(m, name, level);
+}
+
+}  // namespace roc::lockdebug
+
+#endif  // ROCPIO_DEBUG_LOCKS

@@ -1,0 +1,138 @@
+#pragma once
+/// \file mutex.h
+/// \brief Capability-annotated mutex / condition-variable wrappers.
+///
+/// All mutual exclusion in rocpio goes through these types instead of raw
+/// `std::mutex` / `std::condition_variable` (enforced by `tools/lint.py`,
+/// rule `raw-sync`).  The wrappers buy two things:
+///
+///  1. Static checking.  `roc::Mutex` is a Clang Thread Safety Analysis
+///     *capability*: fields declared `ROC_GUARDED_BY(mutex_)` are verified
+///     at compile time to only be touched with the mutex held
+///     (`clang++ -Wthread-safety`, the `thread-safety` CI job).
+///
+///  2. Optional dynamic checking.  Built with `-DROCPIO_DEBUG_LOCKS=ON`,
+///     every mutex tracks a per-thread stack of held locks and aborts on
+///     recursive acquisition or on a lock-order (level) violation, and
+///     warns on stderr when a lock is held longer than
+///     `ROC_LOCK_WARN_MS` milliseconds (default 500; waiting on a
+///     `CondVar` does not count as holding).
+///
+/// The release build compiles to exactly a `std::mutex`: the checker hooks
+/// vanish and every method is a one-line inline forward.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace roc {
+
+class Mutex;
+
+#if defined(ROCPIO_DEBUG_LOCKS)
+namespace lockdebug {
+/// Hooks implemented in mutex.cpp; no-ops unless ROCPIO_DEBUG_LOCKS.
+void note_acquire(const Mutex* m, const char* name, int level);
+void note_release(const Mutex* m, const char* name);
+/// A CondVar wait releases and re-acquires without counting the blocked
+/// time against the held-too-long threshold.
+void note_wait_begin(const Mutex* m, const char* name);
+void note_wait_end(const Mutex* m, const char* name, int level);
+}  // namespace lockdebug
+#define ROC_LOCKDEBUG_(stmt) stmt
+#else
+#define ROC_LOCKDEBUG_(stmt)
+#endif
+
+/// A plain (non-recursive) mutex, annotated as a static-analysis
+/// capability and instrumented by the optional debug lock checker.
+class ROC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  /// `name` appears in debug-checker diagnostics.  `level`, when >= 0,
+  /// declares this mutex's rank in the global acquisition order: a thread
+  /// holding a levelled mutex may only acquire further mutexes of strictly
+  /// greater level (checked under ROCPIO_DEBUG_LOCKS; deadlock
+  /// prevention).  Unlevelled mutexes (-1) are exempt from ordering but
+  /// still checked for recursive acquisition.
+  explicit Mutex(const char* name, int level = -1)
+      : name_(name), level_(level) {
+    (void)name_;
+    (void)level_;
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ROC_ACQUIRE() ROC_NO_THREAD_SAFETY_ANALYSIS {
+    m_.lock();
+    ROC_LOCKDEBUG_(lockdebug::note_acquire(this, name_, level_));
+  }
+
+  void unlock() ROC_RELEASE() ROC_NO_THREAD_SAFETY_ANALYSIS {
+    ROC_LOCKDEBUG_(lockdebug::note_release(this, name_));
+    m_.unlock();
+  }
+
+  [[nodiscard]] bool try_lock()
+      ROC_TRY_ACQUIRE(true) ROC_NO_THREAD_SAFETY_ANALYSIS {
+    const bool ok = m_.try_lock();
+    ROC_LOCKDEBUG_(if (ok) lockdebug::note_acquire(this, name_, level_));
+    return ok;
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+  const char* name_ = "mutex";
+  int level_ = -1;
+};
+
+/// RAII lock for a roc::Mutex (the only way most code should lock one).
+class ROC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) ROC_ACQUIRE(m) : m_(m) { m.lock(); }
+  ~MutexLock() ROC_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable paired with roc::Mutex.  Waits follow the predicate
+/// loop idiom; the mutex must be held (statically checked) and is held
+/// again when wait() returns.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& m) ROC_REQUIRES(m) ROC_NO_THREAD_SAFETY_ANALYSIS {
+    // The caller holds m per the contract; adopt it for the wait and hand
+    // it back afterwards.
+    ROC_LOCKDEBUG_(lockdebug::note_wait_begin(&m, m.name_));
+    std::unique_lock<std::mutex> lk(m.m_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // Caller still owns the lock after wait() returns.
+    ROC_LOCKDEBUG_(lockdebug::note_wait_end(&m, m.name_, m.level_));
+  }
+
+  /// Waits until `pred()` holds (spurious-wakeup safe).
+  template <typename Pred>
+  void wait(Mutex& m, Pred pred) ROC_REQUIRES(m) {
+    while (!pred()) wait(m);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace roc

@@ -129,7 +129,10 @@ class ByteReader {
     check_count(n, sizeof(T));
     std::vector<T> v(static_cast<size_t>(n));
     if constexpr (detail::kHostLittleEndian) {
-      std::memcpy(v.data(), data_.data() + pos_, v.size() * sizeof(T));
+      // v.data() is null for an empty vector; memcpy's arguments are
+      // declared nonnull even for zero sizes.
+      if (!v.empty())
+        std::memcpy(v.data(), data_.data() + pos_, v.size() * sizeof(T));
       pos_ += v.size() * sizeof(T);
     } else {
       for (auto& x : v) x = get<T>();
@@ -140,7 +143,7 @@ class ByteReader {
   /// Copies `n` raw bytes into `out`.
   void get_bytes(void* out, size_t n) {
     check(n);
-    std::memcpy(out, data_.data() + pos_, n);
+    if (n > 0) std::memcpy(out, data_.data() + pos_, n);
     pos_ += n;
   }
 

@@ -5,7 +5,8 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace roc::vfs {
 
@@ -125,23 +126,26 @@ std::vector<std::string> PosixFileSystem::list(const std::string& prefix) {
 
 struct MemFileSystem::Store {
   struct FileData {
-    std::mutex mutex;
-    std::vector<unsigned char> bytes;
+    roc::Mutex mutex{"memfile"};
+    std::vector<unsigned char> bytes ROC_GUARDED_BY(mutex);
   };
-  std::mutex mutex;  // guards the directory map
-  std::map<std::string, std::shared_ptr<FileData>> files;
+  roc::Mutex mutex{"memfs-dir"};  // guards the directory map
+  std::map<std::string, std::shared_ptr<FileData>> files
+      ROC_GUARDED_BY(mutex);
 };
 
 namespace {
 
+using FileData = MemFileSystem::Store::FileData;
+
 class MemFile final : public File {
  public:
-  MemFile(std::shared_ptr<MemFileSystem::Store::FileData> d, std::string path)
-      : data_(std::move(d)), path_(std::move(path)) {}
+  MemFile(std::shared_ptr<FileData> d, std::string path)
+      : owner_(std::move(d)), data_(owner_.get()), path_(std::move(path)) {}
 
   void write(const void* src, size_t n) override {
     if (n == 0) return;
-    std::lock_guard<std::mutex> lock(data_->mutex);
+    roc::MutexLock lock(data_->mutex);
     if (pos_ + n > data_->bytes.size()) data_->bytes.resize(pos_ + n);
     std::memcpy(data_->bytes.data() + pos_, src, n);
     pos_ += n;
@@ -149,7 +153,7 @@ class MemFile final : public File {
 
   void read(void* out, size_t n) override {
     if (n == 0) return;
-    std::lock_guard<std::mutex> lock(data_->mutex);
+    roc::MutexLock lock(data_->mutex);
     if (pos_ + n > data_->bytes.size())
       throw IoError("short read from mem:" + path_);
     std::memcpy(out, data_->bytes.data() + pos_, n);
@@ -160,14 +164,17 @@ class MemFile final : public File {
   uint64_t tell() const override { return pos_; }
 
   uint64_t size() const override {
-    std::lock_guard<std::mutex> lock(data_->mutex);
+    roc::MutexLock lock(data_->mutex);
     return data_->bytes.size();
   }
 
   void flush() override {}
 
  private:
-  std::shared_ptr<MemFileSystem::Store::FileData> data_;
+  // The shared_ptr keeps the file alive across remove(); the raw alias is
+  // what the thread-safety annotations resolve against.
+  std::shared_ptr<FileData> owner_;
+  FileData* const data_;
   std::string path_;
   uint64_t pos_ = 0;
 };
@@ -178,25 +185,27 @@ MemFileSystem::MemFileSystem() : store_(std::make_shared<Store>()) {}
 
 std::unique_ptr<File> MemFileSystem::open(const std::string& path,
                                           OpenMode mode) {
-  std::shared_ptr<Store::FileData> data;
+  Store* s = store_.get();
+  std::shared_ptr<FileData> data;
   {
-    std::lock_guard<std::mutex> lock(store_->mutex);
-    auto it = store_->files.find(path);
+    roc::MutexLock lock(s->mutex);
+    auto it = s->files.find(path);
     switch (mode) {
       case OpenMode::kRead:
       case OpenMode::kReadWrite:
-        if (it == store_->files.end())
+        if (it == s->files.end())
           throw IoError("no such file: mem:" + path);
         data = it->second;
         break;
       case OpenMode::kTruncate:
-        if (it == store_->files.end()) {
-          data = std::make_shared<Store::FileData>();
-          store_->files.emplace(path, data);
+        if (it == s->files.end()) {
+          data = std::make_shared<FileData>();
+          s->files.emplace(path, data);
         } else {
           data = it->second;
-          std::lock_guard<std::mutex> flock(data->mutex);
-          data->bytes.clear();
+          FileData* d = data.get();
+          roc::MutexLock flock(d->mutex);
+          d->bytes.clear();
         }
         break;
     }
@@ -205,36 +214,42 @@ std::unique_ptr<File> MemFileSystem::open(const std::string& path,
 }
 
 bool MemFileSystem::exists(const std::string& path) {
-  std::lock_guard<std::mutex> lock(store_->mutex);
-  return store_->files.count(path) > 0;
+  Store* s = store_.get();
+  roc::MutexLock lock(s->mutex);
+  return s->files.count(path) > 0;
 }
 
 void MemFileSystem::remove(const std::string& path) {
-  std::lock_guard<std::mutex> lock(store_->mutex);
-  store_->files.erase(path);
+  Store* s = store_.get();
+  roc::MutexLock lock(s->mutex);
+  s->files.erase(path);
 }
 
 std::vector<std::string> MemFileSystem::list(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(store_->mutex);
+  Store* s = store_.get();
+  roc::MutexLock lock(s->mutex);
   std::vector<std::string> out;
-  for (auto& [name, _] : store_->files)
+  for (auto& [name, _] : s->files)
     if (name.rfind(prefix, 0) == 0) out.push_back(name);
   return out;
 }
 
 uint64_t MemFileSystem::total_bytes() const {
-  std::lock_guard<std::mutex> lock(store_->mutex);
+  Store* s = store_.get();
+  roc::MutexLock lock(s->mutex);
   uint64_t n = 0;
-  for (auto& [_, data] : store_->files) {
-    std::lock_guard<std::mutex> flock(data->mutex);
-    n += data->bytes.size();
+  for (auto& kv : s->files) {
+    FileData* d = kv.second.get();
+    roc::MutexLock flock(d->mutex);
+    n += d->bytes.size();
   }
   return n;
 }
 
 size_t MemFileSystem::file_count() const {
-  std::lock_guard<std::mutex> lock(store_->mutex);
-  return store_->files.size();
+  Store* s = store_.get();
+  roc::MutexLock lock(s->mutex);
+  return s->files.size();
 }
 
 }  // namespace roc::vfs

@@ -181,7 +181,7 @@ ExportStats export_snapshot_vtk(vfs::FileSystem& fs,
   std::set<std::string> files;
   for (const char* kind : {"_p", "_s"})
     for (const auto& f : fs.list(snapshot_base + kind)) files.insert(f);
-  require(!files.empty(), "no files for snapshot " + snapshot_base);
+  require(!files.empty(), "no files for snapshot ", snapshot_base);
   return export_window_vtk(
       fs, std::vector<std::string>(files.begin(), files.end()), window,
       out_path);

@@ -43,10 +43,12 @@ TEST(MeshBlock, ConnectivityValidation) {
 
 TEST(MeshBlock, FieldsSizedByCentering) {
   auto b = MeshBlock::structured(0, {3, 3, 3});
-  auto& v = b.add_field("velocity", Centering::kNode, 3);
-  auto& p = b.add_field("pressure", Centering::kElement, 1);
-  EXPECT_EQ(v.data.size(), 27u * 3u);
-  EXPECT_EQ(p.data.size(), 8u);
+  b.add_field("velocity", Centering::kNode, 3);
+  b.add_field("pressure", Centering::kElement, 1);
+  // Look the fields up after both insertions: add_field may reallocate the
+  // field table and invalidate previously returned references.
+  EXPECT_EQ(b.field("velocity").data.size(), 27u * 3u);
+  EXPECT_EQ(b.field("pressure").data.size(), 8u);
   EXPECT_THROW(b.add_field("velocity", Centering::kNode, 3), InvalidArgument);
   EXPECT_EQ(b.find_field("nope"), nullptr);
   EXPECT_THROW((void)b.field("nope"), InvalidArgument);

@@ -21,8 +21,10 @@ using roccom::Roccom;
 /// Two fields ("x", "y") on every block so the binary ops have operands.
 mesh::MeshBlock make_xy_block(int id, int n) {
   auto b = mesh::MeshBlock::structured(id, {n, n, n});
-  auto& x = b.add_field("x", mesh::Centering::kElement, 1);
+  b.add_field("x", mesh::Centering::kElement, 1);
   b.add_field("y", mesh::Centering::kElement, 1);
+  // Fetch after both insertions: add_field may reallocate the field table.
+  auto& x = b.field("x");
   std::iota(x.data.begin(), x.data.end(), static_cast<double>(id));
   return b;
 }

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint.py.
+
+Each rule is exercised both ways: a seeded violation must be reported, and
+the corresponding clean construct must not be.  Run directly
+(`python3 tools/lint_test.py`) or via ctest (`lint_selftest`).
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lint  # noqa: E402
+
+
+class LintTestCase(unittest.TestCase):
+    def setUp(self):
+        self.root = tempfile.mkdtemp(prefix="lint_test_")
+        self.addCleanup(shutil.rmtree, self.root, ignore_errors=True)
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+        return path
+
+    def run_rules(self, rules):
+        return lint.run_lint(self.root, rules)
+
+    def rules_hit(self, violations):
+        return {v.rule for v in violations}
+
+
+class TestRawSync(LintTestCase):
+    def test_flags_raw_mutex_and_condition_variable(self):
+        self.write("src/a.cpp", """
+            #include <mutex>
+            std::mutex m;
+            std::condition_variable cv;
+            std::lock_guard<std::mutex> lock(m);
+        """)
+        v = self.run_rules(["raw-sync"])
+        self.assertEqual(self.rules_hit(v), {"raw-sync"})
+        self.assertGreaterEqual(len(v), 3)
+
+    def test_wrapper_implementation_is_allowlisted(self):
+        self.write("src/util/mutex.h", "std::mutex m_;\n")
+        self.assertEqual(self.run_rules(["raw-sync"]), [])
+
+    def test_ignores_comments_and_strings(self):
+        self.write("src/b.cpp", """
+            // in the style of std::condition_variable
+            /* std::mutex in a block comment */
+            const char* s = "std::mutex";
+            roc::Mutex ok;
+        """)
+        self.assertEqual(self.run_rules(["raw-sync"]), [])
+
+    def test_explicit_allow_marker(self):
+        self.write("src/c.cpp",
+                   "std::mutex m;  // LINT-ALLOW(raw-sync): interop shim\n")
+        self.assertEqual(self.run_rules(["raw-sync"]), [])
+
+
+class TestCatchAll(LintTestCase):
+    def test_flags_swallowing_catch_all(self):
+        self.write("src/a.cpp", """
+            void f() {
+              try { g(); } catch (...) { cleanup(); }
+            }
+        """)
+        v = self.run_rules(["catch-all"])
+        self.assertEqual(self.rules_hit(v), {"catch-all"})
+
+    def test_rethrow_is_clean(self):
+        self.write("src/a.cpp", """
+            void f() {
+              try { g(); } catch (...) { cleanup(); throw; }
+            }
+        """)
+        self.assertEqual(self.run_rules(["catch-all"]), [])
+
+    def test_current_exception_capture_is_clean(self):
+        self.write("src/a.cpp", """
+            void f() {
+              try { g(); } catch (...) { err = std::current_exception(); }
+            }
+        """)
+        self.assertEqual(self.run_rules(["catch-all"]), [])
+
+    def test_allow_marker_is_clean(self):
+        self.write("src/a.cpp", """
+            ~Handle() {
+              try { g(); } catch (...) {  // LINT-ALLOW(catch-all): dtor
+              }
+            }
+        """)
+        self.assertEqual(self.run_rules(["catch-all"]), [])
+
+    def test_typed_catch_is_not_flagged(self):
+        self.write("src/a.cpp", """
+            void f() {
+              try { g(); } catch (const std::exception& e) { log(e); }
+            }
+        """)
+        self.assertEqual(self.run_rules(["catch-all"]), [])
+
+
+class TestPragmaOnce(LintTestCase):
+    def test_flags_missing_pragma_once(self):
+        self.write("src/a.h", "#ifndef A_H\n#define A_H\n#endif\n")
+        v = self.run_rules(["pragma-once"])
+        self.assertEqual(self.rules_hit(v), {"pragma-once"})
+
+    def test_pragma_once_after_comment_is_clean(self):
+        self.write("src/a.h", "// \\file a.h\n/// docs\n#pragma once\nint x;\n")
+        self.assertEqual(self.run_rules(["pragma-once"]), [])
+
+    def test_sources_are_not_headers(self):
+        self.write("src/a.cpp", "int x;\n")
+        self.assertEqual(self.run_rules(["pragma-once"]), [])
+
+
+class TestBuildArtifacts(LintTestCase):
+    def git(self, *args):
+        subprocess.run(
+            ["git", "-C", self.root, "-c", "user.email=l@l", "-c",
+             "user.name=lint"] + list(args),
+            check=True, capture_output=True)
+
+    def test_flags_tracked_build_tree(self):
+        self.git("init", "-q")
+        self.write("build/CMakeCache.txt", "x\n")
+        self.write("build/foo.o", "x\n")
+        self.write("src/ok.cpp", "int x;\n")
+        self.git("add", "-f", ".")
+        v = self.run_rules(["build-artifacts"])
+        self.assertEqual(self.rules_hit(v), {"build-artifacts"})
+        flagged = {x.path for x in v}
+        self.assertIn("build/CMakeCache.txt", flagged)
+        self.assertIn("build/foo.o", flagged)
+        self.assertNotIn("src/ok.cpp", flagged)
+
+    def test_clean_tree_passes(self):
+        self.git("init", "-q")
+        self.write("src/ok.cpp", "int x;\n")
+        self.git("add", ".")
+        self.assertEqual(self.run_rules(["build-artifacts"]), [])
+
+
+class TestStripper(unittest.TestCase):
+    def test_preserves_line_structure(self):
+        text = 'int a; // std::mutex\n"std::mutex" /* x\ny */ int b;\n'
+        stripped = lint.strip_comments_and_strings(text)
+        self.assertEqual(stripped.count("\n"), text.count("\n"))
+        self.assertNotIn("std::mutex", stripped)
+        self.assertIn("int b;", stripped)
+
+    def test_escaped_quote_in_string(self):
+        stripped = lint.strip_comments_and_strings(
+            '"a\\"std::mutex"; std::mutex m;')
+        self.assertEqual(stripped.count("std::mutex"), 1)
+
+
+class TestRepoIsClean(unittest.TestCase):
+    """The real repository must lint clean (the `lint` ctest)."""
+
+    def test_repo_clean(self):
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        violations = lint.run_lint(repo, lint.ALL_RULES)
+        self.assertEqual([str(v) for v in violations], [])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
