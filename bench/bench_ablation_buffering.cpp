@@ -21,6 +21,8 @@
 #include "sim/sim_fs.h"
 #include "sim/simulation.h"
 
+#include "bench_json.h"
+
 namespace {
 
 using namespace roc;
@@ -101,7 +103,8 @@ Result run(const rocpanda::ServerOptions& server_opts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json(&argc, argv);
   std::printf("Ablation A1: active buffering in Rocpanda (Table-1 workload, "
               "%d clients + %d servers, 100 steps, 3 snapshots).\n\n",
               kClients, kServers);
@@ -116,6 +119,13 @@ int main() {
               static_cast<unsigned long long>(a.spills),
               static_cast<unsigned long long>(a.peak_buffer));
 
+  json.record("ablation_buffering",
+              {bench::param("config", "unbounded")},
+              "visible_io_time", a.visible, "s");
+  json.record("ablation_buffering",
+              {bench::param("config", "unbounded")},
+              "total_run_time", a.total, "s");
+
   rocpanda::ServerOptions small = on;
   small.buffer_capacity = 2 * 1024 * 1024;  // real bytes; forces spills
   std::fprintf(stderr, "  running: buffering with small buffer...\n");
@@ -125,6 +135,13 @@ int main() {
               static_cast<unsigned long long>(b.spills),
               static_cast<unsigned long long>(b.peak_buffer));
 
+  json.record("ablation_buffering",
+              {bench::param("config", "small_buffer")},
+              "visible_io_time", b.visible, "s");
+  json.record("ablation_buffering",
+              {bench::param("config", "small_buffer")},
+              "spills", static_cast<double>(b.spills), "blocks");
+
   rocpanda::ServerOptions off;
   off.active_buffering = false;
   std::fprintf(stderr, "  running: buffering off...\n");
@@ -133,6 +150,10 @@ int main() {
               "no active buffering (sync write)", c.visible, c.total,
               static_cast<unsigned long long>(c.spills),
               static_cast<unsigned long long>(c.peak_buffer));
+
+  json.record("ablation_buffering",
+              {bench::param("config", "no_buffering")},
+              "visible_io_time", c.visible, "s");
 
   std::printf("\nexpected: without buffering the clients wait for the "
               "actual NFS writes (visible cost ~%0.0fx higher); a small "

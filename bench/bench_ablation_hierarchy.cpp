@@ -24,6 +24,8 @@
 #include "sim/sim_fs.h"
 #include "sim/simulation.h"
 
+#include "bench_json.h"
+
 namespace {
 
 using namespace roc;
@@ -100,7 +102,8 @@ Result run(const rocpanda::ClientOptions& client_opts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json(&argc, argv);
   std::printf("Ablation A5: client-side buffering in the active-buffering "
               "hierarchy (Table-1 workload, %d clients + %d servers, "
               "simulated Turing).\n\n", kClients, kServers);
@@ -119,6 +122,13 @@ int main() {
   const Result b = run(hierarchy);
   std::printf("%-38s %14.2f %14.2f %8zu\n",
               "client + server hierarchy", b.visible, b.total, b.files);
+
+  json.record("ablation_hierarchy",
+              {bench::param("config", "server_only")},
+              "visible_io_time", a.visible, "s");
+  json.record("ablation_hierarchy",
+              {bench::param("config", "hierarchy")},
+              "visible_io_time", b.visible, "s");
 
   std::printf("\nexpected: the hierarchy cuts the visible cost to the local "
               "marshalling copy (%.1fx lower here) at the price of client "

@@ -23,6 +23,8 @@
 #include "sim/sim_fs.h"
 #include "sim/simulation.h"
 
+#include "bench_json.h"
+
 namespace {
 
 using namespace roc;
@@ -93,7 +95,8 @@ double run(bool blocking_probe, int compute_procs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json(&argc, argv);
   std::printf("Ablation A4: server probe strategy (Fig 3(b) '15S' "
               "configuration, %d steps x %.1f s work).\n\n", kSteps,
               kWorkPerStep);
@@ -105,6 +108,14 @@ int main() {
     const double poll = run(false, n);
     std::printf("%14d | %18.2f %18.2f %9.1f%%\n", n, block, poll,
                 100.0 * (poll - block) / block);
+    json.record("ablation_probe",
+                {bench::param("probe", "blocking"),
+                 bench::param("compute_procs", n)},
+                "computation_time", block, "s");
+    json.record("ablation_probe",
+                {bench::param("probe", "polling"),
+                 bench::param("compute_procs", n)},
+                "computation_time", poll, "s");
   }
   std::printf("\nexpected: with the polling server the 16th CPU never goes "
               "idle, so the OS daemons preempt computation — the blocking "

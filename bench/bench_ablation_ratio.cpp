@@ -21,6 +21,8 @@
 #include "sim/sim_fs.h"
 #include "sim/simulation.h"
 
+#include "bench_json.h"
+
 namespace {
 
 using namespace roc;
@@ -96,7 +98,8 @@ Result run(int nservers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json(&argc, argv);
   std::printf("Ablation A2: client:server ratio sweep (Table-1 workload, "
               "%d clients, simulated Turing).\n\n", kClients);
   std::printf("%8s %10s | %14s %14s %8s\n", "ratio", "servers",
@@ -106,6 +109,14 @@ int main() {
     const Result r = run(nservers);
     std::printf("%6d:1 %10d | %14.2f %14.2f %8zu\n", kClients / nservers,
                 nservers, r.visible, r.sync, r.files);
+    json.record("ablation_ratio",
+                {bench::param("servers", nservers),
+                 bench::param("clients", kClients)},
+                "visible_io_time", r.visible, "s");
+    json.record("ablation_ratio",
+                {bench::param("servers", nservers),
+                 bench::param("clients", kClients)},
+                "final_sync_time", r.sync, "s");
   }
   std::printf("\nexpected: fewer servers -> fewer files and fewer wasted "
               "processors, but higher per-server load (visible cost and "

@@ -29,6 +29,8 @@
 #include "sim/sim_fs.h"
 #include "sim/simulation.h"
 
+#include "bench_json.h"
+
 namespace {
 
 using namespace roc;
@@ -144,7 +146,8 @@ Point run_rochdf(int compute_procs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json(&argc, argv);
   std::printf("Figure 3(a) reproduction: apparent aggregate write "
               "throughput on the simulated ASCI Frost (MB/s).\n");
   std::printf("Fixed %.0f MB per compute processor; Rocpanda: 15 compute + "
@@ -159,6 +162,16 @@ int main() {
     const Point panda = run_rocpanda(n);
     const Point hdf = run_rochdf(n);
     if (n == 480) panda_at_480 = panda.throughput_mb_s;
+    json.record("fig3a",
+                {bench::param("service", "rocpanda"),
+                 bench::param("compute_procs", n),
+                 bench::param("total_procs", panda.total_procs)},
+                "apparent_throughput", panda.throughput_mb_s, "MB/s");
+    json.record("fig3a",
+                {bench::param("service", "rochdf"),
+                 bench::param("compute_procs", n),
+                 bench::param("total_procs", hdf.total_procs)},
+                "apparent_throughput", hdf.throughput_mb_s, "MB/s");
     std::printf("%14d %14d | %14.1f %14.1f | %10s\n", n, panda.total_procs,
                 panda.throughput_mb_s, hdf.throughput_mb_s,
                 panda.throughput_mb_s > hdf.throughput_mb_s ? "Rocpanda"

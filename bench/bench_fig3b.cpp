@@ -30,6 +30,8 @@
 #include "sim/sim_fs.h"
 #include "sim/simulation.h"
 
+#include "bench_json.h"
+
 namespace {
 
 using namespace roc;
@@ -151,7 +153,8 @@ double run_config(Config config, int compute_procs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json(&argc, argv);
   std::printf("Figure 3(b) reproduction: computation time (s) for fixed "
               "work per processor (%d steps x %.1f s) on the simulated "
               "Frost.\n\n", kSteps, kWorkPerStep);
@@ -165,6 +168,13 @@ int main() {
     const double t15 = run_config(Config::k15NS, n);
     const double t15s = run_config(Config::k15S, n);
     std::printf("%14d | %10.2f %10.2f %10.2f\n", n, t16, t15, t15s);
+    const std::pair<const char*, double> cfgs[] = {
+        {"16NS", t16}, {"15NS", t15}, {"15S", t15s}};
+    for (const auto& [cfg, seconds] : cfgs)
+      json.record("fig3b",
+                  {bench::param("config", cfg),
+                   bench::param("compute_procs", n)},
+                  "computation_time", seconds, "s");
   }
   std::printf("\nexpected shape (paper): 16NS grows visibly with scale as "
               "OS noise preempts computation and per-step synchronization "

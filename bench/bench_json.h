@@ -1,0 +1,131 @@
+#pragma once
+/// \file bench_json.h
+/// \brief Machine-readable results for the bench harnesses.
+///
+/// Every harness accepts `--json <path>`.  When given, the run writes a
+/// JSON array with one record per measured point:
+///
+///   {"name": "<harness or benchmark>", "params": {"key": value, ...},
+///    "metric": "<what was measured>", "value": <number>,
+///    "units": "<unit string>"}
+///
+/// The schema is documented in EXPERIMENTS.md ("Benchmark JSON output").
+/// Human-readable stdout output is unchanged; the JSON file is the stable
+/// interface for plotting and regression scripts.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bench {
+
+/// One `"key": value` entry of a record's params object.
+struct Param {
+  std::string key;
+  std::string text;  ///< Used when !numeric (emitted as a JSON string).
+  double num = 0;    ///< Used when numeric.
+  bool numeric = false;
+};
+
+inline Param param(std::string key, double v) {
+  Param p;
+  p.key = std::move(key);
+  p.num = v;
+  p.numeric = true;
+  return p;
+}
+inline Param param(std::string key, int v) {
+  return param(std::move(key), static_cast<double>(v));
+}
+inline Param param(std::string key, std::string v) {
+  Param p;
+  p.key = std::move(key);
+  p.text = std::move(v);
+  return p;
+}
+inline Param param(std::string key, const char* v) {
+  return param(std::move(key), std::string(v));
+}
+
+/// Collects records and writes them as one JSON array on destruction.
+/// Constructed from argc/argv: consumes `--json <path>` (removing it from
+/// argv so later argv consumers never see it); without the flag every call
+/// is a no-op.
+class JsonEmitter {
+ public:
+  JsonEmitter(int* argc, char** argv) {
+    for (int i = 1; i < *argc; ++i) {
+      if (std::string(argv[i]) != "--json" || i + 1 >= *argc) continue;
+      path_ = argv[i + 1];
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      break;
+    }
+  }
+
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+
+  ~JsonEmitter() { flush(); }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void record(const std::string& name, const std::vector<Param>& params,
+              const std::string& metric, double value,
+              const std::string& units) {
+    if (!enabled()) return;
+    std::string r = "  {\"name\": " + quote(name) + ", \"params\": {";
+    bool first = true;
+    for (const Param& p : params) {
+      if (!first) r += ", ";
+      first = false;
+      r += quote(p.key) + ": ";
+      r += p.numeric ? number(p.num) : quote(p.text);
+    }
+    r += "}, \"metric\": " + quote(metric);
+    r += ", \"value\": " + number(value);
+    r += ", \"units\": " + quote(units) + "}";
+    records_.push_back(std::move(r));
+  }
+
+  /// Writes the file now (also called by the destructor).
+  void flush() {
+    if (!enabled() || flushed_) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < records_.size(); ++i)
+      std::fprintf(f, "%s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    std::fputs("]\n", f);
+    std::fclose(f);
+    flushed_ = true;
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string number(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+
+  std::string path_;
+  std::vector<std::string> records_;
+  bool flushed_ = false;
+};
+
+}  // namespace bench

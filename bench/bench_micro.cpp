@@ -1,17 +1,28 @@
 /// \file bench_micro.cpp
 /// \brief google-benchmark micro-benchmarks of the library primitives:
-/// serialization, CRC, SHDF dataset I/O, block marshalling, and
-/// thread-backed message passing.
+/// serialization, CRC, SHDF dataset I/O, block marshalling, thread-backed
+/// message passing, and the zero-copy write pipeline (chain marshalling,
+/// scatter-gather ship, pooled buffers, pass-through server writes) against
+/// its copying counterparts.
+///
+/// Accepts `--json <path>` (see bench_json.h): every run is also recorded
+/// as {name, params, metric, value, units} records, one per reported
+/// metric (real_time plus any rate counters).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <numeric>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "comm/thread_comm.h"
 #include "mesh/generators.h"
 #include "rocpanda/wire.h"
 #include "shdf/reader.h"
 #include "shdf/writer.h"
+#include "util/buffer.h"
 #include "util/crc64.h"
 #include "util/serialize.h"
 #include "vfs/vfs.h"
@@ -29,6 +40,20 @@ void BM_Crc64(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_Crc64)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+// Bit-at-a-time reference implementation, benchmarked so the table-driven
+// speedup is visible in the same report (small sizes only; it is slow).
+void BM_Crc64Bitwise(benchmark::State& state) {
+  std::vector<unsigned char> data(static_cast<size_t>(state.range(0)));
+  std::iota(data.begin(), data.end(), 0);
+  for (auto _ : state) {
+    const uint64_t s = crc64_update_bitwise(~0ULL, data.data(), data.size());
+    benchmark::DoNotOptimize(~s);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc64Bitwise)->Arg(1 << 10)->Arg(1 << 16);
 
 void BM_SerializeVector(benchmark::State& state) {
   std::vector<double> v(static_cast<size_t>(state.range(0)), 1.5);
@@ -138,6 +163,197 @@ void BM_Allgather(benchmark::State& state) {
 }
 BENCHMARK(BM_Allgather)->Arg(4)->Arg(16);
 
+// --- zero-copy write pipeline vs the copying path --------------------------
+
+/// A structured block with the fluid schema and non-trivial field data; the
+/// marshalling unit the pipeline benchmarks ship.
+mesh::MeshBlock marshal_block(int n) {
+  auto b = mesh::MeshBlock::structured(1, {n, n, n});
+  mesh::add_fluid_schema(b);
+  auto& p = b.field("pressure");
+  std::iota(p.data.begin(), p.data.end(), 0.0);
+  return b;
+}
+
+/// Copying marshal: materialise a WireBlock (copies every array), then
+/// serialize (copies them again into the wire buffer).
+void BM_WireMarshalCopy(benchmark::State& state) {
+  const auto b = marshal_block(static_cast<int>(state.range(0)));
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    const auto wire = rocpanda::WireBlock::from_block(b, "all").serialize();
+    bytes = static_cast<int64_t>(wire.size());
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes);
+}
+BENCHMARK(BM_WireMarshalCopy)->Arg(16)->Arg(48);
+
+/// Chain marshal: header bytes only, payload segments alias the block;
+/// the pool gather is the single permitted copy.
+void BM_WireMarshalChain(benchmark::State& state) {
+  const auto b = marshal_block(static_cast<int>(state.range(0)));
+  BufferPool pool;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    const BufferChain chain = rocpanda::WireBlock::serialize_chain(b, "all");
+    const SharedBuffer wire = pool.gather(chain);
+    bytes = static_cast<int64_t>(wire.size());
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes);
+}
+BENCHMARK(BM_WireMarshalChain)->Arg(16)->Arg(48);
+
+constexpr int kShipsPerRun = 4;
+
+/// Marshal + ship, copy path: serialize to a vector, send raw bytes (the
+/// mailbox copies them again).  This is the pre-zero-copy client hot path.
+void BM_BlockShipCopy(benchmark::State& state) {
+  const auto b = marshal_block(static_cast<int>(state.range(0)));
+  const int64_t wire_bytes = static_cast<int64_t>(
+      rocpanda::WireBlock::from_block(b, "all").serialize().size());
+  for (auto _ : state) {
+    comm::World::run(2, [&b](comm::Comm& comm) {
+      if (comm.rank() == 0) {
+        for (int i = 0; i < kShipsPerRun; ++i) {
+          const auto bytes =
+              rocpanda::WireBlock::from_block(b, "all").serialize();
+          comm.send(1, 1, bytes.data(), bytes.size());
+        }
+      } else {
+        for (int i = 0; i < kShipsPerRun; ++i) {
+          auto m = comm.recv(0, 1);
+          benchmark::DoNotOptimize(m.payload.data());
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          kShipsPerRun * wire_bytes);
+}
+BENCHMARK(BM_BlockShipCopy)->Arg(16)->Arg(48);
+
+/// Marshal + ship, zero-copy path: chain-serialize (payloads borrowed) and
+/// sendv gathers once straight into the delivered message.
+void BM_BlockShipZeroCopy(benchmark::State& state) {
+  const auto b = marshal_block(static_cast<int>(state.range(0)));
+  const int64_t wire_bytes = static_cast<int64_t>(
+      rocpanda::WireBlock::serialize_chain(b, "all").total_bytes());
+  for (auto _ : state) {
+    comm::World::run(2, [&b](comm::Comm& comm) {
+      if (comm.rank() == 0) {
+        for (int i = 0; i < kShipsPerRun; ++i) {
+          const BufferChain chain =
+              rocpanda::WireBlock::serialize_chain(b, "all");
+          comm.sendv(1, 1, chain);
+        }
+      } else {
+        for (int i = 0; i < kShipsPerRun; ++i) {
+          auto m = comm.recv(0, 1);
+          benchmark::DoNotOptimize(m.payload.data());
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          kShipsPerRun * wire_bytes);
+}
+BENCHMARK(BM_BlockShipZeroCopy)->Arg(16)->Arg(48);
+
+/// Server write, materialising path: received wire bytes are copied out,
+/// deserialised into a MeshBlock, and re-marshalled dataset by dataset.
+void BM_ServerWriteMaterialize(benchmark::State& state) {
+  const auto b = marshal_block(static_cast<int>(state.range(0)));
+  const SharedBuffer wire =
+      SharedBuffer::adopt(rocpanda::WireBlock::from_block(b, "all").serialize());
+  for (auto _ : state) {
+    vfs::MemFileSystem fs;
+    shdf::Writer w(fs, "f");
+    rocpanda::WireBlock::deserialize(wire.to_vector())
+        .write_to(w, "fluid", 0.0);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_ServerWriteMaterialize)->Arg(16)->Arg(48);
+
+/// Server write, pass-through path: parse the header in place and gather
+/// dataset payloads to the file straight from the retained wire bytes.
+void BM_ServerWritePassThrough(benchmark::State& state) {
+  const auto b = marshal_block(static_cast<int>(state.range(0)));
+  const SharedBuffer wire =
+      SharedBuffer::adopt(rocpanda::WireBlock::from_block(b, "all").serialize());
+  for (auto _ : state) {
+    vfs::MemFileSystem fs;
+    shdf::Writer w(fs, "f");
+    rocpanda::WireBlockView::parse(wire).write_to(w, "fluid", 0.0);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_ServerWritePassThrough)->Arg(16)->Arg(48);
+
+/// One pooled acquire/seal/release cycle vs allocating fresh storage each
+/// time: the snapshot-loop allocation churn BufferPool removes.
+void BM_BufferPoolCycle(benchmark::State& state) {
+  BufferPool pool;
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto v = pool.acquire(n);
+    v[0] = 1;
+    const SharedBuffer buf = pool.seal(std::move(v));
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolCycle)->Arg(1 << 16)->Arg(1 << 22);
+
+void BM_FreshAllocCycle(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<unsigned char> v(n);
+    v[0] = 1;
+    const SharedBuffer buf = SharedBuffer::adopt(std::move(v));
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FreshAllocCycle)->Arg(1 << 16)->Arg(1 << 22);
+
+/// Tees every finished run into the JSON emitter (one record per reported
+/// metric) and then defers to the normal console output.
+class TeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TeeReporter(bench::JsonEmitter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const std::string name = run.benchmark_name();
+      json_->record(name, {}, "real_time", run.GetAdjustedRealTime(),
+                    benchmark::GetTimeUnitString(run.time_unit));
+      for (const auto& [counter_name, counter] : run.counters)
+        json_->record(name, {}, counter_name, counter,
+                      counter_name.find("per_second") != std::string::npos
+                          ? "1/s"
+                          : "");
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::JsonEmitter* json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::JsonEmitter json(&argc, argv);  // strips --json before Initialize
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  TeeReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,6 +20,8 @@
 #include "util/stopwatch.h"
 #include "vfs/vfs.h"
 
+#include "bench_json.h"
+
 namespace {
 
 using namespace roc;
@@ -60,7 +62,8 @@ Times run(shdf::DirectoryKind kind, int datasets) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json(&argc, argv);
   std::printf("Ablation A3: SHDF directory engines vs dataset count "
               "(real wall time, in-memory files).\n\n");
   std::printf("%10s | %12s %12s %12s | %12s %12s %12s\n", "datasets",
@@ -72,6 +75,19 @@ int main() {
     std::printf("%10d | %10.4fs %10.4fs %10.4fs | %10.4fs %10.4fs %10.4fs\n",
                 n, lin.write_s, lin.open_s, lin.lookup_s, idx.write_s,
                 idx.open_s, idx.lookup_s);
+    const std::pair<const char*, Times> engines[] = {{"linear", lin},
+                                                     {"indexed", idx}};
+    for (const auto& [engine, t] : engines) {
+      const std::pair<const char*, double> metrics[] = {
+          {"write_time", t.write_s},
+          {"open_time", t.open_s},
+          {"lookup_1k_time", t.lookup_s}};
+      for (const auto& [metric, v] : metrics)
+        json.record("shdf_scaling",
+                    {bench::param("engine", engine),
+                     bench::param("datasets", n)},
+                    metric, v, "s");
+    }
   }
   std::printf("\nexpected: linear (HDF4-like) write cost grows "
               "super-linearly with dataset count and lookups grow linearly; "

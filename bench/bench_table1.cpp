@@ -27,6 +27,8 @@
 #include "sim/sim_fs.h"
 #include "sim/simulation.h"
 
+#include "bench_json.h"
+
 namespace {
 
 using namespace roc;
@@ -219,7 +221,8 @@ double run_restart_phase(int nclients, Mode mode, vfs::MemFileSystem store) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json(&argc, argv);
   const std::vector<int> procs = {16, 32, 64};
 
   std::printf("Table 1 reproduction: computation and I/O times on the "
@@ -277,6 +280,27 @@ int main() {
   print_row("visible I/O  Rocpanda", visible_rocpanda, "2.40 / 1.48 / 1.94");
   print_row("restart time Rochdf", restart_rochdf, "5.33 / 1.93 / 0.72");
   print_row("restart time Rocpanda", restart_rocpanda, "69.9 / 39.2 / 18.2");
+
+  for (size_t i = 0; i < procs.size(); ++i) {
+    const int n = procs[i];
+    json.record("table1", {bench::param("procs", n)}, "computation_time",
+                compute_row[i], "s");
+    const std::pair<const char*, const std::vector<double>*> vis[] = {
+        {"rochdf", &visible_rochdf},
+        {"trochdf", &visible_trochdf},
+        {"rocpanda", &visible_rocpanda}};
+    for (const auto& [svc, row] : vis)
+      json.record("table1",
+                  {bench::param("procs", n), bench::param("service", svc)},
+                  "visible_io_time", (*row)[i], "s");
+    json.record("table1",
+                {bench::param("procs", n), bench::param("service", "rochdf")},
+                "restart_time", restart_rochdf[i], "s");
+    json.record("table1",
+                {bench::param("procs", n),
+                 bench::param("service", "rocpanda")},
+                "restart_time", restart_rocpanda[i], "s");
+  }
 
   std::printf("\nderived claims (§7.1):\n");
   for (size_t i = 0; i < procs.size(); ++i) {

@@ -44,7 +44,7 @@ void Comm::bcast(std::vector<unsigned char>& data, int root) {
   while (mask < n) {
     if (vr & mask) {
       const int parent = ((vr ^ mask) + root) % n;
-      data = recv(parent, kTagBcast).payload;
+      data = recv(parent, kTagBcast).payload.to_vector();
       break;
     }
     mask <<= 1;
@@ -150,7 +150,7 @@ std::vector<unsigned char> Comm::scatter(
       if (r != root) send(r, kTagScatter, parts[static_cast<size_t>(r)]);
     return parts[static_cast<size_t>(root)];
   }
-  return recv(root, kTagScatter).payload;
+  return recv(root, kTagScatter).payload.to_vector();
 }
 
 std::vector<std::vector<unsigned char>> Comm::alltoall(
@@ -165,7 +165,7 @@ std::vector<std::vector<unsigned char>> Comm::alltoall(
     if (r != rank()) send(r, kTagAlltoall, parts[static_cast<size_t>(r)]);
   for (int r = 0; r < n; ++r)
     if (r != rank())
-      out[static_cast<size_t>(r)] = recv(r, kTagAlltoall).payload;
+      out[static_cast<size_t>(r)] = recv(r, kTagAlltoall).payload.to_vector();
   return out;
 }
 

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/error.h"
 
 namespace roc::comm {
@@ -38,11 +39,14 @@ struct Status {
   size_t bytes = 0;  ///< Payload size of the pending message.
 };
 
-/// A received message (payload owned by the receiver).
+/// A received message.  The payload is an immutable SharedBuffer: when the
+/// sender shipped a SharedBuffer the receiver shares the sender's storage
+/// (zero-copy); `payload.to_vector()` is the compatibility accessor for
+/// call sites that need a mutable vector.
 struct Message {
   int source = kAnySource;
   int tag = kAnyTag;
-  std::vector<unsigned char> payload;
+  SharedBuffer payload;
 };
 
 /// An ordered group of processes with point-to-point and collective
@@ -63,6 +67,21 @@ class Comm {
 
   void send(int dest, int tag, const std::vector<unsigned char>& data) {
     send(dest, tag, data.data(), data.size());
+  }
+
+  /// Sends an immutable buffer.  Substrates that can (ThreadComm, SimComm)
+  /// enqueue a *reference* — no byte copy; safe because SharedBuffers are
+  /// immutable.  The default forwards to the raw (copying) send.
+  virtual void send(int dest, int tag, SharedBuffer buf) {
+    send(dest, tag, buf.data(), buf.size());
+  }
+
+  /// Scatter-gather send: ships the chain's segments as one message.  The
+  /// chain is gathered into a single SharedBuffer (the one permitted copy)
+  /// before transport, so borrowed segments only need to stay valid until
+  /// sendv returns — the same buffer-reuse guarantee as the raw send.
+  virtual void sendv(int dest, int tag, const BufferChain& chain) {
+    send(dest, tag, chain.gather());
   }
 
   /// Sends an empty message (pure signal).

@@ -13,12 +13,13 @@ namespace roc::comm {
 
 namespace detail {
 
-/// One pending message in a mailbox.
+/// One pending message in a mailbox.  The payload is a SharedBuffer so a
+/// send of an already-shared buffer enqueues a reference, not a copy.
 struct Envelope {
   uint64_t comm_id;
   int source;  ///< Sender's rank within the communicator `comm_id`.
   int tag;
-  std::vector<unsigned char> payload;
+  SharedBuffer payload;
 };
 
 /// Per-process mailbox: FIFO of envelopes + wakeup signalling.
@@ -58,6 +59,12 @@ ThreadComm::ThreadComm(std::shared_ptr<WorldState> world, uint64_t comm_id,
       rank_(rank) {}
 
 void ThreadComm::send(int dest, int tag, const void* data, size_t n) {
+  // The raw send contract lets the caller reuse `data` immediately, so this
+  // path must copy; send(SharedBuffer) below is the zero-copy path.
+  send(dest, tag, SharedBuffer::copy_of(data, n));
+}
+
+void ThreadComm::send(int dest, int tag, SharedBuffer buf) {
   require(dest >= 0 && dest < size(), "send: dest rank out of range");
   Mailbox& box = world_->mailboxes[static_cast<size_t>(
       members_[static_cast<size_t>(dest)])];
@@ -65,8 +72,7 @@ void ThreadComm::send(int dest, int tag, const void* data, size_t n) {
   e.comm_id = comm_id_;
   e.source = rank_;
   e.tag = tag;
-  e.payload.assign(static_cast<const unsigned char*>(data),
-                   static_cast<const unsigned char*>(data) + n);
+  e.payload = std::move(buf);  // reference enqueue: no byte copy
   {
     roc::MutexLock lock(box.mutex);
     box.queue.push_back(std::move(e));

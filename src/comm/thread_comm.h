@@ -30,7 +30,10 @@ class ThreadComm final : public Comm {
     return static_cast<int>(members_.size());
   }
 
+  using Comm::send;
   void send(int dest, int tag, const void* data, size_t n) override;
+  /// Zero-copy: enqueues a reference to `buf` in the destination mailbox.
+  void send(int dest, int tag, SharedBuffer buf) override;
   [[nodiscard]] Message recv(int source, int tag) override;
   bool iprobe(int source, int tag, Status* st) override;
   Status probe(int source, int tag) override;

@@ -20,50 +20,23 @@ std::string field_dataset(const std::string& window, int pane_id,
   return block_prefix(window, pane_id) + "field:" + field;
 }
 
-DatasetDef coords_def(const std::string& window, const MeshBlock& b,
-                      double time) {
-  DatasetDef def;
-  def.name = block_prefix(window, b.id()) + "coords";
-  def.type = DataType::kFloat64;
-  def.dims = {b.node_count(), 3};
-  def.attributes.push_back(
-      Attribute{"kind", static_cast<int64_t>(b.kind())});
-  def.attributes.push_back(Attribute{"pane_id", static_cast<int64_t>(b.id())});
-  def.attributes.push_back(Attribute{"time", time});
-  const auto& d = b.node_dims();
-  def.attributes.push_back(Attribute{
-      "node_dims", std::vector<int64_t>{d[0], d[1], d[2]}});
-  return def;
-}
-
 void write_mesh(shdf::Writer& w, const std::string& window,
                 const MeshBlock& b, double time) {
-  const DatasetDef cdef = coords_def(window, b, time);
+  const DatasetDef cdef = coords_def(window, b.id(), b.kind(), b.node_dims(),
+                                     b.node_count(), time);
   w.add_dataset(cdef, b.coords().data());
   if (b.kind() == MeshKind::kUnstructured) {
-    DatasetDef def;
-    def.name = block_prefix(window, b.id()) + "connectivity";
-    def.type = DataType::kInt32;
-    def.dims = {b.element_count(), 4};
-    w.add_dataset(def, b.connectivity().data());
+    w.add_dataset(connectivity_def(window, b.id(), b.element_count()),
+                  b.connectivity().data());
   }
 }
 
 void write_field(shdf::Writer& w, const std::string& window,
                  const MeshBlock& b, const mesh::Field& f, double time,
                  shdf::Codec codec) {
-  DatasetDef def;
-  def.name = field_dataset(window, b.id(), f.name);
-  def.type = DataType::kFloat64;
-  def.codec = codec;
-  // Entity count derived from the data itself, so partially-populated
-  // marshalling blocks (field-only transfers) write correct datasets.
-  def.dims = {f.data.size() / static_cast<uint64_t>(f.ncomp),
-              static_cast<uint64_t>(f.ncomp)};
-  def.attributes.push_back(
-      Attribute{"centering", static_cast<int64_t>(f.centering)});
-  def.attributes.push_back(Attribute{"time", time});
-  w.add_dataset(def, f.data.data());
+  w.add_dataset(field_def(window, b.id(), f.name, f.centering, f.ncomp,
+                          f.data.size(), time, codec),
+                f.data.data());
 }
 
 int64_t int_attr(const shdf::Reader& r, const std::string& dataset,
@@ -81,6 +54,50 @@ std::string block_prefix(const std::string& window, int pane_id) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "/block_%06d/", pane_id);
   return window + buf;
+}
+
+DatasetDef coords_def(const std::string& window, int pane_id,
+                      MeshKind kind, const std::array<int, 3>& node_dims,
+                      uint64_t node_count, double time) {
+  DatasetDef def;
+  def.name = block_prefix(window, pane_id) + "coords";
+  def.type = DataType::kFloat64;
+  def.dims = {node_count, 3};
+  def.attributes.push_back(Attribute{"kind", static_cast<int64_t>(kind)});
+  def.attributes.push_back(
+      Attribute{"pane_id", static_cast<int64_t>(pane_id)});
+  def.attributes.push_back(Attribute{"time", time});
+  def.attributes.push_back(Attribute{
+      "node_dims",
+      std::vector<int64_t>{node_dims[0], node_dims[1], node_dims[2]}});
+  return def;
+}
+
+DatasetDef connectivity_def(const std::string& window, int pane_id,
+                            uint64_t element_count) {
+  DatasetDef def;
+  def.name = block_prefix(window, pane_id) + "connectivity";
+  def.type = DataType::kInt32;
+  def.dims = {element_count, 4};
+  return def;
+}
+
+DatasetDef field_def(const std::string& window, int pane_id,
+                     const std::string& field, mesh::Centering centering,
+                     int ncomp, uint64_t value_count, double time,
+                     shdf::Codec codec) {
+  DatasetDef def;
+  def.name = field_dataset(window, pane_id, field);
+  def.type = DataType::kFloat64;
+  def.codec = codec;
+  // Entity count derived from the data itself, so partially-populated
+  // marshalling blocks (field-only transfers) write correct datasets.
+  def.dims = {value_count / static_cast<uint64_t>(ncomp),
+              static_cast<uint64_t>(ncomp)};
+  def.attributes.push_back(
+      Attribute{"centering", static_cast<int64_t>(centering)});
+  def.attributes.push_back(Attribute{"time", time});
+  return def;
 }
 
 void write_block(shdf::Writer& w, const std::string& window,

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <set>
 
+#include "rocpanda/wire.h"
 #include "shdf/reader.h"
 #include "util/log.h"
 
@@ -87,8 +88,10 @@ void Rochdf::write_job(const Job& job) {
     open_file_ = job.file;
   }
   for (const auto& b : job.blocks) {
-    roccom::write_block(*writer_, job.window, b, job.attribute, job.time,
-                        options_.codec);
+    // Pass-through: dataset payloads stream straight from the buffered
+    // wire bytes; no MeshBlock is reconstructed.
+    rocpanda::WireBlockView::parse(b).write_to(*writer_, job.window,
+                                               job.time, options_.codec);
     comm::GateLock lock(*gate_);
     ++stats_.blocks_written;
   }
@@ -168,17 +171,19 @@ void Rochdf::write_attribute(Roccom& com, const IoRequest& req) {
     current_snapshot_ = req.file;
   }
 
-  // Buffer: deep-copy the panes so the caller can reuse them immediately.
+  // Buffer: marshal each pane into a pooled wire-format buffer (the one
+  // copy) so the caller can reuse its blocks immediately.
   Job job;
   job.file = path;
   job.window = req.window;
-  job.attribute = req.attribute;
   job.time = req.time;
   job.blocks.reserve(panes.size());
   uint64_t bytes = 0;
   for (const Pane* p : panes) {
-    job.blocks.push_back(*p->block);  // deep copy
-    bytes += p->block->payload_bytes();
+    SharedBuffer wire = pool_.gather(
+        rocpanda::WireBlock::serialize_chain(*p->block, req.attribute));
+    bytes += wire.size();
+    job.blocks.push_back(std::move(wire));
   }
   env_.charge_local_copy(bytes);
 

@@ -5,10 +5,12 @@
 ///
 /// Each compute processor writes its own data blocks into its own SHDF
 /// file, `<prefix><file>_p<rank>.shdf`.  No communication happens during
-/// I/O.  In threaded mode (T-Rochdf) write_attribute deep-copies the
-/// blocks into a local buffer and returns immediately; one persistent
-/// background worker per process performs the file writes.  Semantics
-/// (paper §6.2, tested in tests/rochdf_test.cpp):
+/// I/O.  In threaded mode (T-Rochdf) write_attribute marshals the blocks
+/// into pooled wire-format buffers (one copy, recycled storage) and
+/// returns immediately; one persistent background worker per process
+/// streams those buffers into the file through the pass-through view (no
+/// MeshBlock reconstruction).  Semantics (paper §6.2, tested in
+/// tests/rochdf_test.cpp):
 ///
 ///  * buffer-reuse safety: callers may mutate their blocks as soon as
 ///    write_attribute returns;
@@ -47,7 +49,7 @@ struct Options {
 struct Stats {
   uint64_t write_calls = 0;
   uint64_t blocks_written = 0;
-  uint64_t bytes_buffered = 0;   ///< Deep-copied by T-Rochdf buffering.
+  uint64_t bytes_buffered = 0;   ///< Wire bytes buffered by T-Rochdf.
   uint64_t files_written = 0;
   uint64_t snapshot_waits = 0;   ///< Times the main thread had to wait for
                                  ///< the previous snapshot (T-Rochdf).
@@ -84,13 +86,14 @@ class Rochdf final : public roccom::IoService {
                                              int rank);
 
  private:
-  /// One buffered write request (threaded mode).
+  /// One buffered write request (threaded mode).  Blocks are pooled
+  /// wire-format snapshots of the panes (WireBlock bytes), written via the
+  /// pass-through view instead of reconstructed MeshBlocks.
   struct Job {
     std::string file;  ///< Full path of the per-process file.
     std::string window;
-    std::string attribute;
     double time = 0;
-    std::vector<mesh::MeshBlock> blocks;  ///< Deep copies.
+    std::vector<SharedBuffer> blocks;  ///< Marshalled pane snapshots.
   };
 
   /// Synchronous write of one request into the per-process file
@@ -112,6 +115,10 @@ class Rochdf final : public roccom::IoService {
   comm::Env& env_;
   vfs::FileSystem& fs_;
   Options options_;
+
+  /// Recycles snapshot buffers across write calls (threaded mode).
+  /// Internally synchronized: the worker returns buffers from its thread.
+  BufferPool pool_;
 
   // --- worker coordination (threaded mode).  gate_ is the capability the
   // ROC_GUARDED_BY annotations below refer to; gate_storage_ only owns it.

@@ -113,8 +113,11 @@ void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
     job.header = h.serialize();
     job.blocks.reserve(panes.size());
     for (const Pane* p : panes) {
-      const WireBlock wb = WireBlock::from_block(*p->block, req.attribute);
-      auto bytes = wb.serialize();
+      // Gather the chain into one pooled buffer: the single marshalling
+      // copy.  Everything downstream (queue, send, server buffer) shares
+      // references to these bytes.
+      SharedBuffer bytes =
+          pool_.gather(WireBlock::serialize_chain(*p->block, req.attribute));
       env_.charge_local_copy(bytes.size());
       job.bytes += bytes.size();
       job.blocks.push_back(std::move(bytes));
@@ -138,11 +141,14 @@ void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
   // between buffering, writing and probing (paper §6.1).
   uint64_t sent_bytes = 0;
   for (const Pane* p : panes) {
-    const WireBlock wb = WireBlock::from_block(*p->block, req.attribute);
-    auto bytes = wb.serialize();
-    env_.charge_local_copy(bytes.size());  // marshalling copy
-    sent_bytes += bytes.size();
-    world_.send(server_, kTagWriteBlock, bytes);
+    // The chain's payload segments alias the pane's arrays; sendv gathers
+    // them once on their way out (the single marshalling copy), which is
+    // what makes immediate buffer reuse by the caller safe.
+    const BufferChain chain =
+        WireBlock::serialize_chain(*p->block, req.attribute);
+    env_.charge_local_copy(chain.total_bytes());  // marshalling copy
+    sent_bytes += chain.total_bytes();
+    world_.sendv(server_, kTagWriteBlock, chain);
   }
 
   // Visible cost ends when the server confirms everything is buffered.

@@ -86,10 +86,12 @@ class RocpandaClient final : public roccom::IoService {
       const std::string& file, const std::string& window,
       const std::vector<int>& pane_ids);
 
-  /// One buffered collective write (hierarchy mode).
+  /// One buffered collective write (hierarchy mode).  Blocks are pooled
+  /// wire-format buffers; ship() enqueues references, so the bytes are
+  /// copied exactly once (marshalling) on their way to the server.
   struct Job {
-    std::vector<unsigned char> header;            ///< WriteHeader bytes.
-    std::vector<std::vector<unsigned char>> blocks;  ///< WireBlock bytes.
+    std::vector<unsigned char> header;  ///< WriteHeader bytes.
+    std::vector<SharedBuffer> blocks;   ///< WireBlock bytes, pool-backed.
     uint64_t bytes = 0;
   };
 
@@ -105,6 +107,11 @@ class RocpandaClient final : public roccom::IoService {
   ClientOptions options_;
   int server_;  ///< World rank of this client's server.
   bool shut_down_ = false;
+
+  /// Recycles marshalling buffers across write calls (hierarchy mode).
+  /// Internally synchronized: buffers return to the pool from whichever
+  /// thread drops the last reference.
+  BufferPool pool_;
 
   // --- client-side buffering (hierarchy mode).  gate_ is the capability
   // the ROC_GUARDED_BY annotations refer to; gate_storage_ only owns it.

@@ -30,7 +30,10 @@ struct BufferedItem {
   std::string path;    ///< Server file the block belongs in.
   std::string window;
   double time;
-  std::vector<unsigned char> wire_bytes;  ///< Serialized WireBlock.
+  SharedBuffer wire_bytes;  ///< Serialized WireBlock, as received.
+  /// Parsed header view over wire_bytes (pass-through mode only); its
+  /// payloads are written without reconstructing a MeshBlock.
+  std::optional<WireBlockView> view;
 };
 
 /// Per-client state of an in-progress write request.
@@ -121,7 +124,7 @@ class Server {
       case kTagWriteBegin: {
         auto msg = world_.recv(st.source, kTagWriteBegin);
         WriteContext ctx;
-        ctx.header = WriteHeader::deserialize(msg.payload);
+        ctx.header = WriteHeader::deserialize(msg.payload.to_vector());
         ctx.remaining = ctx.header.nblocks;
         if (ctx.remaining == 0) {
           world_.signal(st.source, kTagWriteAck);
@@ -146,6 +149,10 @@ class Server {
         item.window = ctx.header.window;
         item.time = ctx.header.time;
         item.wire_bytes = std::move(msg.payload);
+        // Parse the header up front: malformed blocks fail at receive time
+        // in both modes, and the view is what write_item streams from.
+        if (opts_.pass_through)
+          item.view = WireBlockView::parse(item.wire_bytes);
 
         if (opts_.active_buffering) {
           buffer_item(std::move(item));
@@ -166,8 +173,8 @@ class Server {
       }
       case kTagReadBegin: {
         auto msg = world_.recv(st.source, kTagReadBegin);
-        pending_reads_.emplace(st.source,
-                               ReadHeader::deserialize(msg.payload));
+        pending_reads_.emplace(
+            st.source, ReadHeader::deserialize(msg.payload.to_vector()));
         return false;
       }
       case kTagListReq: {
@@ -246,8 +253,14 @@ class Server {
 
   void write_item(const BufferedItem& item) {
     ensure_writer(item.path);
-    const WireBlock wb = WireBlock::deserialize(item.wire_bytes);
-    wb.write_to(*writer_, item.window, item.time, opts_.codec);
+    if (item.view) {
+      // Pass-through: dataset payloads stream from the retained wire
+      // bytes; no MeshBlock, no re-marshalling.
+      item.view->write_to(*writer_, item.window, item.time, opts_.codec);
+    } else {
+      const WireBlock wb = WireBlock::deserialize(item.wire_bytes.to_vector());
+      wb.write_to(*writer_, item.window, item.time, opts_.codec);
+    }
     ++stats_.blocks_written;
   }
 

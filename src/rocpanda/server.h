@@ -42,6 +42,13 @@ struct ServerOptions {
   /// Payload filter for field datasets (geometry stays uncompressed).
   shdf::Codec codec = shdf::Codec::kNone;
 
+  /// Pass-through writes: buffered blocks are kept as the received wire
+  /// bytes plus a parsed header view, and their payloads are streamed from
+  /// those bytes straight into the file (one gather write per dataset).
+  /// false (ablation): each block is materialised into a MeshBlock and
+  /// re-marshalled on write — the legacy copying path.
+  bool pass_through = true;
+
   /// false (ablation A4): when idle the server spins on the non-blocking
   /// probe, burning `idle_poll_interval` of CPU per poll, instead of
   /// blocking and freeing the CPU.

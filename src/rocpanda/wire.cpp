@@ -43,6 +43,204 @@ ReadHeader ReadHeader::deserialize(const std::vector<unsigned char>& bytes) {
   return h;
 }
 
+// --- wire format v2 --------------------------------------------------------
+//
+//   i32  pane_id
+//   u8   kind        (0 = all, 1 = mesh, 2 = field)
+//   u8   mesh_kind   (0 = structured, 1 = unstructured; 0 for kind=field)
+//   i32 x3 node_dims (structured only; zeros otherwise)
+//   u32  nsections
+//   per section: u8 role (0 coords | 1 connectivity | 2 field),
+//                string name (empty for geometry), u8 centering, i32 ncomp,
+//                u64 count (elements)
+//   payload: the raw little-endian arrays, concatenated in table order
+//            (coords/fields float64, connectivity int32)
+//
+// The payload arrays sit unframed after the header, which is what lets
+// serialize_chain alias caller storage and WireBlockView write straight
+// from received bytes.
+
+namespace {
+
+constexpr uint8_t kRoleCoords = 0;
+constexpr uint8_t kRoleConn = 1;
+constexpr uint8_t kRoleField = 2;
+
+/// Smallest encodable section-table entry, to bound nsections.
+constexpr size_t kMinSectionTableBytes = 1 + 4 + 1 + 4 + 8;
+
+struct Sec {
+  uint8_t role = 0;
+  std::string name;
+  mesh::Centering centering = mesh::Centering::kNode;
+  int32_t ncomp = 1;
+  uint64_t count = 0;   ///< Elements.
+  uint64_t offset = 0;  ///< Absolute byte offset into the wire buffer.
+  uint64_t bytes = 0;
+};
+
+struct Parsed {
+  int pane_id = -1;
+  uint8_t kind = 0;
+  mesh::MeshKind mesh_kind = mesh::MeshKind::kStructured;
+  std::array<int, 3> node_dims{0, 0, 0};
+  std::vector<Sec> sections;
+};
+
+size_t elem_size(uint8_t role) { return role == kRoleConn ? 4 : 8; }
+
+/// Parses and validates the header + section table of `[data, data+n)`;
+/// computes each section's absolute payload offset.  Throws FormatError on
+/// anything malformed, including payloads extending past the buffer, so
+/// the materialising and pass-through paths reject identical inputs.
+Parsed parse_wire(const unsigned char* data, size_t n) {
+  ByteReader r(data, n);
+  Parsed p;
+  p.pane_id = r.get<int32_t>();
+  p.kind = r.get<uint8_t>();
+  if (p.kind > 2) throw FormatError("bad WireBlock kind");
+  const auto mk = r.get<uint8_t>();
+  if (mk > 1) throw FormatError("bad mesh kind in WireBlock");
+  p.mesh_kind = static_cast<mesh::MeshKind>(mk);
+  for (auto& d : p.node_dims) d = r.get<int32_t>();
+  const auto nsec = r.get<uint32_t>();
+  if (nsec > r.remaining() / kMinSectionTableBytes)
+    throw FormatError("section count exceeds stream in WireBlock");
+  p.sections.reserve(nsec);
+  for (uint32_t i = 0; i < nsec; ++i) {
+    Sec s;
+    s.role = r.get<uint8_t>();
+    if (s.role > 2) throw FormatError("bad section role in WireBlock");
+    s.name = r.get_string();
+    s.centering = static_cast<mesh::Centering>(r.get<uint8_t>());
+    s.ncomp = r.get<int32_t>();
+    if (s.role == kRoleField && s.ncomp < 1)
+      throw FormatError("bad field component count in WireBlock");
+    s.count = r.get<uint64_t>();
+    p.sections.push_back(std::move(s));
+  }
+  // Lay the payload out; every section must fit in the remaining bytes
+  // (guards both truncation and oversized counts before any allocation).
+  uint64_t off = r.position();
+  for (Sec& s : p.sections) {
+    const size_t esz = elem_size(s.role);
+    if (s.count > (n - off) / esz)
+      throw FormatError("wire payload truncated in WireBlock");
+    s.offset = off;
+    s.bytes = s.count * esz;
+    off += s.bytes;
+  }
+  // Structural validation shared by both consumers.
+  if (p.kind == 2) {
+    if (p.sections.size() != 1 || p.sections[0].role != kRoleField)
+      throw FormatError("field WireBlock must carry exactly one field");
+  } else {
+    if (p.sections.empty() || p.sections[0].role != kRoleCoords)
+      throw FormatError("WireBlock lacks a coords section");
+    const size_t ngeo =
+        p.mesh_kind == mesh::MeshKind::kUnstructured ? 2 : 1;
+    if (ngeo == 2 &&
+        (p.sections.size() < 2 || p.sections[1].role != kRoleConn))
+      throw FormatError("unstructured WireBlock lacks connectivity");
+    for (size_t i = ngeo; i < p.sections.size(); ++i)
+      if (p.sections[i].role != kRoleField)
+        throw FormatError("unexpected geometry section in WireBlock");
+    if (p.kind == 1 && p.sections.size() != ngeo)
+      throw FormatError("mesh WireBlock must not carry fields");
+  }
+  return p;
+}
+
+/// Appends one raw array as a chain segment: aliased on little-endian
+/// hosts, converted into an owned segment elsewhere.
+template <typename T>
+void append_payload(BufferChain& chain, const T* data, size_t count) {
+  if constexpr (roc::detail::kHostLittleEndian) {
+    chain.append_borrowed(data, count * sizeof(T));
+  } else {
+    ByteWriter w;
+    w.put_raw_array(data, count);
+    chain.append(SharedBuffer::adopt(w.take()));
+  }
+}
+
+void put_section_entry(ByteWriter& h, uint8_t role, const std::string& name,
+                       mesh::Centering centering, int32_t ncomp,
+                       uint64_t count) {
+  h.put<uint8_t>(role);
+  h.put_string(name);
+  h.put<uint8_t>(static_cast<uint8_t>(centering));
+  h.put<int32_t>(ncomp);
+  h.put<uint64_t>(count);
+}
+
+/// Builds the chain for one marshalled block: an owned header segment plus
+/// payload segments borrowed from `geo`/`fields` storage.
+BufferChain build_chain(int pane_id, uint8_t kind,
+                        const mesh::MeshBlock* geo,
+                        const std::vector<const mesh::Field*>& fields) {
+  ByteWriter h;
+  h.put<int32_t>(pane_id);
+  h.put<uint8_t>(kind);
+  const bool unstructured =
+      geo && geo->kind() == mesh::MeshKind::kUnstructured;
+  h.put<uint8_t>(geo ? static_cast<uint8_t>(geo->kind()) : 0);
+  const std::array<int, 3> dims =
+      geo ? geo->node_dims() : std::array<int, 3>{0, 0, 0};
+  for (int d : dims) h.put<int32_t>(d);
+  const auto nsec = static_cast<uint32_t>(
+      (geo ? 1u + (unstructured ? 1u : 0u) : 0u) + fields.size());
+  h.put<uint32_t>(nsec);
+  static const std::string kNoName;
+  if (geo) {
+    put_section_entry(h, kRoleCoords, kNoName, mesh::Centering::kNode, 1,
+                      geo->coords().size());
+    if (unstructured)
+      put_section_entry(h, kRoleConn, kNoName, mesh::Centering::kNode, 1,
+                        geo->connectivity().size());
+  }
+  for (const mesh::Field* f : fields)
+    put_section_entry(h, kRoleField, f->name, f->centering, f->ncomp,
+                      f->data.size());
+
+  BufferChain chain;
+  chain.append(SharedBuffer::adopt(h.take()));
+  if (geo) {
+    append_payload(chain, geo->coords().data(), geo->coords().size());
+    if (unstructured)
+      append_payload(chain, geo->connectivity().data(),
+                     geo->connectivity().size());
+  }
+  for (const mesh::Field* f : fields)
+    append_payload(chain, f->data.data(), f->data.size());
+  return chain;
+}
+
+/// Decodes a float64 payload section.
+std::vector<double> read_f64(const unsigned char* base, const Sec& s) {
+  std::vector<double> v(static_cast<size_t>(s.count));
+  if constexpr (roc::detail::kHostLittleEndian) {
+    if (!v.empty()) std::memcpy(v.data(), base + s.offset, s.bytes);
+  } else {
+    ByteReader r(base + s.offset, static_cast<size_t>(s.bytes));
+    for (auto& x : v) x = r.get<double>();
+  }
+  return v;
+}
+
+std::vector<int32_t> read_i32(const unsigned char* base, const Sec& s) {
+  std::vector<int32_t> v(static_cast<size_t>(s.count));
+  if constexpr (roc::detail::kHostLittleEndian) {
+    if (!v.empty()) std::memcpy(v.data(), base + s.offset, s.bytes);
+  } else {
+    ByteReader r(base + s.offset, static_cast<size_t>(s.bytes));
+    for (auto& x : v) x = r.get<int32_t>();
+  }
+  return v;
+}
+
+}  // namespace
+
 WireBlock WireBlock::from_block(const mesh::MeshBlock& block,
                                 const std::string& attribute) {
   WireBlock wb;
@@ -61,45 +259,79 @@ WireBlock WireBlock::from_block(const mesh::MeshBlock& block,
   return wb;
 }
 
+BufferChain WireBlock::serialize_chain(const mesh::MeshBlock& block,
+                                       const std::string& attribute) {
+  if (attribute == "all") {
+    std::vector<const mesh::Field*> fields;
+    fields.reserve(block.fields().size());
+    for (const mesh::Field& f : block.fields()) fields.push_back(&f);
+    return build_chain(block.id(), 0, &block, fields);
+  }
+  if (attribute == "mesh") return build_chain(block.id(), 1, &block, {});
+  return build_chain(block.id(), 2, nullptr, {&block.field(attribute)});
+}
+
 uint64_t WireBlock::payload_bytes() const {
   if (kind_ == Kind::kField) return field_.data.size() * sizeof(double);
   return block_.payload_bytes();
 }
 
 std::vector<unsigned char> WireBlock::serialize() const {
-  ByteWriter w;
-  w.put<int32_t>(pane_id_);
-  w.put<uint8_t>(static_cast<uint8_t>(kind_));
-  if (kind_ == Kind::kField) {
-    w.put_string(field_.name);
-    w.put<uint8_t>(static_cast<uint8_t>(field_.centering));
-    w.put<int32_t>(field_.ncomp);
-    w.put_vector(field_.data);
-  } else {
-    const auto bytes = block_.serialize();
-    w.put<uint64_t>(bytes.size());
-    w.put_bytes(bytes.data(), bytes.size());
-  }
-  return w.take();
+  if (kind_ == Kind::kField)
+    return build_chain(pane_id_, 2, nullptr, {&field_}).to_vector();
+  std::vector<const mesh::Field*> fields;
+  fields.reserve(block_.fields().size());
+  for (const mesh::Field& f : block_.fields()) fields.push_back(&f);
+  return build_chain(pane_id_, static_cast<uint8_t>(kind_), &block_, fields)
+      .to_vector();
 }
 
 WireBlock WireBlock::deserialize(const std::vector<unsigned char>& bytes) {
-  ByteReader r(bytes.data(), bytes.size());
+  const Parsed p = parse_wire(bytes.data(), bytes.size());
+  const unsigned char* base = bytes.data();
+
   WireBlock wb;
-  wb.pane_id_ = r.get<int32_t>();
-  const auto kind = r.get<uint8_t>();
-  if (kind > 2) throw FormatError("bad WireBlock kind");
-  wb.kind_ = static_cast<Kind>(kind);
+  wb.pane_id_ = p.pane_id;
+  wb.kind_ = static_cast<Kind>(p.kind);
+
   if (wb.kind_ == Kind::kField) {
-    wb.field_.name = r.get_string();
-    wb.field_.centering = static_cast<mesh::Centering>(r.get<uint8_t>());
-    wb.field_.ncomp = r.get<int32_t>();
-    wb.field_.data = r.get_vector<double>();
+    const Sec& s = p.sections[0];
+    wb.field_.name = s.name;
+    wb.field_.centering = s.centering;
+    wb.field_.ncomp = s.ncomp;
+    wb.field_.data = read_f64(base, s);
+    return wb;
+  }
+
+  const Sec& cs = p.sections[0];
+  size_t nfield_start = 1;
+  if (p.mesh_kind == mesh::MeshKind::kStructured) {
+    // Validate before the factory allocates: coords (bounded by the wire
+    // buffer) must agree with the node dims, which bounds the allocation.
+    const auto d0 = static_cast<uint64_t>(p.node_dims[0]);
+    const auto d1 = static_cast<uint64_t>(p.node_dims[1]);
+    const auto d2 = static_cast<uint64_t>(p.node_dims[2]);
+    if (p.node_dims[0] < 2 || p.node_dims[1] < 2 || p.node_dims[2] < 2 ||
+        static_cast<unsigned __int128>(cs.count) !=
+            3 * static_cast<unsigned __int128>(d0) * d1 * d2)
+      throw FormatError("coords do not match node dims in WireBlock");
+    wb.block_ = mesh::MeshBlock::structured(p.pane_id, p.node_dims);
   } else {
-    const auto n = r.get<uint64_t>();
-    std::vector<unsigned char> blob(static_cast<size_t>(n));
-    r.get_bytes(blob.data(), blob.size());
-    wb.block_ = mesh::MeshBlock::deserialize(blob.data(), blob.size());
+    if (cs.count % 3 != 0)
+      throw FormatError("coords count not divisible by 3 in WireBlock");
+    const Sec& ns = p.sections[1];
+    // The factory validates connectivity (multiple of 4, node refs in
+    // range) and throws on violation.
+    wb.block_ = mesh::MeshBlock::unstructured(
+        p.pane_id, static_cast<size_t>(cs.count / 3), read_i32(base, ns));
+    nfield_start = 2;
+  }
+  wb.block_.coords() = read_f64(base, cs);
+
+  for (size_t i = nfield_start; i < p.sections.size(); ++i) {
+    const Sec& s = p.sections[i];
+    mesh::Field& f = wb.block_.add_field(s.name, s.centering, s.ncomp);
+    f.data = read_f64(base, s);
   }
   return wb;
 }
@@ -113,20 +345,82 @@ void WireBlock::write_to(shdf::Writer& w, const std::string& window,
     case Kind::kMesh:
       roccom::write_block(w, window, block_, "mesh", time);
       break;
-    case Kind::kField: {
-      shdf::DatasetDef def;
-      def.name = roccom::block_prefix(window, pane_id_) + "field:" +
-                 field_.name;
-      def.type = shdf::DataType::kFloat64;
-      def.codec = codec;
-      def.dims = {field_.data.size() / static_cast<uint64_t>(field_.ncomp),
-                  static_cast<uint64_t>(field_.ncomp)};
-      def.attributes.push_back(shdf::Attribute{
-          "centering", static_cast<int64_t>(field_.centering)});
-      def.attributes.push_back(shdf::Attribute{"time", time});
-      w.add_dataset(def, field_.data.data());
+    case Kind::kField:
+      w.add_dataset(
+          roccom::field_def(window, pane_id_, field_.name, field_.centering,
+                            field_.ncomp, field_.data.size(), time, codec),
+          field_.data.data());
       break;
-    }
+  }
+}
+
+WireBlockView WireBlockView::parse(SharedBuffer wire) {
+  Parsed p = parse_wire(wire.data(), wire.size());
+  WireBlockView v;
+  v.wire_ = std::move(wire);
+  v.pane_id_ = p.pane_id;
+  v.kind_ = p.kind;
+  v.mesh_kind_ = p.mesh_kind;
+  v.node_dims_ = p.node_dims;
+  v.sections_.reserve(p.sections.size());
+  for (Sec& s : p.sections) {
+    Section out;
+    out.role = s.role;
+    out.name = std::move(s.name);
+    out.centering = s.centering;
+    out.ncomp = s.ncomp;
+    out.count = s.count;
+    out.offset = s.offset;
+    out.bytes = s.bytes;
+    v.sections_.push_back(std::move(out));
+  }
+  if (v.kind_ != 2) v.node_count_ = v.sections_[0].count / 3;
+  return v;
+}
+
+uint64_t WireBlockView::payload_bytes() const {
+  uint64_t n = 0;
+  for (const Section& s : sections_) n += s.bytes;
+  return n;
+}
+
+void WireBlockView::write_to(shdf::Writer& w, const std::string& window,
+                             double time, shdf::Codec codec) const {
+  if constexpr (!roc::detail::kHostLittleEndian) {
+    // Big-endian hosts cannot alias the little-endian wire payloads;
+    // fall back to the materialising path.
+    WireBlock::deserialize(wire_.to_vector()).write_to(w, window, time,
+                                                       codec);
+    return;
+  }
+  const unsigned char* base = wire_.data();
+  auto payload = [&](const Section& s) {
+    BufferChain c;
+    c.append_borrowed(base + s.offset, static_cast<size_t>(s.bytes));
+    return c;
+  };
+  if (kind_ == 2) {
+    const Section& s = sections_[0];
+    w.put_dataset(roccom::field_def(window, pane_id_, s.name, s.centering,
+                                    s.ncomp, s.count, time, codec),
+                  payload(s));
+    return;
+  }
+  const Section& cs = sections_[0];
+  w.put_dataset(roccom::coords_def(window, pane_id_, mesh_kind_, node_dims_,
+                                   node_count_, time),
+                payload(cs));
+  size_t next = 1;
+  if (mesh_kind_ == mesh::MeshKind::kUnstructured) {
+    const Section& ns = sections_[next++];
+    w.put_dataset(roccom::connectivity_def(window, pane_id_, ns.count / 4),
+                  payload(ns));
+  }
+  for (; next < sections_.size(); ++next) {
+    const Section& s = sections_[next];
+    w.put_dataset(roccom::field_def(window, pane_id_, s.name, s.centering,
+                                    s.ncomp, s.count, time, codec),
+                  payload(s));
   }
 }
 

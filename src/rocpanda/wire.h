@@ -14,11 +14,13 @@
 /// per block so the server can buffer, spill, and probe for new requests
 /// *between* blocks — the granularity active buffering needs (paper §6.1).
 
+#include <array>
 #include <string>
 #include <vector>
 
 #include "mesh/mesh_block.h"
 #include "shdf/writer.h"
+#include "util/buffer.h"
 
 namespace roc::rocpanda {
 
@@ -58,11 +60,30 @@ struct ReadHeader {
 };
 
 /// Marshalled attribute data of one block.
+///
+/// Wire format (v2, little-endian): a self-describing header — pane id,
+/// kind, mesh metadata, and a section table (role, name, centering, ncomp,
+/// element type, count per array) — followed by the raw array payloads
+/// concatenated in table order.  Keeping array bytes raw and contiguous is
+/// what enables the two zero-copy paths:
+///  * `serialize_chain` emits a BufferChain whose payload segments alias
+///    the caller's arrays (no marshalling copy on the client), and
+///  * `WireBlockView` parses received bytes in place and streams dataset
+///    payloads straight into shdf::Writer (no MeshBlock on the server).
 class WireBlock {
  public:
-  /// Extracts the selected attribute from `block`.
+  /// Extracts the selected attribute from `block` (copies; the legacy
+  /// materialising path, kept for restart/compatibility and as the
+  /// reference the zero-copy path is tested against).
   static WireBlock from_block(const mesh::MeshBlock& block,
                               const std::string& attribute);
+
+  /// Zero-copy marshalling: header bytes are owned by the chain, array
+  /// payload segments alias `block`'s storage.  The chain's bytes equal
+  /// `from_block(block, attribute).serialize()`; `block` must stay
+  /// unmodified until the chain is consumed (e.g. until sendv returns).
+  [[nodiscard]] static BufferChain serialize_chain(
+      const mesh::MeshBlock& block, const std::string& attribute);
 
   [[nodiscard]] std::vector<unsigned char> serialize() const;
   static WireBlock deserialize(const std::vector<unsigned char>& bytes);
@@ -77,6 +98,7 @@ class WireBlock {
                 shdf::Codec codec = shdf::Codec::kNone) const;
 
  private:
+  friend class WireBlockView;
   enum class Kind : uint8_t { kAll = 0, kMesh = 1, kField = 2 };
 
   int pane_id_ = -1;
@@ -85,6 +107,47 @@ class WireBlock {
   mesh::MeshBlock block_;
   // kField: one field's values.
   mesh::Field field_;
+};
+
+/// Non-materialising view over one received WireBlock.  parse() reads only
+/// the header; write_to() streams the dataset payloads directly from the
+/// retained wire bytes (which the view keeps alive) into the writer —
+/// the server's pass-through mode.
+class WireBlockView {
+ public:
+  /// Parses the header and section table; throws FormatError on malformed
+  /// bytes.  The view shares ownership of `wire` (zero-copy).
+  static WireBlockView parse(SharedBuffer wire);
+
+  [[nodiscard]] int pane_id() const { return pane_id_; }
+  [[nodiscard]] uint64_t payload_bytes() const;
+  [[nodiscard]] const SharedBuffer& wire_bytes() const { return wire_; }
+
+  /// Writes this block's datasets into `w`, byte-identical to
+  /// `WireBlock::deserialize(bytes).write_to(...)`, without constructing a
+  /// MeshBlock: each dataset payload is a chain segment aliasing the wire
+  /// bytes, gathered to disk by shdf::Writer::put_dataset.
+  void write_to(shdf::Writer& w, const std::string& window, double time,
+                shdf::Codec codec = shdf::Codec::kNone) const;
+
+ private:
+  struct Section {
+    uint8_t role = 0;  ///< 0 = coords, 1 = connectivity, 2 = field.
+    std::string name;  ///< Field name (empty for geometry sections).
+    mesh::Centering centering = mesh::Centering::kNode;
+    int32_t ncomp = 1;
+    uint64_t count = 0;   ///< Elements (not bytes).
+    uint64_t offset = 0;  ///< Absolute byte offset into the wire buffer.
+    uint64_t bytes = 0;
+  };
+
+  SharedBuffer wire_;
+  int pane_id_ = -1;
+  uint8_t kind_ = 0;
+  mesh::MeshKind mesh_kind_ = mesh::MeshKind::kStructured;
+  std::array<int, 3> node_dims_{0, 0, 0};
+  uint64_t node_count_ = 0;
+  std::vector<Section> sections_;
 };
 
 }  // namespace roc::rocpanda

@@ -75,26 +75,52 @@ Writer::~Writer() {
 }
 
 void Writer::add_dataset(const DatasetDef& def, const void* data) {
+  BufferChain chain;
+  chain.append_borrowed(data, static_cast<size_t>(def.byte_count()));
+  put_dataset(def, chain);
+}
+
+void Writer::put_dataset(const DatasetDef& def, const BufferChain& payload) {
   require(!closed_, "add_dataset after close on ", path_);
   require(!def.name.empty(), "dataset name must not be empty");
+  const uint64_t bytes = def.byte_count();
+  require(payload.total_bytes() == bytes,
+          "payload byte count mismatch for dataset ", def.name);
   require(names_.insert(def.name).second,
           "duplicate dataset name: ", def.name);
 
-  const uint64_t bytes = def.byte_count();
-  const uint64_t checksum = crc64(data, static_cast<size_t>(bytes));
   // The codec runs over the payload; the checksum stays on the
   // uncompressed bytes so corruption is caught after decoding.
-  const auto stored = encode(def.codec, data, static_cast<size_t>(bytes));
+  Crc64 crc;
+  for (const BufferChain::Segment& s : payload.segments())
+    crc.update(s.view.data, s.view.size);
+  const uint64_t checksum = crc.value();
 
   ByteWriter header;
-  write_dataset_header(header, def, bytes, stored.size(), checksum);
-
+  uint64_t stored_bytes = 0;
   file_->seek(append_offset_);
-  file_->write(header.data(), header.size());
-  if (!stored.empty()) file_->write(stored.data(), stored.size());
+  if (def.codec == Codec::kNone) {
+    // Zero-copy fast path: one vectored write of header + raw segments.
+    write_dataset_header(header, def, bytes, bytes, checksum);
+    stored_bytes = bytes;
+    std::vector<ConstBuffer> segs;
+    segs.reserve(1 + payload.segment_count());
+    segs.emplace_back(header.data(), header.size());
+    for (const BufferChain::Segment& s : payload.segments())
+      segs.push_back(s.view);
+    file_->writev(segs);
+  } else {
+    // Filters transform the payload, so flatten and encode first.
+    const auto flat = payload.to_vector();
+    const auto stored = encode(def.codec, flat.data(), flat.size());
+    write_dataset_header(header, def, bytes, stored.size(), checksum);
+    stored_bytes = stored.size();
+    file_->write(header.data(), header.size());
+    if (!stored.empty()) file_->write(stored.data(), stored.size());
+  }
 
   entries_.push_back(DirEntry{def.name, append_offset_});
-  append_offset_ += header.size() + stored.size();
+  append_offset_ += header.size() + stored_bytes;
 
   // HDF4-like mode keeps the on-disk bookkeeping current after every
   // append, which is exactly why its cost grows with the dataset count.

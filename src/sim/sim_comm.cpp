@@ -25,7 +25,11 @@ class SimComm final : public comm::Comm {
     return static_cast<int>(members_.size());
   }
 
+  using comm::Comm::send;
   void send(int dest, int tag, const void* data, size_t n) override;
+  /// Zero-copy counterpart: ships a reference; cost model unchanged (the
+  /// simulated network still charges for every byte).
+  void send(int dest, int tag, SharedBuffer buf) override;
   [[nodiscard]] comm::Message recv(int source, int tag) override;
   bool iprobe(int source, int tag, comm::Status* st) override;
   comm::Status probe(int source, int tag) override;
@@ -61,6 +65,12 @@ std::deque<SimWorld::Envelope>::iterator SimComm::find(int source, int tag) {
 }
 
 void SimComm::send(int dest, int tag, const void* data, size_t n) {
+  // The raw-pointer contract allows immediate buffer reuse, so copy here;
+  // the SharedBuffer overload below ships a reference.
+  send(dest, tag, SharedBuffer::copy_of(data, n));
+}
+
+void SimComm::send(int dest, int tag, SharedBuffer buf) {
   require(dest >= 0 && dest < size(), "send: dest rank out of range");
   const int src_world = members_[static_cast<size_t>(rank_)];
   const int dst_world = members_[static_cast<size_t>(dest)];
@@ -69,8 +79,8 @@ void SimComm::send(int dest, int tag, const void* data, size_t n) {
   e.comm_id = comm_id_;
   e.source = rank_;
   e.tag = tag;
-  e.payload.assign(static_cast<const unsigned char*>(data),
-                   static_cast<const unsigned char*>(data) + n);
+  const size_t n = buf.size();
+  e.payload = std::move(buf);
 
   const double end = world_->transfer_end(src_world, dst_world, n);
   world_->deliver_at(end, dst_world, std::move(e));

@@ -45,7 +45,7 @@ class SimWorld {
     uint64_t comm_id;
     int source;
     int tag;
-    std::vector<unsigned char> payload;
+    SharedBuffer payload;  // roc::SharedBuffer; reference-shipped, immutable
   };
 
   struct Mailbox {

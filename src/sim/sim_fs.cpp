@@ -35,6 +35,25 @@ class SimFile final : public vfs::File {
     fs_->experience(end);
   }
 
+  void writev(std::span<const ConstBuffer> segments) override {
+    // A gather is one logical operation: one op overhead for the whole
+    // chain (this is the point of File::writev), bandwidth for every byte.
+    uint64_t n = 0;
+    for (const ConstBuffer& s : segments) n += s.size;
+    const FsParams& p = fs_->sim_.platform().fs;
+    const double scaled =
+        static_cast<double>(n) * fs_->sim_.platform().byte_scale;
+    const double cost =
+        p.write_op_overhead * fs_->write_contention_multiplier() +
+        scaled / p.write_bandwidth;
+    const double end = fs_->reserve_channel(/*write=*/true, cost);
+    fs_->stats_.write_ops++;
+    fs_->stats_.bytes_written += n;
+    fs_->stats_.busy_write_seconds += cost;
+    backing_->writev(segments);
+    fs_->experience(end);
+  }
+
   void read(void* out, size_t n) override {
     const FsParams& p = fs_->sim_.platform().fs;
     const double scaled =

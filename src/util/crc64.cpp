@@ -1,6 +1,7 @@
 #include "util/crc64.h"
 
 #include <array>
+#include <cstring>
 
 namespace roc {
 namespace {
@@ -8,30 +9,64 @@ namespace {
 // ECMA-182 polynomial, bit-reflected form.
 constexpr uint64_t kPoly = 0xC96C5795D7870F42ULL;
 
-std::array<uint64_t, 256> make_table() {
-  std::array<uint64_t, 256> t{};
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table;
+// table[k][b] extends table[k-1][b] by one zero byte, so eight input bytes
+// fold into the CRC with eight independent lookups per iteration instead of
+// eight serially-dependent ones.
+using Tables = std::array<std::array<uint64_t, 256>, 8>;
+
+Tables make_tables() {
+  Tables t{};
   for (uint64_t i = 0; i < 256; ++i) {
     uint64_t crc = i;
     for (int b = 0; b < 8; ++b)
       crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
-    t[static_cast<size_t>(i)] = crc;
+    t[0][static_cast<size_t>(i)] = crc;
   }
+  for (size_t k = 1; k < 8; ++k)
+    for (size_t i = 0; i < 256; ++i)
+      t[k][i] = t[0][t[k - 1][i] & 0xFF] ^ (t[k - 1][i] >> 8);
   return t;
 }
 
-const std::array<uint64_t, 256>& table() {
-  static const std::array<uint64_t, 256> t = make_table();
+const Tables& tables() {
+  static const Tables t = make_tables();
   return t;
 }
 
 }  // namespace
 
+uint64_t crc64_update_bitwise(uint64_t state, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    state ^= p[i];
+    for (int b = 0; b < 8; ++b)
+      state = (state >> 1) ^ ((state & 1) ? kPoly : 0);
+  }
+  return state;
+}
+
 void Crc64::update(const void* data, size_t n) {
   const auto* p = static_cast<const unsigned char*>(data);
-  const auto& t = table();
+  const auto& t = tables();
   uint64_t crc = state_;
+  // 8 bytes per iteration: fold the low half of the CRC with the first four
+  // input bytes, then look up all eight lanes independently.
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    if constexpr (__BYTE_ORDER__ != __ORDER_LITTLE_ENDIAN__)
+      word = __builtin_bswap64(word);
+    word ^= crc;
+    crc = t[7][word & 0xFF] ^ t[6][(word >> 8) & 0xFF] ^
+          t[5][(word >> 16) & 0xFF] ^ t[4][(word >> 24) & 0xFF] ^
+          t[3][(word >> 32) & 0xFF] ^ t[2][(word >> 40) & 0xFF] ^
+          t[1][(word >> 48) & 0xFF] ^ t[0][word >> 56];
+    p += 8;
+    n -= 8;
+  }
   for (size_t i = 0; i < n; ++i)
-    crc = t[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    crc = t[0][(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
   state_ = crc;
 }
 

@@ -8,7 +8,9 @@
 
 namespace roc {
 
-/// Streaming CRC-64 accumulator.
+/// Streaming CRC-64 accumulator.  `update` runs slicing-by-8 (eight table
+/// lookups per 8-byte word); `crc64_update_bitwise` below is the reference
+/// implementation it is tested against.
 class Crc64 {
  public:
   /// Feeds `n` bytes into the running checksum.
@@ -28,5 +30,11 @@ class Crc64 {
 
 /// One-shot convenience wrapper.
 uint64_t crc64(const void* data, size_t n);
+
+/// Reference bit-at-a-time CRC step (no tables).  Slow; exists so tests can
+/// verify the sliced implementation against first principles.  `state` is
+/// the raw (pre-inversion) accumulator: seed with ~0ULL and invert the
+/// result for a full checksum.
+uint64_t crc64_update_bitwise(uint64_t state, const void* data, size_t n);
 
 }  // namespace roc

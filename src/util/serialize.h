@@ -42,13 +42,32 @@ class ByteWriter {
   template <typename T>
   void put(T v) {
     static_assert(detail::is_scalar_v<T>, "put() takes scalar types");
-    unsigned char raw[sizeof(T)];
-    std::memcpy(raw, &v, sizeof(T));
+    // Resize-then-memcpy: unlike insert() of a stack array, this compiles
+    // to a bounds check plus an unconditional fixed-size store.
+    const size_t at = buf_.size();
+    buf_.resize(at + sizeof(T));
     if constexpr (!detail::kHostLittleEndian) {
+      unsigned char raw[sizeof(T)];
+      std::memcpy(raw, &v, sizeof(T));
       for (size_t i = 0; i < sizeof(T) / 2; ++i)
         std::swap(raw[i], raw[sizeof(T) - 1 - i]);
+      std::memcpy(buf_.data() + at, raw, sizeof(T));
+    } else {
+      std::memcpy(buf_.data() + at, &v, sizeof(T));
     }
-    buf_.insert(buf_.end(), raw, raw + sizeof(T));
+  }
+
+  /// Appends `n` scalars little-endian with no length prefix — the bulk
+  /// fast path (single memcpy on little-endian hosts instead of a per-
+  /// element loop).
+  template <typename T>
+  void put_raw_array(const T* data, size_t n) {
+    static_assert(detail::is_scalar_v<T>);
+    if constexpr (detail::kHostLittleEndian) {
+      put_bytes(data, n * sizeof(T));
+    } else {
+      for (size_t i = 0; i < n; ++i) put(data[i]);
+    }
   }
 
   /// Length-prefixed (u32) string.
@@ -73,11 +92,7 @@ class ByteWriter {
   void put_vector(const std::vector<T>& v) {
     static_assert(detail::is_scalar_v<T>);
     put<uint64_t>(v.size());
-    if constexpr (detail::kHostLittleEndian) {
-      put_bytes(v.data(), v.size() * sizeof(T));
-    } else {
-      for (const T& x : v) put(x);
-    }
+    put_raw_array(v.data(), v.size());
   }
 
   [[nodiscard]] size_t size() const { return buf_.size(); }

@@ -1,5 +1,8 @@
 #include "vfs/vfs.h"
 
+#include <sys/uio.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -29,6 +32,43 @@ class PosixFile final : public File {
     if (n == 0) return;
     if (std::fwrite(data, 1, n, f_) != n)
       throw IoError("short write to " + path_);
+  }
+
+  void writev(std::span<const ConstBuffer> segments) override {
+    // One vectored syscall instead of a copy into a staging buffer plus one
+    // fwrite.  The stream position is reconciled around the raw-fd write:
+    // fflush drains stdio's buffer (leaving the fd offset at the logical
+    // cursor), ::writev advances the fd, and the final fseek re-syncs stdio.
+    uint64_t total = 0;
+    std::vector<struct iovec> iov;
+    iov.reserve(segments.size());
+    for (const ConstBuffer& s : segments) {
+      if (s.size == 0) continue;
+      iov.push_back({const_cast<unsigned char*>(s.data), s.size});
+      total += s.size;
+    }
+    if (total == 0) return;
+    const uint64_t pos = tell();
+    if (std::fflush(f_) != 0) throw IoError("flush failed on " + path_);
+    const int fd = fileno(f_);
+    size_t i = 0;
+    while (i < iov.size()) {
+      const size_t batch = std::min<size_t>(iov.size() - i, IOV_MAX);
+      ssize_t w = ::writev(fd, iov.data() + i, static_cast<int>(batch));
+      if (w < 0) throw IoError("vectored write failed on " + path_);
+      // Consume fully-written segments; trim a partially-written one.
+      auto left = static_cast<size_t>(w);
+      while (left > 0 && left >= iov[i].iov_len) {
+        left -= iov[i].iov_len;
+        ++i;
+      }
+      if (left > 0) {
+        iov[i].iov_base = static_cast<unsigned char*>(iov[i].iov_base) + left;
+        iov[i].iov_len -= left;
+      }
+    }
+    if (std::fseek(f_, static_cast<long>(pos + total), SEEK_SET) != 0)
+      throw IoError("seek failed on " + path_);
   }
 
   void read(void* out, size_t n) override {
@@ -149,6 +189,20 @@ class MemFile final : public File {
     if (pos_ + n > data_->bytes.size()) data_->bytes.resize(pos_ + n);
     std::memcpy(data_->bytes.data() + pos_, src, n);
     pos_ += n;
+  }
+
+  void writev(std::span<const ConstBuffer> segments) override {
+    uint64_t total = 0;
+    for (const ConstBuffer& s : segments) total += s.size;
+    if (total == 0) return;
+    // One lock + one resize for the whole gather.
+    roc::MutexLock lock(data_->mutex);
+    if (pos_ + total > data_->bytes.size()) data_->bytes.resize(pos_ + total);
+    for (const ConstBuffer& s : segments) {
+      if (s.size == 0) continue;
+      std::memcpy(data_->bytes.data() + pos_, s.data, s.size);
+      pos_ += s.size;
+    }
   }
 
   void read(void* out, size_t n) override {

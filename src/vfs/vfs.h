@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/error.h"
 
 namespace roc::vfs {
@@ -34,6 +36,15 @@ class File {
   /// Writes `n` bytes at the cursor, advancing it.  Throws IoError on
   /// failure; partial writes are surfaced as errors, not short counts.
   virtual void write(const void* data, size_t n) = 0;
+
+  /// Gather write: writes every segment, in order, at the cursor as one
+  /// logical operation.  Implementations may service it with a single
+  /// vectored syscall (PosixFile uses ::writev) or one pre-sized append
+  /// (MemFile); the default falls back to a write() loop.
+  virtual void writev(std::span<const ConstBuffer> segments) {
+    for (const ConstBuffer& s : segments)
+      if (s.size > 0) write(s.data, s.size);
+  }
 
   /// Reads exactly `n` bytes at the cursor, advancing it.
   /// Throws IoError if fewer than `n` bytes remain.

@@ -20,6 +20,9 @@ std::vector<unsigned char> bytes_of(const std::string& s) {
 std::string string_of(const std::vector<unsigned char>& v) {
   return {v.begin(), v.end()};
 }
+std::string string_of(const roc::SharedBuffer& b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
 
 TEST(World, RunsEveryRankExactlyOnce) {
   std::atomic<int> count{0};
@@ -141,6 +144,41 @@ TEST(ThreadComm, EmptyMessageSignal) {
     } else {
       auto m = comm.recv(0, 9);
       EXPECT_TRUE(m.payload.empty());
+    }
+  });
+}
+
+TEST(ThreadComm, SharedBufferSendEnqueuesReference) {
+  // The zero-copy contract: sending a SharedBuffer ships a reference, so
+  // the receiver observes the SAME storage, not a copy.
+  std::atomic<const unsigned char*> sent{nullptr};
+  World::run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      SharedBuffer buf = SharedBuffer::adopt({'z', 'c', 'p'});
+      sent.store(buf.data());
+      comm.send(1, 4, buf);
+      EXPECT_GE(buf.use_count(), 1);  // sender's handle still valid
+    } else {
+      auto m = comm.recv(0, 4);
+      EXPECT_EQ(m.payload.data(), sent.load());
+      EXPECT_EQ(string_of(m.payload), "zcp");
+    }
+  });
+}
+
+TEST(ThreadComm, SendvDeliversGatheredChain) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<unsigned char> borrowed = {'l', 'l'};
+      BufferChain chain;
+      chain.append(SharedBuffer::adopt({'h', 'e'}));
+      chain.append_borrowed(borrowed.data(), borrowed.size());
+      chain.append(SharedBuffer::adopt({'o'}));
+      comm.sendv(1, 6, chain);
+      // Borrowed bytes may be reused as soon as sendv returns.
+    } else {
+      auto m = comm.recv(0, 6);
+      EXPECT_EQ(string_of(m.payload), "hello");
     }
   });
 }

@@ -258,6 +258,112 @@ TEST(Fuzz, CorruptedShdfFileFailsStructured) {
   }
 }
 
+// --- zero-copy wire path equivalence -----------------------------------------
+//
+// The zero-copy pipeline (serialize_chain -> sendv -> WireBlockView
+// pass-through write) must be byte-for-byte indistinguishable from the
+// legacy copy path (from_block -> serialize -> deserialize -> write_to),
+// across mesh kinds and including zero-length field payloads.
+
+std::vector<mesh::MeshBlock> zero_copy_blocks() {
+  std::vector<mesh::MeshBlock> blocks;
+  blocks.push_back(make_block(7, 4));  // structured, several fields
+  auto u = mesh::MeshBlock::unstructured(8, 5, {0, 1, 2, 3, 1, 2, 3, 4});
+  std::iota(u.coords().begin(), u.coords().end(), 0.5);
+  auto& uf = u.add_field("temp", mesh::Centering::kElement, 2);
+  std::iota(uf.data.begin(), uf.data.end(), -3.0);
+  blocks.push_back(std::move(u));
+  auto z = make_block(9, 4);
+  z.field("pressure").data.clear();  // zero-length field payload
+  blocks.push_back(std::move(z));
+  return blocks;
+}
+
+std::vector<unsigned char> file_bytes(vfs::FileSystem& fs,
+                                      const std::string& path) {
+  auto f = fs.open(path, vfs::OpenMode::kRead);
+  std::vector<unsigned char> v(static_cast<size_t>(f->size()));
+  f->read(v.data(), v.size());
+  return v;
+}
+
+TEST(ZeroCopy, ChainSerializeMatchesLegacySerialize) {
+  for (const auto& b : zero_copy_blocks()) {
+    std::vector<std::string> attrs = {"all", "mesh"};
+    for (const auto& f : b.fields()) attrs.push_back(f.name);
+    for (const auto& attr : attrs) {
+      const auto legacy =
+          rocpanda::WireBlock::from_block(b, attr).serialize();
+      const auto chain = rocpanda::WireBlock::serialize_chain(b, attr);
+      EXPECT_EQ(chain.to_vector(), legacy)
+          << "block " << b.id() << " attr " << attr;
+      // And the materialising decoder must round-trip the chain's bytes.
+      const auto wb = rocpanda::WireBlock::deserialize(chain.to_vector());
+      EXPECT_EQ(wb.pane_id(), b.id());
+      EXPECT_EQ(wb.serialize(), legacy)
+          << "block " << b.id() << " attr " << attr;
+    }
+  }
+}
+
+TEST(ZeroCopy, PassThroughPipelineIsByteIdenticalToCopyPath) {
+  const auto blocks = zero_copy_blocks();
+
+  // Zero-copy pipeline: chain -> sendv -> parse -> pass-through write.
+  vfs::MemFileSystem zc_fs;
+  comm::World::run(2, [&](comm::Comm& comm) {
+    if (comm.rank() == 0) {
+      for (const auto& b : blocks)
+        comm.sendv(1, 1, rocpanda::WireBlock::serialize_chain(b, "all"));
+    } else {
+      shdf::Writer w(zc_fs, "f.shdf");
+      for (size_t i = 0; i < blocks.size(); ++i) {
+        auto m = comm.recv(0, 1);
+        rocpanda::WireBlockView::parse(m.payload).write_to(w, "win", 0.25);
+      }
+      w.close();
+    }
+  });
+
+  // Legacy copy path: materialise a MeshBlock at every hop.
+  vfs::MemFileSystem legacy_fs;
+  {
+    shdf::Writer w(legacy_fs, "f.shdf");
+    for (const auto& b : blocks) {
+      const auto wire = rocpanda::WireBlock::from_block(b, "all").serialize();
+      rocpanda::WireBlock::deserialize(wire).write_to(w, "win", 0.25);
+    }
+    w.close();
+  }
+
+  // Direct write of the original blocks (the pre-wire reference).
+  vfs::MemFileSystem direct_fs;
+  {
+    shdf::Writer w(direct_fs, "f.shdf");
+    for (const auto& b : blocks)
+      roccom::write_block(w, "win", b, "all", 0.25);
+    w.close();
+  }
+
+  const auto zc = file_bytes(zc_fs, "f.shdf");
+  EXPECT_EQ(zc, file_bytes(legacy_fs, "f.shdf"));
+  EXPECT_EQ(zc, file_bytes(direct_fs, "f.shdf"));
+
+  // And the result must read back as the original blocks.
+  shdf::Reader r(zc_fs, "f.shdf");
+  for (const auto& b : blocks) {
+    const auto got = roccom::read_block(r, "win", b.id());
+    EXPECT_EQ(got.kind(), b.kind());
+    EXPECT_EQ(got.coords(), b.coords());
+    EXPECT_EQ(got.fields().size(), b.fields().size());
+    for (const auto& f : b.fields()) {
+      const auto* g = got.find_field(f.name);
+      ASSERT_NE(g, nullptr);
+      EXPECT_EQ(g->data, f.data) << "block " << b.id() << " " << f.name;
+    }
+  }
+}
+
 // --- message storm ----------------------------------------------------------------
 
 TEST(CommProperty, RandomMessageStormDeliversExactlyOnce) {

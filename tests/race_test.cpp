@@ -193,6 +193,30 @@ TEST(RaceTest, MemFsChurn) {
 }
 
 /// The logger serializes whole lines; hammer it from several threads.
+/// Several threads acquire/seal/drop pooled buffers while others ship
+/// sealed buffers across a ThreadComm world: the pool's free lists and the
+/// cross-thread last-reference release (PooledRep destructor on the
+/// receiver's thread) run concurrently.
+TEST(RaceTest, BufferPoolChurn) {
+  BufferPool pool(/*max_per_bucket=*/4);
+  World::run(4, [&](Comm& comm) {
+    const int me = comm.rank();
+    const int peer = me ^ 1;  // 0<->1, 2<->3
+    for (int round = 0; round < kRounds; ++round) {
+      const size_t n = 512 + static_cast<size_t>((me * kRounds + round) % 4096);
+      auto v = pool.acquire(n);
+      std::memset(v.data(), me, v.size());
+      SharedBuffer buf = pool.seal(std::move(v));
+      comm.send(peer, 1, buf);
+      buf = SharedBuffer();  // receiver may now hold the last reference
+      auto m = comm.recv(peer, 1);
+      EXPECT_EQ(m.payload.data()[0], static_cast<unsigned char>(peer));
+    }  // message destruction returns storage to the pool from this thread
+  });
+  const auto st = pool.stats();
+  EXPECT_GT(st.returns + st.discards, 0u);
+}
+
 TEST(RaceTest, LoggerHammer) {
   const LogLevel before = log_level();
   set_log_level(LogLevel::kOff);  // exercise the lock, not stderr

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <limits>
 
+#include "util/buffer.h"
 #include "util/crc64.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -110,6 +112,140 @@ TEST(Crc64, StreamingMatchesOneShot) {
   c.update(data.data(), 400);
   c.update(data.data() + 400, 600);
   EXPECT_EQ(c.value(), crc64(data.data(), data.size()));
+}
+
+TEST(Crc64, SlicedMatchesBitwiseReference) {
+  // Randomized equivalence: the slicing-by-8 implementation must agree
+  // with the bit-at-a-time reference on arbitrary lengths and contents,
+  // including lengths that exercise the unaligned head/tail paths.
+  Rng rng(0xc5c64u);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = static_cast<size_t>(rng.next_below(301));
+    std::vector<unsigned char> data(n);
+    for (auto& b : data)
+      b = static_cast<unsigned char>(rng.next_below(256));
+
+    Crc64 sliced;
+    // Split the input at a random point to exercise streaming too.
+    const size_t cut = static_cast<size_t>(rng.next_below(n + 1));
+    sliced.update(data.data(), cut);
+    sliced.update(data.data() + cut, n - cut);
+
+    uint64_t ref = crc64_update_bitwise(~0ULL, data.data(), n);
+    EXPECT_EQ(sliced.value(), ~ref) << "length " << n;
+    EXPECT_EQ(crc64(data.data(), n), ~ref);
+  }
+}
+
+TEST(Serialize, PutRawArrayMatchesElementwisePut) {
+  const std::vector<double> values = {0.0, -1.5, 3.25e300, 1e-300};
+  ByteWriter raw;
+  raw.put_raw_array(values.data(), values.size());
+  ByteWriter loop;
+  for (double v : values) loop.put<double>(v);
+  ASSERT_EQ(raw.size(), loop.size());
+  EXPECT_EQ(0, std::memcmp(raw.data(), loop.data(), raw.size()));
+
+  ByteReader r(raw.data(), raw.size());
+  for (double v : values) EXPECT_EQ(r.get<double>(), v);
+}
+
+TEST(Buffer, SharedBufferSharesNotCopies) {
+  const SharedBuffer empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.use_count(), 0);
+
+  std::vector<unsigned char> bytes = {1, 2, 3, 4};
+  const unsigned char* storage = bytes.data();
+  SharedBuffer a = SharedBuffer::adopt(std::move(bytes));
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.data(), storage);  // adopt moves, never copies
+  EXPECT_EQ(a.use_count(), 1);
+
+  SharedBuffer b = a;  // handle copy: same bytes, refcount 2
+  EXPECT_EQ(b.data(), a.data());
+  EXPECT_EQ(a.use_count(), 2);
+
+  SharedBuffer c = SharedBuffer::copy_of(a.data(), a.size());
+  EXPECT_NE(c.data(), a.data());
+  EXPECT_EQ(c.to_vector(), a.to_vector());
+}
+
+TEST(Buffer, ChainGathersOwnedAndBorrowedInOrder) {
+  std::vector<unsigned char> borrowed = {10, 11, 12};
+  BufferChain chain;
+  chain.append(SharedBuffer::adopt({1, 2}));
+  chain.append_borrowed(borrowed.data(), borrowed.size());
+  chain.append_borrowed(nullptr, 0);  // empty segments are legal
+  chain.append(SharedBuffer::adopt({20}));
+
+  EXPECT_EQ(chain.total_bytes(), 6u);
+  EXPECT_EQ(chain.segment_count(), 4u);
+  EXPECT_TRUE(chain.segments()[1].borrowed());
+  EXPECT_FALSE(chain.segments()[0].borrowed());
+
+  const std::vector<unsigned char> expect = {1, 2, 10, 11, 12, 20};
+  EXPECT_EQ(chain.to_vector(), expect);
+  EXPECT_EQ(chain.gather().to_vector(), expect);
+
+  chain.clear();
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(chain.gather().size(), 0u);
+}
+
+TEST(Buffer, PoolRecyclesStorage) {
+  BufferPool pool;
+  auto v = pool.acquire(2000);
+  EXPECT_EQ(v.size(), 2000u);
+  const unsigned char* storage = v.data();
+  {
+    SharedBuffer sealed = pool.seal(std::move(v));
+    EXPECT_EQ(sealed.data(), storage);
+    EXPECT_EQ(pool.stats().misses, 1u);
+    EXPECT_EQ(pool.stats().returns, 0u);
+  }  // last reference dropped: storage goes back to the pool
+  EXPECT_EQ(pool.stats().returns, 1u);
+
+  auto w = pool.acquire(1500);  // same power-of-two bucket as 2000
+  EXPECT_EQ(w.data(), storage);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  (void)pool.seal(std::move(w));
+}
+
+TEST(Buffer, PoolSealedBufferSurvivesPoolDestruction) {
+  SharedBuffer survivor;
+  {
+    BufferPool pool;
+    auto v = pool.acquire(64);
+    for (size_t i = 0; i < v.size(); ++i)
+      v[i] = static_cast<unsigned char>(i);
+    survivor = pool.seal(std::move(v));
+  }  // pool gone; the buffer must keep its bytes (and free them itself)
+  ASSERT_EQ(survivor.size(), 64u);
+  EXPECT_EQ(survivor.data()[63], 63);
+}
+
+TEST(Buffer, PoolBoundsIdleStoragePerBucket) {
+  BufferPool pool(/*max_per_bucket=*/1);
+  auto a = pool.seal(pool.acquire(1000));
+  auto b = pool.seal(pool.acquire(1000));
+  a = SharedBuffer();  // recycled (bucket now full)
+  b = SharedBuffer();  // discarded
+  EXPECT_EQ(pool.stats().returns, 1u);
+  EXPECT_EQ(pool.stats().discards, 1u);
+}
+
+TEST(Buffer, PoolGatherFlattensChain) {
+  BufferPool pool;
+  std::vector<unsigned char> payload(5000, 0xab);
+  BufferChain chain;
+  chain.append(SharedBuffer::adopt({1, 2, 3}));
+  chain.append_borrowed(payload.data(), payload.size());
+  SharedBuffer flat = pool.gather(chain);
+  EXPECT_EQ(flat.size(), 5003u);
+  EXPECT_EQ(flat.data()[0], 1);
+  EXPECT_EQ(flat.data()[5002], 0xab);
+  EXPECT_EQ(pool.stats().misses, 1u);
 }
 
 TEST(Rng, DeterministicPerSeed) {
