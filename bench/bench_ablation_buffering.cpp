@@ -22,6 +22,7 @@
 #include "sim/simulation.h"
 
 #include "bench_json.h"
+#include "bench_trace.h"
 
 namespace {
 
@@ -105,6 +106,7 @@ Result run(const rocpanda::ServerOptions& server_opts) {
 
 int main(int argc, char** argv) {
   bench::JsonEmitter json(&argc, argv);
+  bench::TraceSession trace(&argc, argv);
   std::printf("Ablation A1: active buffering in Rocpanda (Table-1 workload, "
               "%d clients + %d servers, 100 steps, 3 snapshots).\n\n",
               kClients, kServers);
@@ -125,6 +127,7 @@ int main(int argc, char** argv) {
   json.record("ablation_buffering",
               {bench::param("config", "unbounded")},
               "total_run_time", a.total, "s");
+  bench::TraceSession::print(trace.collect("unbounded", &json));
 
   rocpanda::ServerOptions small = on;
   small.buffer_capacity = 2 * 1024 * 1024;  // real bytes; forces spills
@@ -141,6 +144,7 @@ int main(int argc, char** argv) {
   json.record("ablation_buffering",
               {bench::param("config", "small_buffer")},
               "spills", static_cast<double>(b.spills), "blocks");
+  bench::TraceSession::print(trace.collect("small_buffer", &json));
 
   rocpanda::ServerOptions off;
   off.active_buffering = false;
@@ -154,6 +158,7 @@ int main(int argc, char** argv) {
   json.record("ablation_buffering",
               {bench::param("config", "no_buffering")},
               "visible_io_time", c.visible, "s");
+  bench::TraceSession::print(trace.collect("no_buffering", &json));
 
   std::printf("\nexpected: without buffering the clients wait for the "
               "actual NFS writes (visible cost ~%0.0fx higher); a small "

@@ -30,6 +30,7 @@
 #include "sim/simulation.h"
 
 #include "bench_json.h"
+#include "bench_trace.h"
 
 namespace {
 
@@ -148,6 +149,12 @@ Point run_rochdf(int compute_procs) {
 
 int main(int argc, char** argv) {
   bench::JsonEmitter json(&argc, argv);
+  bench::TraceSession trace(&argc, argv);
+  // --smoke: the CI configuration -- a short series that still exercises
+  // both services and the intra-node rise, done in seconds.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") smoke = true;
   std::printf("Figure 3(a) reproduction: apparent aggregate write "
               "throughput on the simulated ASCI Frost (MB/s).\n");
   std::printf("Fixed %.0f MB per compute processor; Rocpanda: 15 compute + "
@@ -155,12 +162,16 @@ int main(int argc, char** argv) {
   std::printf("%14s %14s | %14s %14s | %10s\n", "compute procs",
               "total procs", "Rocpanda MB/s", "Rochdf MB/s", "winner");
 
-  const std::vector<int> series = {1, 2, 4, 8, 15, 30, 60, 120, 240, 480};
+  const std::vector<int> series =
+      smoke ? std::vector<int>{1, 4, 15}
+            : std::vector<int>{1, 2, 4, 8, 15, 30, 60, 120, 240, 480};
   double panda_at_480 = 0;
   for (int n : series) {
     std::fprintf(stderr, "  running %d compute procs...\n", n);
     const Point panda = run_rocpanda(n);
+    (void)trace.collect("rocpanda/" + std::to_string(n), &json);
     const Point hdf = run_rochdf(n);
+    (void)trace.collect("rochdf/" + std::to_string(n), &json);
     if (n == 480) panda_at_480 = panda.throughput_mb_s;
     json.record("fig3a",
                 {bench::param("service", "rocpanda"),

@@ -18,6 +18,7 @@
 
 #include "bench_json.h"
 #include "comm/thread_comm.h"
+#include "telemetry/trace.h"
 #include "mesh/generators.h"
 #include "rocpanda/wire.h"
 #include "shdf/reader.h"
@@ -293,6 +294,55 @@ void BM_ServerWritePassThrough(benchmark::State& state) {
                           static_cast<int64_t>(wire.size()));
 }
 BENCHMARK(BM_ServerWritePassThrough)->Arg(16)->Arg(48);
+
+/// Marshal + ship with the write-pipeline trace spans around each stage,
+/// tracing left in its default (disabled) state.  Paired with
+/// BM_BlockShipZeroCopy this bounds the telemetry idle cost on the PR 2
+/// zero-copy hot path: each disabled span is one relaxed atomic load and a
+/// branch, so the pair must stay within ~2%; built with
+/// -DROCPIO_TELEMETRY=OFF the macros vanish and the pair is identical.
+void BM_BlockShipZeroCopyTraced(benchmark::State& state) {
+  const auto b = marshal_block(static_cast<int>(state.range(0)));
+  const int64_t wire_bytes = static_cast<int64_t>(
+      rocpanda::WireBlock::serialize_chain(b, "all").total_bytes());
+  for (auto _ : state) {
+    comm::World::run(2, [&b](comm::Comm& comm) {
+      if (comm.rank() == 0) {
+        for (int i = 0; i < kShipsPerRun; ++i) {
+          ROC_TRACE_SPAN_D("client", "snapshot.perceived", "micro");
+          BufferChain chain;
+          {
+            ROC_TRACE_SPAN("client", "marshal");
+            chain = rocpanda::WireBlock::serialize_chain(b, "all");
+          }
+          {
+            ROC_TRACE_SPAN("client", "ship");
+            comm.sendv(1, 1, chain);
+          }
+        }
+      } else {
+        for (int i = 0; i < kShipsPerRun; ++i) {
+          auto m = comm.recv(0, 1);
+          benchmark::DoNotOptimize(m.payload.data());
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          kShipsPerRun * wire_bytes);
+}
+BENCHMARK(BM_BlockShipZeroCopyTraced)->Arg(16)->Arg(48);
+
+/// The bare cost of one disabled span: the floor of the traced/untraced
+/// comparison above (expected: a load, a branch, nanoseconds).
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    ROC_TRACE_SPAN("bench", "disabled");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
 
 /// One pooled acquire/seal/release cycle vs allocating fresh storage each
 /// time: the snapshot-loop allocation churn BufferPool removes.

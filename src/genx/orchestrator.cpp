@@ -6,6 +6,7 @@
 #include "genx/rocface.h"
 #include "mesh/partition.h"
 #include "mesh/refine.h"
+#include "telemetry/trace.h"
 #include "util/serialize.h"
 
 namespace roc::genx {
@@ -184,6 +185,9 @@ void GenxRun::step_local_physics() {
 void GenxRun::write_snapshot(int step) {
   const std::string base = snapshot_base(step);
   const double time = step * cfg_.dt;
+  // Application-level perceived cost of the whole output phase (all three
+  // modules); the I/O services nest their own per-request spans inside.
+  ROC_TRACE_SPAN_D("genx", "snapshot.perceived", base);
   const double t0 = env_.now();
   // Back-to-back output requests from the three modules (the paper's
   // multi-component output phase).

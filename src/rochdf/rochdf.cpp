@@ -6,6 +6,7 @@
 
 #include "rocpanda/wire.h"
 #include "shdf/reader.h"
+#include "telemetry/trace.h"
 #include "util/log.h"
 
 namespace roc::rochdf {
@@ -20,6 +21,12 @@ Rochdf::Rochdf(comm::Comm& comm, comm::Env& env, vfs::FileSystem& fs,
       env_(env),
       fs_(fs),
       options_(std::move(options)),
+      m_write_calls_(metrics_.counter("rochdf.write_calls")),
+      m_blocks_written_(metrics_.counter("rochdf.blocks_written")),
+      m_bytes_buffered_(metrics_.counter("rochdf.bytes_buffered")),
+      m_files_written_(metrics_.counter("rochdf.files_written")),
+      m_snapshot_waits_(metrics_.counter("rochdf.snapshot_waits")),
+      m_write_seconds_(metrics_.histogram("rochdf.write_seconds")),
       gate_storage_(env.make_gate()),
       gate_(gate_storage_.get()) {
   if (options_.threaded)
@@ -52,26 +59,30 @@ void Rochdf::write_now(const std::string& path, const std::string& window,
   {
     comm::GateLock lock(*gate_);
     first = started_files_.insert(path).second;
-    if (first) ++stats_.files_written;
   }
+  if (first) m_files_written_.increment();
   shdf::Writer w = first ? shdf::Writer(fs_, path, options_.directory)
                          : shdf::Writer::append(fs_, path);
   for (const Pane* p : panes) {
     roccom::write_block(w, window, *p->block, attribute, time,
                         options_.codec);
-    comm::GateLock lock(*gate_);
-    ++stats_.blocks_written;
+    m_blocks_written_.increment();
   }
   w.close();
 }
 
 void Rochdf::write_job(const Job& job) {
+  // The background half of T-Rochdf: everything here is I/O cost the
+  // application thread never sees (unless it collides with the
+  // one-snapshot-in-flight wait).
+  ROC_TRACE_SPAN_D("rochdf", "snapshot.background", job.base);
+  const double t0 = telemetry::now();
   bool first;
   {
     comm::GateLock lock(*gate_);
     first = started_files_.insert(job.file).second;
-    if (first) ++stats_.files_written;
   }
+  if (first) m_files_written_.increment();
   if (writer_ && open_path_ != job.file) {
     writer_->close();
     writer_.reset();
@@ -92,12 +103,13 @@ void Rochdf::write_job(const Job& job) {
     // wire bytes; no MeshBlock is reconstructed.
     rocpanda::WireBlockView::parse(b).write_to(*writer_, job.window,
                                                job.time, options_.codec);
-    comm::GateLock lock(*gate_);
-    ++stats_.blocks_written;
+    m_blocks_written_.increment();
   }
+  m_write_seconds_.observe(telemetry::now() - t0);
 }
 
 void Rochdf::worker_loop() {
+  telemetry::set_thread_name("t-rochdf writer");
   gate_->lock();
   for (;;) {
     if (!queue_.empty()) {
@@ -136,22 +148,29 @@ void Rochdf::wait_file_complete(const std::string& file) {
     waited = true;
     gate_->wait();
   }
-  if (waited) ++stats_.snapshot_waits;
+  if (waited) m_snapshot_waits_.increment();
 }
 
 void Rochdf::write_attribute(Roccom& com, const IoRequest& req) {
+  // The whole call is this rank's *perceived* snapshot cost: for Rochdf
+  // the actual disk write, for T-Rochdf the marshal plus any
+  // block-on-previous-snapshot wait (timeline.h separates the two).
+  ROC_TRACE_SPAN_D("rochdf", "snapshot.perceived", req.file);
+  const double t0 = telemetry::now();
   const roccom::Window& w = com.window(req.window);
   const auto panes = w.panes();
   const std::string path =
       proc_file(options_.file_prefix, req.file, comm_.rank());
 
-  {
-    comm::GateLock lock(*gate_);
-    ++stats_.write_calls;
-  }
+  m_write_calls_.increment();
 
   if (!options_.threaded) {
+    // Synchronous write on the caller's thread: background-tagged so the
+    // timeline still attributes raw vfs cost to the snapshot, but fully
+    // inside the perceived span — nothing is hidden.
+    ROC_TRACE_SPAN_D("rochdf", "snapshot.background", req.file);
     write_now(path, req.window, req.attribute, req.time, panes);
+    m_write_seconds_.observe(telemetry::now() - t0);
     return;
   }
 
@@ -162,11 +181,14 @@ void Rochdf::write_attribute(Roccom& com, const IoRequest& req) {
       const std::string prev =
           proc_file(options_.file_prefix, current_snapshot_, comm_.rank());
       bool waited = false;
-      while (pending_.count(prev) > 0 || open_file_ == prev) {
-        waited = true;
-        gate_->wait();
+      {
+        ROC_TRACE_SPAN_D("rochdf", "snapshot.wait_previous", req.file);
+        while (pending_.count(prev) > 0 || open_file_ == prev) {
+          waited = true;
+          gate_->wait();
+        }
       }
-      if (waited) ++stats_.snapshot_waits;
+      if (waited) m_snapshot_waits_.increment();
     }
     current_snapshot_ = req.file;
   }
@@ -175,27 +197,33 @@ void Rochdf::write_attribute(Roccom& com, const IoRequest& req) {
   // copy) so the caller can reuse its blocks immediately.
   Job job;
   job.file = path;
+  job.base = req.file;
   job.window = req.window;
   job.time = req.time;
   job.blocks.reserve(panes.size());
   uint64_t bytes = 0;
-  for (const Pane* p : panes) {
-    SharedBuffer wire = pool_.gather(
-        rocpanda::WireBlock::serialize_chain(*p->block, req.attribute));
-    bytes += wire.size();
-    job.blocks.push_back(std::move(wire));
+  {
+    ROC_TRACE_SPAN("rochdf", "marshal");
+    for (const Pane* p : panes) {
+      SharedBuffer wire = pool_.gather(
+          rocpanda::WireBlock::serialize_chain(*p->block, req.attribute));
+      bytes += wire.size();
+      job.blocks.push_back(std::move(wire));
+    }
+    env_.charge_local_copy(bytes);
   }
-  env_.charge_local_copy(bytes);
 
+  m_bytes_buffered_.add(bytes);
   comm::GateLock lock(*gate_);
-  stats_.bytes_buffered += bytes;
   queue_.push_back(std::move(job));
   ++pending_[path];
   gate_->notify_all();
+  m_write_seconds_.observe(telemetry::now() - t0);
 }
 
 void Rochdf::sync() {
   if (!options_.threaded) return;
+  ROC_TRACE_SPAN("rochdf", "sync");
   comm::GateLock lock(*gate_);
   while (!queue_.empty() || !pending_.empty() || !open_file_.empty())
     gate_->wait();
@@ -269,8 +297,16 @@ std::vector<int> Rochdf::list_panes(const std::string& file) {
 }
 
 Stats Rochdf::stats() const {
-  comm::GateLock lock(*gate_);
-  return stats_;
+  // Effect counters are read before their causes (blocks before calls):
+  // seq_cst increments mean a concurrent reader can never observe an
+  // effect whose cause is missing (race_test's ordering invariant).
+  Stats s;
+  s.blocks_written = m_blocks_written_.value();
+  s.bytes_buffered = m_bytes_buffered_.value();
+  s.files_written = m_files_written_.value();
+  s.snapshot_waits = m_snapshot_waits_.value();
+  s.write_calls = m_write_calls_.value();
+  return s;
 }
 
 }  // namespace roc::rochdf

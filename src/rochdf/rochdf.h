@@ -30,6 +30,7 @@
 #include "roccom/blockio.h"
 #include "roccom/io_service.h"
 #include "shdf/writer.h"
+#include "telemetry/metrics.h"
 #include "vfs/vfs.h"
 
 namespace roc::rochdf {
@@ -45,7 +46,8 @@ struct Options {
   std::string file_prefix;
 };
 
-/// Cumulative counters (diagnostics and tests).
+/// Cumulative counters (diagnostics and tests): a point-in-time view over
+/// the service's metrics registry (see Rochdf::metrics()).
 struct Stats {
   uint64_t write_calls = 0;
   uint64_t blocks_written = 0;
@@ -78,7 +80,11 @@ class Rochdf final : public roccom::IoService {
     return options_.threaded ? "T-Rochdf" : "Rochdf";
   }
 
-  [[nodiscard]] Stats stats() const ROC_EXCLUDES(gate_);
+  /// Counter snapshot, safe against the concurrent background writer.
+  [[nodiscard]] Stats stats() const;
+
+  /// The service's instance-local metrics (counters named `rochdf.*`).
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() { return metrics_; }
 
   /// File written by rank `rank` for basename `base`.
   [[nodiscard]] static std::string proc_file(const std::string& prefix,
@@ -91,6 +97,7 @@ class Rochdf final : public roccom::IoService {
   /// pass-through view instead of reconstructed MeshBlocks.
   struct Job {
     std::string file;  ///< Full path of the per-process file.
+    std::string base;  ///< Snapshot base name (trace span detail).
     std::string window;
     double time = 0;
     std::vector<SharedBuffer> blocks;  ///< Marshalled pane snapshots.
@@ -120,6 +127,16 @@ class Rochdf final : public roccom::IoService {
   /// Internally synchronized: the worker returns buffers from its thread.
   BufferPool pool_;
 
+  // Counters behind stats(): registered once, updated lock-free through
+  // the cached handles (the worker increments them off the gate).
+  telemetry::MetricsRegistry metrics_;
+  telemetry::Counter& m_write_calls_;
+  telemetry::Counter& m_blocks_written_;
+  telemetry::Counter& m_bytes_buffered_;
+  telemetry::Counter& m_files_written_;
+  telemetry::Counter& m_snapshot_waits_;
+  telemetry::Histogram& m_write_seconds_;
+
   // --- worker coordination (threaded mode).  gate_ is the capability the
   // ROC_GUARDED_BY annotations below refer to; gate_storage_ only owns it.
   std::unique_ptr<comm::Gate> gate_storage_;
@@ -135,7 +152,6 @@ class Rochdf final : public roccom::IoService {
   /// Truncate-vs-append decision.
   std::set<std::string> started_files_ ROC_GUARDED_BY(gate_);
   bool stop_ ROC_GUARDED_BY(gate_) = false;
-  Stats stats_ ROC_GUARDED_BY(gate_);
 
   // Worker-owned; accessed only from the writing thread (no guard needed).
   std::unique_ptr<shdf::Writer> writer_;

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "rocpanda/wire.h"
+#include "telemetry/trace.h"
 #include "util/log.h"
 #include "util/serialize.h"
 
@@ -20,6 +21,14 @@ RocpandaClient::RocpandaClient(comm::Comm& world, comm::Env& env,
       layout_(layout),
       options_(options),
       server_(layout.server_of_client(world.rank())),
+      m_write_calls_(metrics_.counter("client.write_calls")),
+      m_blocks_sent_(metrics_.counter("client.blocks_sent")),
+      m_bytes_sent_(metrics_.counter("client.bytes_sent")),
+      m_sync_calls_(metrics_.counter("client.sync_calls")),
+      m_blocks_fetched_(metrics_.counter("client.blocks_fetched")),
+      m_bytes_buffered_(metrics_.counter("client.bytes_buffered")),
+      m_backpressure_waits_(metrics_.counter("client.backpressure_waits")),
+      m_write_seconds_(metrics_.histogram("client.write_seconds")),
       gate_storage_(env.make_gate()),
       gate_(gate_storage_.get()) {
   require(!layout_.is_server(world_.rank()),
@@ -54,6 +63,9 @@ void RocpandaClient::shutdown() {
 // --- client-side buffering (the paper's buffer hierarchy) -------------------
 
 void RocpandaClient::ship(const Job& job) {
+  // Background in hierarchy mode: this is the cost the local buffer hides
+  // from the application thread.
+  ROC_TRACE_SPAN("client", "ship.background");
   world_.send(server_, kTagWriteBegin, job.header);
   for (const auto& bytes : job.blocks)
     world_.send(server_, kTagWriteBlock, bytes);
@@ -70,11 +82,11 @@ void RocpandaClient::worker_loop() {
       shipping_ = true;
       gate_->unlock();
       ship(job);
+      m_bytes_sent_.add(job.bytes);
+      m_blocks_sent_.add(job.blocks.size());
       gate_->lock();
       shipping_ = false;
       queued_bytes_ -= job.bytes;
-      stats_.bytes_sent += job.bytes;
-      stats_.blocks_sent += job.blocks.size();
       gate_->notify_all();
       continue;
     }
@@ -91,6 +103,10 @@ void RocpandaClient::drain_local() {
 }
 
 void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
+  // The whole call is the snapshot's *perceived* cost on this rank (the
+  // paper's visible output time); timeline.h groups these by file base.
+  ROC_TRACE_SPAN_D("client", "snapshot.perceived", req.file);
+  const double t0 = telemetry::now();
   const roccom::Window& w = com.window(req.window);
   const auto panes = w.panes();
 
@@ -100,10 +116,7 @@ void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
   h.attribute = req.attribute;
   h.time = req.time;
   h.nblocks = static_cast<uint32_t>(panes.size());
-  {
-    comm::GateLock lock(*gate_);
-    ++stats_.write_calls;
-  }
+  m_write_calls_.increment();
 
   if (worker_) {
     // Hierarchy mode: marshal into the local buffer and return; the
@@ -112,68 +125,87 @@ void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
     Job job;
     job.header = h.serialize();
     job.blocks.reserve(panes.size());
-    for (const Pane* p : panes) {
-      // Gather the chain into one pooled buffer: the single marshalling
-      // copy.  Everything downstream (queue, send, server buffer) shares
-      // references to these bytes.
-      SharedBuffer bytes =
-          pool_.gather(WireBlock::serialize_chain(*p->block, req.attribute));
-      env_.charge_local_copy(bytes.size());
-      job.bytes += bytes.size();
-      job.blocks.push_back(std::move(bytes));
+    {
+      ROC_TRACE_SPAN("client", "marshal");
+      for (const Pane* p : panes) {
+        // Gather the chain into one pooled buffer: the single marshalling
+        // copy.  Everything downstream (queue, send, server buffer) shares
+        // references to these bytes.
+        SharedBuffer bytes =
+            pool_.gather(WireBlock::serialize_chain(*p->block, req.attribute));
+        env_.charge_local_copy(bytes.size());
+        job.bytes += bytes.size();
+        job.blocks.push_back(std::move(bytes));
+      }
     }
     comm::GateLock lock(*gate_);
     while (queued_bytes_ + job.bytes > options_.client_buffer_capacity &&
            (!queue_.empty() || shipping_)) {
-      ++stats_.backpressure_waits;
+      ROC_TRACE_SPAN("client", "backpressure");
+      m_backpressure_waits_.increment();
       gate_->wait();
     }
     queued_bytes_ += job.bytes;
-    stats_.bytes_buffered += job.bytes;
+    m_bytes_buffered_.add(job.bytes);
     queue_.push_back(std::move(job));
     gate_->notify_all();
+    m_write_seconds_.observe(telemetry::now() - t0);
     return;
   }
 
-  world_.send(server_, kTagWriteBegin, h.serialize());
+  {
+    ROC_TRACE_SPAN("client", "ship");
+    world_.send(server_, kTagWriteBegin, h.serialize());
 
-  // One message per block: the granularity at which the server can yield
-  // between buffering, writing and probing (paper §6.1).
-  uint64_t sent_bytes = 0;
-  for (const Pane* p : panes) {
-    // The chain's payload segments alias the pane's arrays; sendv gathers
-    // them once on their way out (the single marshalling copy), which is
-    // what makes immediate buffer reuse by the caller safe.
-    const BufferChain chain =
-        WireBlock::serialize_chain(*p->block, req.attribute);
-    env_.charge_local_copy(chain.total_bytes());  // marshalling copy
-    sent_bytes += chain.total_bytes();
-    world_.sendv(server_, kTagWriteBlock, chain);
+    // One message per block: the granularity at which the server can yield
+    // between buffering, writing and probing (paper §6.1).
+    uint64_t sent_bytes = 0;
+    for (const Pane* p : panes) {
+      // The chain's payload segments alias the pane's arrays; sendv gathers
+      // them once on their way out (the single marshalling copy), which is
+      // what makes immediate buffer reuse by the caller safe.
+      const BufferChain chain =
+          WireBlock::serialize_chain(*p->block, req.attribute);
+      env_.charge_local_copy(chain.total_bytes());  // marshalling copy
+      sent_bytes += chain.total_bytes();
+      world_.sendv(server_, kTagWriteBlock, chain);
+    }
+
+    // Visible cost ends when the server confirms everything is buffered.
+    (void)world_.recv(server_, kTagWriteAck);
+    m_bytes_sent_.add(sent_bytes);
+    m_blocks_sent_.add(panes.size());
   }
-
-  // Visible cost ends when the server confirms everything is buffered.
-  (void)world_.recv(server_, kTagWriteAck);
-  comm::GateLock lock(*gate_);
-  stats_.bytes_sent += sent_bytes;
-  stats_.blocks_sent += panes.size();
+  m_write_seconds_.observe(telemetry::now() - t0);
 }
 
 void RocpandaClient::sync() {
+  ROC_TRACE_SPAN("client", "sync");
   drain_local();  // everything locally buffered must reach the server first
   world_.signal(server_, kTagSyncReq);
   (void)world_.recv(server_, kTagSyncAck);
-  comm::GateLock lock(*gate_);
-  ++stats_.sync_calls;
+  m_sync_calls_.increment();
 }
 
 ClientStats RocpandaClient::stats() const {
-  comm::GateLock lock(*gate_);
-  return stats_;
+  // Effect counters are read before their causes (blocks before calls):
+  // seq_cst increments mean a concurrent reader can never observe an
+  // effect whose cause is missing.
+  ClientStats s;
+  s.blocks_fetched = m_blocks_fetched_.value();
+  s.bytes_buffered = m_bytes_buffered_.value();
+  s.backpressure_waits = m_backpressure_waits_.value();
+  s.blocks_sent = m_blocks_sent_.value();
+  s.bytes_sent = m_bytes_sent_.value();
+  s.sync_calls = m_sync_calls_.value();
+  s.write_calls = m_write_calls_.value();
+  return s;
 }
 
 std::vector<mesh::MeshBlock> RocpandaClient::fetch_internal(
     const std::string& file, const std::string& window,
     const std::vector<int>& pane_ids) {
+  ROC_TRACE_SPAN_D("client", "restart.fetch", file);
   drain_local();  // reads must follow every locally buffered write
   ReadHeader h;
   h.file = file;
@@ -194,10 +226,7 @@ std::vector<mesh::MeshBlock> RocpandaClient::fetch_internal(
     blocks.push_back(
         mesh::MeshBlock::deserialize(msg.payload.data(), msg.payload.size()));
   }
-  {
-    comm::GateLock lock(*gate_);
-    stats_.blocks_fetched += count;
-  }
+  m_blocks_fetched_.add(count);
 
   if (count != pane_ids.size()) {
     std::string missing;

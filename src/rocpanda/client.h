@@ -22,6 +22,7 @@
 #include "comm/env.h"
 #include "roccom/io_service.h"
 #include "rocpanda/layout.h"
+#include "telemetry/metrics.h"
 
 namespace roc::rocpanda {
 
@@ -40,7 +41,8 @@ struct ClientOptions {
   uint64_t client_buffer_capacity = UINT64_MAX;
 };
 
-/// Client-side counters.
+/// Client-side counters: a point-in-time view over the client's metrics
+/// registry (see RocpandaClient::metrics()).
 struct ClientStats {
   uint64_t write_calls = 0;
   uint64_t blocks_sent = 0;
@@ -77,9 +79,12 @@ class RocpandaClient final : public roccom::IoService {
   /// the destructor if not called explicitly.
   void shutdown();
 
-  /// Snapshot of the counters.  Taken under the gate: in hierarchy mode
-  /// the background worker updates them concurrently.
-  [[nodiscard]] ClientStats stats() const ROC_EXCLUDES(gate_);
+  /// Snapshot of the counters, assembled from the metrics registry.  Safe
+  /// to call concurrently with writes from the background worker.
+  [[nodiscard]] ClientStats stats() const;
+
+  /// The client's instance-local metrics (counters named `client.*`).
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() { return metrics_; }
 
  private:
   [[nodiscard]] std::vector<mesh::MeshBlock> fetch_internal(
@@ -113,12 +118,23 @@ class RocpandaClient final : public roccom::IoService {
   /// thread drops the last reference.
   BufferPool pool_;
 
+  // Counters behind stats(): registered once, updated lock-free through
+  // the cached handles.  See DESIGN.md "Telemetry" for the naming scheme.
+  telemetry::MetricsRegistry metrics_;
+  telemetry::Counter& m_write_calls_;
+  telemetry::Counter& m_blocks_sent_;
+  telemetry::Counter& m_bytes_sent_;
+  telemetry::Counter& m_sync_calls_;
+  telemetry::Counter& m_blocks_fetched_;
+  telemetry::Counter& m_bytes_buffered_;
+  telemetry::Counter& m_backpressure_waits_;
+  telemetry::Histogram& m_write_seconds_;
+
   // --- client-side buffering (hierarchy mode).  gate_ is the capability
   // the ROC_GUARDED_BY annotations refer to; gate_storage_ only owns it.
   std::unique_ptr<comm::Gate> gate_storage_;
   comm::Gate* const gate_;
   std::unique_ptr<comm::Worker> worker_;
-  ClientStats stats_ ROC_GUARDED_BY(gate_);
   std::deque<Job> queue_ ROC_GUARDED_BY(gate_);
   uint64_t queued_bytes_ ROC_GUARDED_BY(gate_) = 0;
   bool shipping_ ROC_GUARDED_BY(gate_) = false;  ///< Worker is mid-job.

@@ -11,6 +11,8 @@
 #include "rocpanda/wire.h"
 #include "shdf/reader.h"
 #include "shdf/writer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/log.h"
 #include "util/serialize.h"
 
@@ -28,6 +30,7 @@ namespace {
 /// One buffered (not yet written) block.
 struct BufferedItem {
   std::string path;    ///< Server file the block belongs in.
+  std::string base;    ///< Snapshot base name (trace span detail).
   std::string window;
   double time;
   SharedBuffer wire_bytes;  ///< Serialized WireBlock, as received.
@@ -54,7 +57,32 @@ class Server {
         layout_(layout),
         opts_(options),
         my_index_(layout.server_index(world.rank())),
-        clients_(layout.clients_of_server(world.rank())) {}
+        clients_(layout.clients_of_server(world.rank())),
+        m_blocks_received_(metrics_.counter("server.blocks_received")),
+        m_blocks_written_(metrics_.counter("server.blocks_written")),
+        m_bytes_received_(metrics_.counter("server.bytes_received")),
+        m_spills_(metrics_.counter("server.spills")),
+        m_files_created_(metrics_.counter("server.files_created")),
+        m_sync_requests_(metrics_.counter("server.sync_requests")),
+        m_read_sessions_(metrics_.counter("server.read_sessions")),
+        m_buffered_bytes_peak_(metrics_.gauge("server.buffered_bytes_peak")),
+        m_write_seconds_(metrics_.histogram("server.write_seconds")) {}
+
+  /// The returned struct is a view over the server's metrics registry,
+  /// assembled once the serve loop exits.
+  ServerStats stats() const {
+    ServerStats s;
+    s.blocks_received = m_blocks_received_.value();
+    s.blocks_written = m_blocks_written_.value();
+    s.bytes_received = m_bytes_received_.value();
+    s.buffered_bytes_peak =
+        static_cast<uint64_t>(m_buffered_bytes_peak_.value());
+    s.spills = m_spills_.value();
+    s.files_created = m_files_created_.value();
+    s.sync_requests = m_sync_requests_.value();
+    s.read_sessions = m_read_sessions_.value();
+    return s;
+  }
 
   ServerStats run() {
     size_t shutdowns_remaining = clients_.size();
@@ -69,8 +97,11 @@ class Server {
       // requested the operation and every write context is closed.
       if (write_ctx_.empty()) {
         if (pending_syncs_.size() == clients_.size()) {
-          drain();
-          close_writer();
+          {
+            ROC_TRACE_SPAN("server", "sync.drain");
+            drain();
+            close_writer();
+          }
           for (int src : pending_syncs_) world_.signal(src, kTagSyncAck);
           pending_syncs_.clear();
           continue;
@@ -95,11 +126,14 @@ class Server {
       if (receive_priority) {
         // Blocking probe frees the CPU (the paper's OS-offload effect);
         // the polling variant exists for the probe-strategy ablation.
-        if (opts_.blocking_probe_when_idle) {
-          st = world_.probe(comm::kAnySource, comm::kAnyTag);
-        } else {
-          while (!world_.iprobe(comm::kAnySource, comm::kAnyTag, &st))
-            env_.compute(opts_.idle_poll_interval);
+        {
+          ROC_TRACE_SPAN("server", "probe.idle");
+          if (opts_.blocking_probe_when_idle) {
+            st = world_.probe(comm::kAnySource, comm::kAnyTag);
+          } else {
+            while (!world_.iprobe(comm::kAnySource, comm::kAnyTag, &st))
+              env_.compute(opts_.idle_poll_interval);
+          }
         }
         if (handle_message(st)) --shutdowns_remaining;
       } else {
@@ -113,7 +147,7 @@ class Server {
       }
     }
     close_writer();
-    return stats_;
+    return stats();
   }
 
  private:
@@ -140,12 +174,13 @@ class Server {
           throw CommError("WriteBlock without WriteBegin from rank " +
                           std::to_string(st.source));
         WriteContext& ctx = it->second;
-        ++stats_.blocks_received;
-        stats_.bytes_received += msg.payload.size();
+        m_blocks_received_.increment();
+        m_bytes_received_.add(msg.payload.size());
 
         BufferedItem item;
         item.path = server_file(opts_.file_prefix, ctx.header.file,
                                 my_index_);
+        item.base = ctx.header.file;
         item.window = ctx.header.window;
         item.time = ctx.header.time;
         item.wire_bytes = std::move(msg.payload);
@@ -167,7 +202,7 @@ class Server {
       }
       case kTagSyncReq: {
         (void)world_.recv(st.source, kTagSyncReq);
-        ++stats_.sync_requests;
+        m_sync_requests_.increment();
         pending_syncs_.insert(st.source);  // deferred (see run())
         return false;
       }
@@ -202,18 +237,19 @@ class Server {
     // one fits (paper §6.1).
     while (buffered_bytes_ + bytes > opts_.buffer_capacity &&
            !buffer_.empty()) {
+      ROC_TRACE_INSTANT("server", "spill");
       write_one_buffered();
-      ++stats_.spills;
+      m_spills_.increment();
     }
     if (bytes > opts_.buffer_capacity) {
       // A single block larger than the whole buffer: write it through.
+      ROC_TRACE_INSTANT("server", "spill");
       write_item(item);
-      ++stats_.spills;
+      m_spills_.increment();
       return;
     }
     buffered_bytes_ += bytes;
-    stats_.buffered_bytes_peak =
-        std::max(stats_.buffered_bytes_peak, buffered_bytes_);
+    m_buffered_bytes_peak_.record_peak(static_cast<int64_t>(buffered_bytes_));
     buffer_.push_back(std::move(item));
   }
 
@@ -235,7 +271,7 @@ class Server {
     if (!writer_) {
       if (started_files_.insert(path).second) {
         writer_ = std::make_unique<shdf::Writer>(fs_, path, opts_.directory);
-        ++stats_.files_created;
+        m_files_created_.increment();
       } else {
         writer_ =
             std::make_unique<shdf::Writer>(shdf::Writer::append(fs_, path));
@@ -252,6 +288,12 @@ class Server {
   }
 
   void write_item(const BufferedItem& item) {
+    // This is the snapshot's *hidden* cost when it runs between client
+    // requests (active buffering) — and its visible cost when it runs
+    // before the ack (write-through ablation); the timeline report tells
+    // the two apart by overlap with the clients' perceived spans.
+    ROC_TRACE_SPAN_D("server", "snapshot.background", item.base);
+    const double t0 = telemetry::now();
     ensure_writer(item.path);
     if (item.view) {
       // Pass-through: dataset payloads stream from the retained wire
@@ -261,7 +303,8 @@ class Server {
       const WireBlock wb = WireBlock::deserialize(item.wire_bytes.to_vector());
       wb.write_to(*writer_, item.window, item.time, opts_.codec);
     }
-    ++stats_.blocks_written;
+    m_blocks_written_.increment();
+    m_write_seconds_.observe(telemetry::now() - t0);
   }
 
   // --- restart (collective read) -------------------------------------------
@@ -288,12 +331,12 @@ class Server {
   /// Processes the collective read once every client's ReadHeader is in
   /// pending_reads_.
   void handle_read() {
-    ++stats_.read_sessions;
+    m_read_sessions_.increment();
+    const ReadHeader& first = pending_reads_.begin()->second;
+    ROC_TRACE_SPAN_D("server", "restart.read", first.file);
     // Reads must see every prior write.
     drain();
     close_writer();
-
-    const ReadHeader& first = pending_reads_.begin()->second;
     std::map<int, std::set<int32_t>> wanted;  // client world rank -> ids
     for (const auto& [client, h] : pending_reads_) {
       require(h.file == first.file && h.window == first.window,
@@ -448,7 +491,19 @@ class Server {
   std::unique_ptr<shdf::Writer> writer_;
   std::string open_path_;
   std::set<std::string> started_files_;
-  ServerStats stats_;
+
+  // Counters behind stats(): the server loop is single-threaded, but the
+  // registry keeps the naming/export machinery uniform across components.
+  telemetry::MetricsRegistry metrics_;
+  telemetry::Counter& m_blocks_received_;
+  telemetry::Counter& m_blocks_written_;
+  telemetry::Counter& m_bytes_received_;
+  telemetry::Counter& m_spills_;
+  telemetry::Counter& m_files_created_;
+  telemetry::Counter& m_sync_requests_;
+  telemetry::Counter& m_read_sessions_;
+  telemetry::Gauge& m_buffered_bytes_peak_;
+  telemetry::Histogram& m_write_seconds_;
 };
 
 }  // namespace

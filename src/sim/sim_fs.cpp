@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/trace.h"
+
 namespace roc::sim {
 
 namespace {
@@ -21,6 +23,10 @@ class SimFile final : public vfs::File {
   }
 
   void write(const void* data, size_t n) override {
+    // Spans cover entry to experience(end): the op's modelled duration in
+    // virtual time, including channel queueing (same category/names as the
+    // PosixFile spans so timeline.h treats both substrates identically).
+    ROC_TRACE_SPAN("vfs", "write");
     const FsParams& p = fs_->sim_.platform().fs;
     const double scaled =
         static_cast<double>(n) * fs_->sim_.platform().byte_scale;
@@ -36,6 +42,7 @@ class SimFile final : public vfs::File {
   }
 
   void writev(std::span<const ConstBuffer> segments) override {
+    ROC_TRACE_SPAN("vfs", "writev");
     // A gather is one logical operation: one op overhead for the whole
     // chain (this is the point of File::writev), bandwidth for every byte.
     uint64_t n = 0;
@@ -55,6 +62,7 @@ class SimFile final : public vfs::File {
   }
 
   void read(void* out, size_t n) override {
+    ROC_TRACE_SPAN("vfs", "read");
     const FsParams& p = fs_->sim_.platform().fs;
     const double scaled =
         static_cast<double>(n) * fs_->sim_.platform().byte_scale;
@@ -127,6 +135,7 @@ void SimFileSystem::experience(double end) {
 
 std::unique_ptr<vfs::File> SimFileSystem::open(const std::string& path,
                                                vfs::OpenMode mode) {
+  ROC_TRACE_SPAN("vfs", "open");
   const bool writer = mode != vfs::OpenMode::kRead;
   const double cost = sim_.platform().fs.open_cost;
   const double end = reserve_channel(writer, cost);

@@ -2,12 +2,32 @@
 
 #include <algorithm>
 
+#include "telemetry/clock.h"
+#include "telemetry/trace.h"
 #include "util/log.h"
 
 namespace roc::sim {
 
 using detail::NodeState;
 using detail::Process;
+
+namespace {
+
+/// Exposes the simulation's virtual time as the telemetry clock, so trace
+/// spans taken inside simulated processes are stamped in simulated
+/// seconds.  Safe without locks: now_ is only mutated by the scheduler
+/// while every process thread is parked, and the semaphore handoff orders
+/// the accesses.
+class SimClockSource final : public telemetry::ClockSource {
+ public:
+  explicit SimClockSource(const Simulation& sim) : sim_(sim) {}
+  [[nodiscard]] double now() const override { return sim_.now(); }
+
+ private:
+  const Simulation& sim_;
+};
+
+}  // namespace
 
 double NodeState::noise_factor(const NodeParams& p, bool any_idle_cpu) {
   if (p.os_noise_fraction <= 0) return 1.0;
@@ -126,6 +146,10 @@ void Simulation::start_process_thread(Process* p) {
   p->started = true;
   p->thread = std::thread([this, p] {
     p->go.acquire();
+    // Default trace name; workers may refine it (e.g. "t-rochdf writer").
+    telemetry::set_thread_name(p->is_aux
+                                   ? "aux@node " + std::to_string(p->node)
+                                   : "rank " + std::to_string(p->rank));
     try {
       if (cancelled_) throw SimCancelled();
       if (p->is_aux) {
@@ -191,6 +215,12 @@ void Simulation::run() {
   require(!ran_, "Simulation::run may be called once");
   require(!procs_.empty(), "no processes added");
   ran_ = true;
+
+  // Telemetry timestamps read virtual time for the duration of the run
+  // (restored on exit, including the error path).  Threads leaked by an
+  // abnormal end stay parked forever and never read the clock.
+  SimClockSource sim_clock(*this);
+  telemetry::ScopedClock scoped_clock(&sim_clock);
 
   for (auto& p : procs_) {
     start_process_thread(p.get());

@@ -1,0 +1,44 @@
+#include "telemetry/clock.h"
+
+#include <chrono>
+
+namespace roc::telemetry {
+
+namespace {
+
+/// Default source: monotonic wall clock, seconds since process-local epoch.
+/// This is one of the two sanctioned users of std::chrono::steady_clock
+/// (the other is util/stopwatch.h); see tools/lint.py rule `raw-clock`.
+class WallClock final : public ClockSource {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double now() const override {
+    const auto dt = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration<double>(dt).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+WallClock& wall_clock() {
+  static WallClock clock;
+  return clock;
+}
+
+// nullptr means "the wall clock"; stored as nullptr so the default needs no
+// dynamic initialisation ordering guarantees.
+std::atomic<ClockSource*> g_clock{nullptr};
+
+}  // namespace
+
+double now() {
+  const ClockSource* source = g_clock.load(std::memory_order_acquire);
+  return source ? source->now() : wall_clock().now();
+}
+
+ClockSource* set_clock(ClockSource* source) {
+  return g_clock.exchange(source, std::memory_order_acq_rel);
+}
+
+}  // namespace roc::telemetry

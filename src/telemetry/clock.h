@@ -1,0 +1,49 @@
+#pragma once
+/// \file clock.h
+/// \brief The telemetry clock source: every timestamp the telemetry layer
+/// records (trace spans, instants) comes from telemetry::now().
+///
+/// By default this is a monotonic wall clock (seconds since the first
+/// call).  The simulator installs its virtual clock for the duration of a
+/// run (ScopedClock), so traces taken on the sim:: substrate are stamped in
+/// *virtual* seconds and remain exactly reproducible — the same property
+/// the simulator gives the libraries themselves (DESIGN.md §5).
+///
+/// This header (together with util/stopwatch.h) is the only place allowed
+/// to read std::chrono clocks directly; tools/lint.py rule `raw-clock`
+/// enforces that everything else goes through these abstractions.
+
+#include <atomic>
+
+namespace roc::telemetry {
+
+/// A source of timestamps, in seconds since an arbitrary epoch.  Must be
+/// safe to call from any thread while installed.
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+  [[nodiscard]] virtual double now() const = 0;
+};
+
+/// Current time from the installed source (wall clock by default).
+[[nodiscard]] double now();
+
+/// Installs `source` as the global clock; nullptr restores the wall clock.
+/// Returns the previously installed source (nullptr = wall clock).  The
+/// source must outlive its installation.
+ClockSource* set_clock(ClockSource* source);
+
+/// RAII installation of a clock source; restores the previous source on
+/// destruction (used by sim::Simulation::run).
+class ScopedClock {
+ public:
+  explicit ScopedClock(ClockSource* source) : prev_(set_clock(source)) {}
+  ~ScopedClock() { set_clock(prev_); }
+  ScopedClock(const ScopedClock&) = delete;
+  ScopedClock& operator=(const ScopedClock&) = delete;
+
+ private:
+  ClockSource* prev_;
+};
+
+}  // namespace roc::telemetry

@@ -1,0 +1,199 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+namespace roc::telemetry {
+
+std::size_t Counter::shard_index() noexcept {
+  // Hash of the thread id, cached per thread: stable for the thread's
+  // lifetime, cheap (one TLS read) per add().
+  static thread_local const std::size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return idx;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+void Histogram::observe(double v) noexcept {
+  // First bound >= v; everything past the last bound lands in overflow.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_seq_cst);
+  count_.fetch_add(1, std::memory_order_seq_cst);
+  sum_.fetch_add(v, std::memory_order_seq_cst);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_)
+    s.counts.push_back(c.load(std::memory_order_seq_cst));
+  s.count = count_.load(std::memory_order_seq_cst);
+  s.sum = sum_.load(std::memory_order_seq_cst);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_seq_cst);
+  count_.store(0, std::memory_order_seq_cst);
+  sum_.store(0.0, std::memory_order_seq_cst);
+}
+
+std::vector<double> default_time_bounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 30.0};
+}
+
+std::vector<double> default_size_bounds() {
+  std::vector<double> b;
+  for (double v = 256.0; v <= 256.0 * 1024 * 1024; v *= 4) b.push_back(v);
+  return b;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  MutexLock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = default_time_bounds();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  MutexLock lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot s;
+  MutexLock lock(mu_);
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    s.histograms.emplace_back(name, h->snapshot());
+  return s;
+}
+
+namespace {
+
+// %g-style shortest representation, stable across locales.
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+// Minimal JSON string escape for metric names.
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_text() const {
+  const Snapshot s = snapshot();
+  std::ostringstream os;
+  for (const auto& [name, v] : s.counters) os << name << ' ' << v << '\n';
+  for (const auto& [name, v] : s.gauges) os << name << ' ' << v << '\n';
+  for (const auto& [name, h] : s.histograms) {
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      const std::string le =
+          i < h.bounds.size() ? format_double(h.bounds[i]) : "+Inf";
+      os << name << "_bucket{le=" << le << "} " << h.counts[i] << '\n';
+    }
+    os << name << "_sum " << format_double(h.sum) << '\n';
+    os << name << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const Snapshot s = snapshot();
+  std::ostringstream os;
+  os << '{';
+  os << "\"counters\":{";
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    if (i) os << ',';
+    os << json_quote(s.counters[i].first) << ':' << s.counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    if (i) os << ',';
+    os << json_quote(s.gauges[i].first) << ':' << s.gauges[i].second;
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < s.histograms.size(); ++i) {
+    if (i) os << ',';
+    const auto& [name, h] = s.histograms[i];
+    os << json_quote(name) << ":{\"bounds\":[";
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j) os << ',';
+      os << format_double(h.bounds[j]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t j = 0; j < h.counts.size(); ++j) {
+      if (j) os << ',';
+      os << h.counts[j];
+    }
+    os << "],\"sum\":" << format_double(h.sum) << ",\"count\":" << h.count
+       << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+MetricsRegistry& global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace roc::telemetry

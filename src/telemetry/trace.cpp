@@ -1,0 +1,227 @@
+#include "telemetry/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "util/log.h"
+#include "util/mutex.h"
+
+namespace roc::telemetry {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// One thread's event ring.  The owning thread pushes; collect_trace()
+/// drains from any thread, so both paths lock the (per-buffer, in practice
+/// uncontended) mutex.  Storage grows on demand up to kTraceRingCapacity,
+/// then wraps, dropping the oldest events.
+struct RingBuffer {
+  Mutex mu{"trace_ring"};
+  std::vector<TraceEvent> events ROC_GUARDED_BY(mu);
+  std::size_t head ROC_GUARDED_BY(mu) = 0;  // oldest event when wrapped
+  std::uint64_t dropped ROC_GUARDED_BY(mu) = 0;
+  std::string thread_name ROC_GUARDED_BY(mu);
+  int tid = 0;
+
+  void push(TraceEvent ev) {
+    MutexLock lock(mu);
+    ev.tid = tid;
+    if (events.size() < kTraceRingCapacity) {
+      events.push_back(std::move(ev));
+    } else {
+      events[head] = std::move(ev);
+      head = (head + 1) % events.size();
+      ++dropped;
+    }
+  }
+
+  /// Appends this ring's events (oldest first) to `out` and empties it.
+  void drain(Trace& out) {
+    MutexLock lock(mu);
+    out.events.reserve(out.events.size() + events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      out.events.push_back(std::move(events[(head + i) % events.size()]));
+    }
+    events.clear();
+    head = 0;
+    out.dropped += dropped;
+    dropped = 0;
+    if (!thread_name.empty()) out.thread_names[tid] = thread_name;
+  }
+};
+
+/// Global list of all rings ever created.  shared_ptr keeps a ring alive
+/// after its thread exits until the next collect_trace().
+struct BufferList {
+  Mutex mu{"trace_buffers"};
+  std::vector<std::shared_ptr<RingBuffer>> buffers ROC_GUARDED_BY(mu);
+  int next_tid ROC_GUARDED_BY(mu) = 1;
+};
+
+BufferList& buffer_list() {
+  static BufferList* list = new BufferList;  // leaked: outlives all threads
+  return *list;
+}
+
+RingBuffer& this_thread_buffer() {
+  static thread_local std::shared_ptr<RingBuffer> buffer = [] {
+    auto b = std::make_shared<RingBuffer>();
+    BufferList& list = buffer_list();
+    MutexLock lock(list.mu);
+    b->tid = list.next_tid++;
+    list.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+/// Mirrors error-level log lines into the trace as instant events so a
+/// timeline shows *when* things went wrong.  Registered once, checks the
+/// enable flag itself.
+void log_mirror(roc::LogLevel level, const std::string& msg) {
+  if (level == roc::LogLevel::kError && trace_enabled()) {
+    record_instant("log", "error", msg);
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void set_trace_enabled(bool on) {
+  if (on) {
+    static const bool mirror_installed = [] {
+      roc::detail::set_log_mirror(&log_mirror);
+      return true;
+    }();
+    (void)mirror_installed;
+  }
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_thread_name(std::string name) {
+  RingBuffer& b = this_thread_buffer();
+  MutexLock lock(b.mu);
+  b.thread_name = std::move(name);
+}
+
+void record_span(const char* category, const char* name, double ts, double dur,
+                 std::string detail) {
+  if (!trace_enabled()) return;
+  TraceEvent ev;
+  ev.category = category;
+  ev.name = name;
+  ev.detail = std::move(detail);
+  ev.ts = ts;
+  ev.dur = dur;
+  this_thread_buffer().push(std::move(ev));
+}
+
+void record_instant(const char* category, const char* name,
+                    std::string detail) {
+  if (!trace_enabled()) return;
+  TraceEvent ev;
+  ev.category = category;
+  ev.name = name;
+  ev.detail = std::move(detail);
+  ev.ts = now();
+  ev.dur = -1.0;
+  this_thread_buffer().push(std::move(ev));
+}
+
+Trace collect_trace() {
+  Trace out;
+  BufferList& list = buffer_list();
+  MutexLock lock(list.mu);
+  for (const auto& b : list.buffers) b->drain(out);
+  return out;
+}
+
+void write_chrome_trace(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, Trace>>& batches) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  int pid = 0;
+  for (const auto& [label, trace] : batches) {
+    ++pid;
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+       << json_escape(label) << "\"}}";
+    for (const auto& [tid, tname] : trace.thread_names) {
+      comma();
+      os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+         << json_escape(tname) << "\"}}";
+    }
+    for (const TraceEvent& ev : trace.events) {
+      comma();
+      // Chrome tracing wants microseconds.
+      const double ts_us = ev.ts * 1e6;
+      os << "{\"pid\":" << pid << ",\"tid\":" << ev.tid << ",\"cat\":\""
+         << json_escape(ev.category) << "\",\"name\":\""
+         << json_escape(ev.name) << "\",\"ts\":" << ts_us;
+      if (ev.dur >= 0.0) {
+        os << ",\"ph\":\"X\",\"dur\":" << ev.dur * 1e6;
+      } else {
+        os << ",\"ph\":\"i\",\"s\":\"t\"";
+      }
+      if (!ev.detail.empty()) {
+        os << ",\"args\":{\"detail\":\"" << json_escape(ev.detail) << "\"}";
+      }
+      os << '}';
+    }
+  }
+  os << "]}";
+}
+
+bool TraceWriter::write() const {
+  // Plain ofstream, not vfs: the trace file is tool output on the host
+  // filesystem, and vfs itself carries trace spans (layering).
+  std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    ROC_ERROR << "trace: cannot open " << path_ << " for writing";
+    return false;
+  }
+  write_chrome_trace(os, batches_);
+  os.flush();
+  if (!os) {
+    ROC_ERROR << "trace: write to " << path_ << " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace roc::telemetry

@@ -1,0 +1,196 @@
+#pragma once
+/// \file trace.h
+/// \brief Timeline tracing: RAII spans and instant events, recorded into
+/// per-thread ring buffers and flushed to Chrome-tracing / Perfetto JSON.
+///
+/// Usage:
+///
+///   void Server::write_item(...) {
+///     ROC_TRACE_SPAN_D("server", "snapshot.background", item.base);
+///     ...                        // span covers the enclosing scope
+///   }
+///   ROC_TRACE_INSTANT("server", "spill");
+///
+/// Tracing is globally off by default; every macro starts with one relaxed
+/// atomic load, so the disabled-at-runtime cost is a test-and-branch.
+/// Building with -DROCPIO_TELEMETRY=OFF compiles the macros away entirely
+/// (`ROCPIO_TELEMETRY_DISABLED`), which is the configuration the bench_micro
+/// overhead pair verifies against the PR 2 zero-copy hot path.
+///
+/// Timestamps come from telemetry::now() (clock.h): wall time normally,
+/// *virtual* time when the simulator has installed its clock, so sim traces
+/// show the modelled overlap of client and I/O-server work, not host
+/// scheduling noise.
+///
+/// Span categories (see DESIGN.md "Telemetry"): "client", "server",
+/// "rochdf", "vfs", "sim", "log".  Span names that feed the per-snapshot
+/// timeline report (timeline.h) carry the snapshot base name in `detail`:
+/// "snapshot.perceived" (caller-visible cost) and "snapshot.background"
+/// (hidden writer cost).
+///
+/// Each thread buffers events in a ring (capacity kTraceRingCapacity,
+/// drop-oldest); collect_trace() drains every ring.  Buffers are kept alive
+/// past thread exit until collected.
+
+#include <atomic>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/clock.h"
+
+namespace roc::telemetry {
+
+/// One recorded event.  `category` / `name` must be string literals (or
+/// otherwise outlive collection); `detail` is an optional dynamic payload
+/// shown as args.detail in the trace viewer.
+struct TraceEvent {
+  const char* category = "";
+  const char* name = "";
+  std::string detail;
+  double ts = 0.0;   ///< start, seconds on the telemetry clock
+  double dur = -1.0; ///< seconds; < 0 marks an instant event
+  int tid = 0;
+};
+
+/// Everything collect_trace() drained: events from all threads (each
+/// thread's events in chronological order) plus thread names and the count
+/// of events lost to ring overflow.
+struct Trace {
+  std::vector<TraceEvent> events;
+  std::map<int, std::string> thread_names;
+  std::uint64_t dropped = 0;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// Events per thread before the ring drops its oldest entries.
+inline constexpr std::size_t kTraceRingCapacity = 1u << 14;
+
+/// Turns event recording on or off process-wide.  Enabling also installs
+/// the log mirror that records kError log lines as instant events.
+void set_trace_enabled(bool on);
+
+[[nodiscard]] inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Names the calling thread in trace output ("rank 3", "t-rochdf writer").
+/// Last call wins.
+void set_thread_name(std::string name);
+
+/// Records a completed span / an instant event on the calling thread's
+/// ring.  No-ops when tracing is disabled.
+void record_span(const char* category, const char* name, double ts, double dur,
+                 std::string detail = {});
+void record_instant(const char* category, const char* name,
+                    std::string detail = {});
+
+/// Drains every thread's ring buffer (including buffers of exited
+/// threads).  Events already collected are not returned again.
+[[nodiscard]] Trace collect_trace();
+
+/// RAII span: measures construction-to-destruction on the telemetry clock.
+/// Usually spelled via ROC_TRACE_SPAN.
+class Span {
+ public:
+  Span(const char* category, const char* name)
+      : category_(category), name_(name) {
+    if (trace_enabled()) start_ = now();
+  }
+  Span(const char* category, const char* name, std::string detail)
+      : category_(category), name_(name), detail_(std::move(detail)) {
+    if (trace_enabled()) start_ = now();
+  }
+  ~Span() {
+    if (start_ >= 0.0 && trace_enabled()) {
+      record_span(category_, name_, start_, now() - start_,
+                  std::move(detail_));
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* category_;
+  const char* name_;
+  std::string detail_;
+  double start_ = -1.0;  // < 0: tracing was off at construction
+};
+
+/// Writes one or more labelled trace batches as a Chrome-tracing JSON
+/// object ({"traceEvents": [...]}; load in chrome://tracing or
+/// https://ui.perfetto.dev).  Each batch becomes one pid with the label as
+/// its process_name; timestamps convert to microseconds.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<std::pair<std::string, Trace>>& batches);
+
+/// Convenience file writer for the above.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::string path) : path_(std::move(path)) {}
+
+  void add(std::string label, Trace trace) {
+    batches_.emplace_back(std::move(label), std::move(trace));
+  }
+
+  /// Writes the file; returns false (and logs) on I/O failure.
+  bool write() const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<std::pair<std::string, Trace>> batches_;
+};
+
+}  // namespace roc::telemetry
+
+#if defined(ROCPIO_TELEMETRY_DISABLED)
+
+#define ROC_TRACE_SPAN(category, name) ((void)0)
+#define ROC_TRACE_SPAN_D(category, name, detail) ((void)0)
+#define ROC_TRACE_INSTANT(category, name) ((void)0)
+#define ROC_TRACE_INSTANT_D(category, name, detail) ((void)0)
+
+#else
+
+#define ROC_TRACE_CONCAT_2_(a, b) a##b
+#define ROC_TRACE_CONCAT_(a, b) ROC_TRACE_CONCAT_2_(a, b)
+
+/// Span covering the enclosing scope.  `category` and `name` must be
+/// string literals.
+#define ROC_TRACE_SPAN(category, name) \
+  ::roc::telemetry::Span ROC_TRACE_CONCAT_(roc_trace_span_, __LINE__) { \
+    category, name                                                      \
+  }
+
+/// Span with a dynamic detail payload (e.g. the snapshot base name).  The
+/// detail expression is evaluated only while tracing is enabled.
+#define ROC_TRACE_SPAN_D(category, name, detail)                          \
+  ::roc::telemetry::Span ROC_TRACE_CONCAT_(roc_trace_span_, __LINE__) {   \
+    category, name,                                                       \
+        ::roc::telemetry::trace_enabled() ? std::string(detail)           \
+                                          : std::string()                 \
+  }
+
+#define ROC_TRACE_INSTANT(category, name)                 \
+  do {                                                    \
+    if (::roc::telemetry::trace_enabled())                \
+      ::roc::telemetry::record_instant(category, name);   \
+  } while (0)
+
+#define ROC_TRACE_INSTANT_D(category, name, detail)               \
+  do {                                                            \
+    if (::roc::telemetry::trace_enabled())                        \
+      ::roc::telemetry::record_instant(category, name,            \
+                                       std::string(detail));      \
+  } while (0)
+
+#endif  // ROCPIO_TELEMETRY_DISABLED

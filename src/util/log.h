@@ -4,7 +4,14 @@
 ///
 /// The libraries log sparingly (warnings and debug traces around protocol
 /// steps); the default level is kWarn so tests and benchmarks stay quiet.
+///
+/// Output goes through a swappable sink (default: one fprintf to stderr
+/// per line).  Tests capture output with roc::ScopedLogCapture
+/// (util/log_capture.h); the telemetry layer registers a *mirror* — a
+/// second, sink-independent observer — to record error lines as trace
+/// instant events.
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,10 +23,33 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Emits one line to stderr (thread-safe, single write call).
+/// Receives each emitted line (level passed separately; no trailing
+/// newline).  Called with the logger's internal lock held — sinks must not
+/// log or block.
+using LogSink = std::function<void(LogLevel, const std::string& msg)>;
+
+/// Replaces the output sink; an empty function restores the default
+/// stderr sink.  Returns the previous sink (empty = default).  Prefer
+/// ScopedLogCapture in tests — it restores the previous sink on scope
+/// exit.
+LogSink set_log_sink(LogSink sink);
+
+/// Emits one line through the current sink (thread-safe; the default sink
+/// is a single write call).
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {
+
+/// Installs an observer called for every emitted line *in addition to* the
+/// sink (lock-free function pointer, so a lower layer can notify the
+/// telemetry layer without a dependency edge).  nullptr uninstalls.
+void set_log_mirror(void (*mirror)(LogLevel, const std::string&));
+
+/// True when a line at `level` would be emitted (the macro's fast path).
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  return level >= log_level();
+}
+
 /// RAII line builder: streams into a buffer, emits on destruction.
 class LogStream {
  public:
@@ -42,10 +72,17 @@ class LogStream {
 
 }  // namespace roc
 
-#define ROC_LOG(level)                         \
-  if (::roc::log_level() > (level)) {          \
-  } else                                       \
-    ::roc::detail::LogStream(level)
+// Level check and stream in one expression-friendly statement.  The
+// switch-init form (a) evaluates `level` exactly once, (b) swallows the
+// `<<` chain without evaluating it when the level is filtered, and (c) is
+// a single statement, so `if (x) ROC_WARN << "y"; else ...` parses the way
+// it reads (no dangling-else capture).
+#define ROC_LOG(level)                                                \
+  switch (const ::roc::LogLevel roc_log_level_once_ = (level); 0)     \
+  default:                                                            \
+    if (!::roc::detail::log_enabled(roc_log_level_once_)) {           \
+    } else                                                            \
+      ::roc::detail::LogStream(roc_log_level_once_)
 
 #define ROC_DEBUG ROC_LOG(::roc::LogLevel::kDebug)
 #define ROC_INFO ROC_LOG(::roc::LogLevel::kInfo)

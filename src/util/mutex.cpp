@@ -2,10 +2,11 @@
 
 #if defined(ROCPIO_DEBUG_LOCKS)
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
+
+#include "util/stopwatch.h"
 
 /// Debug lock checker (ROCPIO_DEBUG_LOCKS builds only).
 ///
@@ -23,13 +24,11 @@
 namespace roc::lockdebug {
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
 struct Held {
   const Mutex* m;
   const char* name;
   int level;
-  Clock::time_point since;
+  Stopwatch since;  // running since acquisition
 };
 
 thread_local std::vector<Held> t_held;
@@ -56,16 +55,14 @@ void push(const Mutex* m, const char* name, int level) {
       die("lock-order violation (level must strictly increase)", name,
           h.name);
   }
-  t_held.push_back(Held{m, name, level, Clock::now()});
+  t_held.push_back(Held{m, name, level, Stopwatch{}});
 }
 
 void pop(const Mutex* m, const char* name, bool check_duration) {
   for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
     if (it->m != m) continue;
     if (check_duration) {
-      const double held_ms =
-          std::chrono::duration<double, std::milli>(Clock::now() - it->since)
-              .count();
+      const double held_ms = it->since.seconds() * 1000.0;
       if (held_ms > warn_threshold_ms())
         std::fprintf(stderr,
                      "[LOCKDEBUG] warning: '%s' held for %.1f ms "

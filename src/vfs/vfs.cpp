@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <map>
 
+#include "telemetry/trace.h"
 #include "util/mutex.h"
 
 namespace roc::vfs {
@@ -30,11 +31,13 @@ class PosixFile final : public File {
 
   void write(const void* data, size_t n) override {
     if (n == 0) return;
+    ROC_TRACE_SPAN("vfs", "write");
     if (std::fwrite(data, 1, n, f_) != n)
       throw IoError("short write to " + path_);
   }
 
   void writev(std::span<const ConstBuffer> segments) override {
+    ROC_TRACE_SPAN("vfs", "writev");
     // One vectored syscall instead of a copy into a staging buffer plus one
     // fwrite.  The stream position is reconciled around the raw-fd write:
     // fflush drains stdio's buffer (leaving the fd offset at the logical
@@ -73,6 +76,7 @@ class PosixFile final : public File {
 
   void read(void* out, size_t n) override {
     if (n == 0) return;
+    ROC_TRACE_SPAN("vfs", "read");
     if (std::fread(out, 1, n, f_) != n)
       throw IoError("short read from " + path_);
   }
@@ -98,6 +102,7 @@ class PosixFile final : public File {
   }
 
   void flush() override {
+    ROC_TRACE_SPAN("vfs", "flush");
     if (std::fflush(f_) != 0) throw IoError("flush failed on " + path_);
   }
 
@@ -124,6 +129,7 @@ std::string PosixFileSystem::full(const std::string& path) const {
 std::unique_ptr<File> PosixFileSystem::open(const std::string& path,
                                             OpenMode mode) {
   const std::string f = full(path);
+  ROC_TRACE_SPAN("vfs", "open");
   const char* flags = nullptr;
   switch (mode) {
     case OpenMode::kRead: flags = "rb"; break;

@@ -18,6 +18,8 @@
 #include "comm/thread_comm.h"
 #include "mesh/generators.h"
 #include "rochdf/rochdf.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/log.h"
 #include "vfs/vfs.h"
 
@@ -215,6 +217,84 @@ TEST(RaceTest, BufferPoolChurn) {
   });
   const auto st = pool.stats();
   EXPECT_GT(st.returns + st.discards, 0u);
+}
+
+/// Sharded counters, a peak gauge and a histogram hammered from four
+/// threads while a fifth continuously snapshots the registry (value(),
+/// to_text(), snapshot()).  Under TSan this covers the per-shard atomics,
+/// the CAS-max loop and the registry mutex from every side; the final
+/// totals check that no increment was lost.
+TEST(RaceTest, MetricsHammer) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Counter& c = reg.counter("race.increments");
+  telemetry::Gauge& g = reg.gauge("race.peak");
+  telemetry::Histogram& h = reg.histogram("race.values_seconds");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 2000;
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      EXPECT_LE(c.value(), kThreads * kPerThread);
+      EXPECT_LE(h.snapshot().count, kThreads * kPerThread);
+      (void)reg.to_text();
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.increment();
+        g.record_peak(static_cast<std::int64_t>(t * kPerThread + i));
+        h.observe(static_cast<double>(i) * 1e-6);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(g.value(), static_cast<std::int64_t>(kThreads * kPerThread) - 1);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+}
+
+/// Spans and instants recorded from several threads while a collector
+/// drains the rings and tracing is toggled mid-flight: the ring mutexes,
+/// the buffer-list registration and the enable flag all race.
+TEST(RaceTest, TraceRingHammer) {
+  (void)telemetry::collect_trace();  // drop anything from earlier tests
+  telemetry::set_trace_enabled(true);
+  std::atomic<bool> done{false};
+  std::uint64_t collected = 0;
+  std::thread collector([&] {
+    while (!done.load(std::memory_order_acquire))
+      collected += telemetry::collect_trace().events.size();
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      telemetry::set_thread_name("hammer " + std::to_string(t));
+      for (int i = 0; i < kRounds; ++i) {
+        ROC_TRACE_SPAN("race", "span");
+        ROC_TRACE_INSTANT_D("race", "tick", std::to_string(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  done.store(true, std::memory_order_release);
+  collector.join();
+  collected += telemetry::collect_trace().events.size();
+  telemetry::set_trace_enabled(false);
+#if defined(ROCPIO_TELEMETRY_DISABLED)
+  EXPECT_EQ(collected, 0u);  // macros compile away entirely
+#else
+  // Rings are far larger than 4*2*kRounds events: nothing may be dropped.
+  EXPECT_EQ(collected, 4u * 2u * kRounds);
+#endif
 }
 
 TEST(RaceTest, LoggerHammer) {

@@ -1,0 +1,646 @@
+/// \file telemetry_test.cpp
+/// \brief Tests for src/telemetry/: metrics (counter sharding, histogram
+/// "le" bucket edges, registry export), trace spans on the swappable
+/// clock, Chrome-trace JSON well-formedness (checked with a strict JSON
+/// parser), the per-snapshot timeline arithmetic (synthetic traces and the
+/// real T-Rochdf pipeline on the simulator), and the log satellites
+/// (ROC_LOG single evaluation, ScopedLogCapture, the error->instant
+/// mirror).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/thread_comm.h"
+#include "mesh/generators.h"
+#include "rochdf/rochdf.h"
+#include "sim/platform.h"
+#include "sim/sim_comm.h"
+#include "sim/sim_env.h"
+#include "sim/sim_fs.h"
+#include "sim/simulation.h"
+#include "telemetry/clock.h"
+#include "telemetry/metrics.h"
+#include "telemetry/timeline.h"
+#include "telemetry/trace.h"
+#include "util/log.h"
+#include "util/log_capture.h"
+
+namespace roc::telemetry {
+namespace {
+
+// --- a strict JSON acceptor -------------------------------------------------
+// Small recursive-descent validator (RFC 8259 grammar, no extensions): the
+// trace files must load in chrome://tracing, so "mostly JSON" is not
+// enough.  Returns false on any syntax violation, including trailing
+// garbage, unescaped control characters and bad \u escapes.
+
+class JsonChecker {
+ public:
+  static bool valid(const std::string& text) {
+    JsonChecker c(text);
+    c.ws();
+    if (!c.value()) return false;
+    c.ws();
+    return c.i_ == text.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& t) : t_(t) {}
+
+  [[nodiscard]] bool eof() const { return i_ >= t_.size(); }
+  [[nodiscard]] char peek() const { return t_[i_]; }
+  bool eat(char c) {
+    if (eof() || t_[i_] != c) return false;
+    ++i_;
+    return true;
+  }
+  void ws() {
+    while (!eof() && (t_[i_] == ' ' || t_[i_] == '\t' || t_[i_] == '\n' ||
+                      t_[i_] == '\r'))
+      ++i_;
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p)
+      if (!eat(*p)) return false;
+    return true;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    ws();
+    if (eat('}')) return true;
+    for (;;) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (!eat(':')) return false;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    ws();
+    if (eat(']')) return true;
+    for (;;) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (!eof()) {
+      const unsigned char c = static_cast<unsigned char>(t_[i_]);
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++i_;
+        if (eof()) return false;
+        const char e = t_[i_];
+        if (e == 'u') {
+          ++i_;
+          for (int k = 0; k < 4; ++k, ++i_)
+            if (eof() || std::isxdigit(static_cast<unsigned char>(t_[i_])) == 0)
+              return false;
+          continue;
+        }
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't')
+          return false;
+        ++i_;
+        continue;
+      }
+      ++i_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = i_;
+    (void)eat('-');
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+      return false;
+    if (!eat('0'))
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0)
+        ++i_;
+    if (!eof() && peek() == '.') {
+      ++i_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0)
+        ++i_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++i_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++i_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0)
+        ++i_;
+    }
+    return i_ > start;
+  }
+
+  const std::string& t_;
+  std::size_t i_ = 0;
+};
+
+TEST(JsonCheckerSelf, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonChecker::valid(R"({"a": [1, -2.5e3, "x\n", true, null]})"));
+  EXPECT_FALSE(JsonChecker::valid(R"({"a": 1,})"));     // trailing comma
+  EXPECT_FALSE(JsonChecker::valid("{\"a\": \"\t\"}"));  // raw control char
+  EXPECT_FALSE(JsonChecker::valid(R"({"a": 01})"));     // leading zero
+  EXPECT_FALSE(JsonChecker::valid(R"({"a": 1} x)"));    // trailing garbage
+  EXPECT_FALSE(JsonChecker::valid(R"("bad \q escape")"));
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddPeak) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.record_peak(5);   // below current max
+  g.record_peak(99);
+  EXPECT_EQ(g.value(), 99);
+  g.record_peak(50);  // peaks never regress
+  EXPECT_EQ(g.value(), 99);
+}
+
+TEST(Histogram, LeBucketEdgesAreInclusive) {
+  Histogram h({1.0, 10.0});
+  h.observe(0.5);    // (-inf, 1]
+  h.observe(1.0);    // (-inf, 1]  -- exactly on the edge
+  h.observe(1.5);    // (1, 10]
+  h.observe(10.0);   // (1, 10]    -- exactly on the edge
+  h.observe(10.5);   // overflow
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.bounds.size(), 2u);
+  ASSERT_EQ(s.counts.size(), 3u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.5 + 10.0 + 10.5);
+
+  h.reset();
+  const auto z = h.snapshot();
+  EXPECT_EQ(z.count, 0u);
+  EXPECT_DOUBLE_EQ(z.sum, 0.0);
+  for (const auto n : z.counts) EXPECT_EQ(n, 0u);
+}
+
+TEST(Histogram, DefaultBoundsAreSortedAndSpanTheRange) {
+  for (const auto& bounds : {default_time_bounds(), default_size_bounds()}) {
+    ASSERT_GE(bounds.size(), 2u);
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_LE(default_time_bounds().front(), 1e-6);
+  EXPECT_GE(default_time_bounds().back(), 30.0);
+}
+
+TEST(MetricsRegistry, LookupReturnsStableIdentity) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.count");
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = reg.histogram("x.seconds", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("x.seconds", {99.0});  // bounds ignored now
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h1.snapshot().bounds.size(), 2u);
+}
+
+TEST(MetricsRegistry, SnapshotResetAndText) {
+  MetricsRegistry reg;
+  reg.counter("b.count").add(3);
+  reg.counter("a.count").add(1);
+  reg.gauge("q.depth").set(-2);
+  reg.histogram("t.seconds", {1.0}).observe(0.5);
+
+  const auto s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].first, "a.count");  // sorted by name
+  EXPECT_EQ(s.counters[1].second, 3u);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_EQ(s.gauges[0].second, -2);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].second.count, 1u);
+
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("a.count 1"), std::string::npos);
+  EXPECT_NE(text.find("b.count 3"), std::string::npos);
+  EXPECT_NE(text.find("t.seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("t.seconds_bucket{le="), std::string::npos);
+
+  reg.reset();
+  EXPECT_EQ(reg.counter("b.count").value(), 0u);
+  EXPECT_EQ(reg.gauge("q.depth").value(), 0);
+  EXPECT_EQ(reg.histogram("t.seconds").snapshot().count, 0u);
+}
+
+TEST(MetricsRegistry, ToJsonIsStrictlyValid) {
+  MetricsRegistry reg;
+  reg.counter("a \"quoted\"\\name").add(7);
+  reg.gauge("g").set(-5);
+  reg.histogram("h.seconds", {0.5, 1.5}).observe(2.0);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// --- clock ------------------------------------------------------------------
+
+class FixedClock final : public ClockSource {
+ public:
+  explicit FixedClock(double t) : t_(t) {}
+  [[nodiscard]] double now() const override { return t_; }
+  double t_;
+};
+
+TEST(Clock, ScopedClockInstallsAndRestores) {
+  const double wall_before = now();
+  {
+    FixedClock fixed(1234.5);
+    ScopedClock scoped(&fixed);
+    EXPECT_DOUBLE_EQ(now(), 1234.5);
+    fixed.t_ = 2000.0;
+    EXPECT_DOUBLE_EQ(now(), 2000.0);
+  }
+  // Back on the wall clock: monotonic, and nowhere near the fake values.
+  const double wall_after = now();
+  EXPECT_GE(wall_after, wall_before);
+  EXPECT_LT(wall_after, 1000.0);
+}
+
+// --- trace ------------------------------------------------------------------
+
+/// Enables tracing for a scope and drops anything recorded before it.
+struct ScopedTracing {
+  ScopedTracing() {
+    (void)collect_trace();
+    set_trace_enabled(true);
+  }
+  ~ScopedTracing() { set_trace_enabled(false); }
+};
+
+TEST(TraceTest, SpanRecordsDurationOnTelemetryClock) {
+  FixedClock fixed(10.0);
+  ScopedClock scoped(&fixed);
+  ScopedTracing tracing;
+  set_thread_name("trace test");
+  {
+    Span span("test", "outer", "payload");
+    fixed.t_ = 12.5;
+  }
+  record_instant("test", "mark");
+  const Trace t = collect_trace();
+  ASSERT_EQ(t.events.size(), 2u);
+  const TraceEvent& span = t.events[0];
+  EXPECT_STREQ(span.name, "outer");
+  EXPECT_DOUBLE_EQ(span.ts, 10.0);
+  EXPECT_DOUBLE_EQ(span.dur, 2.5);
+  EXPECT_EQ(span.detail, "payload");
+  EXPECT_LT(t.events[1].dur, 0.0);  // instant
+  ASSERT_EQ(t.thread_names.count(span.tid), 1u);
+  EXPECT_EQ(t.thread_names.at(span.tid), "trace test");
+  EXPECT_EQ(t.dropped, 0u);
+}
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  (void)collect_trace();
+  ASSERT_FALSE(trace_enabled());
+  {
+    ROC_TRACE_SPAN("test", "ignored");
+    ROC_TRACE_INSTANT("test", "ignored");
+  }
+  EXPECT_TRUE(collect_trace().empty());
+}
+
+TEST(TraceTest, ChromeJsonIsStrictlyValidWithHostileStrings) {
+  Trace t;
+  TraceEvent e;
+  e.category = "cat";
+  e.name = "span";
+  e.detail = "quote \" backslash \\ newline \n tab \t ctrl \x01 done";
+  e.ts = 1.0;
+  e.dur = 0.5;
+  e.tid = 1;
+  t.events.push_back(e);
+  TraceEvent i = e;
+  i.name = "instant";
+  i.dur = -1.0;
+  t.events.push_back(i);
+  t.thread_names[1] = "thread \"one\"\\";
+
+  std::ostringstream os;
+  write_chrome_trace(os, {{"label \"A\"", t}, {"label B", Trace{}}});
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(TraceTest, WriterProducesLoadableFile) {
+  Trace t;
+  TraceEvent e;
+  e.category = "c";
+  e.name = "n";
+  e.ts = 0.25;
+  e.dur = 0.25;
+  e.tid = 3;
+  t.events.push_back(e);
+
+  const std::string path =
+      testing::TempDir() + "/telemetry_test_trace.json";
+  TraceWriter w(path);
+  w.add("run", std::move(t));
+  ASSERT_TRUE(w.write());
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(JsonChecker::valid(buf.str())) << buf.str();
+  std::remove(path.c_str());
+}
+
+// --- timeline ---------------------------------------------------------------
+
+TraceEvent span_event(const char* cat, const char* name, std::string detail,
+                      double ts, double dur, int tid) {
+  TraceEvent e;
+  e.category = cat;
+  e.name = name;
+  e.detail = std::move(detail);
+  e.ts = ts;
+  e.dur = dur;
+  e.tid = tid;
+  return e;
+}
+
+TEST(Timeline, SyntheticArithmetic) {
+  Trace t;
+  // Client perceives [0,2]; the writer works [1,4]; 1s of vfs write inside.
+  t.events.push_back(
+      span_event("rochdf", "snapshot.perceived", "s1", 0.0, 2.0, 1));
+  t.events.push_back(
+      span_event("rochdf", "snapshot.background", "s1", 1.0, 3.0, 2));
+  t.events.push_back(span_event("vfs", "write", "", 2.0, 1.0, 2));
+
+  const auto tl = snapshot_timelines(t);
+  ASSERT_EQ(tl.size(), 1u);
+  const SnapshotTimeline& s = tl[0];
+  EXPECT_EQ(s.base, "s1");
+  EXPECT_DOUBLE_EQ(s.start, 0.0);
+  EXPECT_DOUBLE_EQ(s.end, 4.0);
+  EXPECT_DOUBLE_EQ(s.wall_s, 4.0);
+  EXPECT_DOUBLE_EQ(s.perceived_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.background_s, 3.0);
+  EXPECT_DOUBLE_EQ(s.hidden_s, 2.0);  // [2,4]: background minus overlap
+  EXPECT_DOUBLE_EQ(s.raw_write_s, 1.0);
+  EXPECT_EQ(s.client_threads, 1);
+  EXPECT_EQ(s.writer_threads, 1);
+  // The Fig. 3 identity for a writer that starts inside the perceived span.
+  EXPECT_NEAR(s.perceived_s + s.hidden_s, s.wall_s, 1e-12);
+}
+
+TEST(Timeline, PerceivedIsMaxAcrossRanksAndSnapshotsAreSorted) {
+  Trace t;
+  // Two ranks write snapshot "b" concurrently; the visible cost is the
+  // slower rank (3s), not the sum.  Snapshot "a" starts later.
+  t.events.push_back(
+      span_event("client", "snapshot.perceived", "b", 0.0, 2.0, 1));
+  t.events.push_back(
+      span_event("client", "snapshot.perceived", "b", 0.0, 3.0, 2));
+  t.events.push_back(
+      span_event("client", "snapshot.perceived", "a", 10.0, 1.0, 1));
+  // A vfs write on a thread with no background span: attributed nowhere.
+  t.events.push_back(span_event("vfs", "write", "", 0.5, 0.5, 3));
+
+  const auto tl = snapshot_timelines(t);
+  ASSERT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl[0].base, "b");
+  EXPECT_EQ(tl[1].base, "a");
+  EXPECT_DOUBLE_EQ(tl[0].perceived_s, 3.0);
+  EXPECT_EQ(tl[0].client_threads, 2);
+  EXPECT_DOUBLE_EQ(tl[0].background_s, 0.0);
+  EXPECT_DOUBLE_EQ(tl[0].hidden_s, 0.0);
+  EXPECT_DOUBLE_EQ(tl[0].raw_write_s, 0.0);
+}
+
+/// The end-to-end check on the simulated substrate: a T-Rochdf snapshot
+/// whose background write overlaps compute.  The timeline must (a) run on
+/// virtual time, (b) hide most of the write, and (c) satisfy the Fig. 3
+/// identity perceived + hidden ~= wall within 5%.
+TEST(Timeline, TRochdfOnSimSatisfiesTheFig3Identity) {
+#if defined(ROCPIO_TELEMETRY_DISABLED)
+  GTEST_SKIP() << "trace macros compiled out (ROCPIO_TELEMETRY=OFF)";
+#else
+  ScopedTracing tracing;
+  sim::Platform p;
+  p.node.cpus = 2;
+  sim::Simulation sim(p);
+  auto fs = std::make_shared<sim::SimFileSystem>(sim);
+  auto world = std::make_shared<sim::SimWorld>(sim, 1);
+  sim.add_process([world, fs](sim::ProcContext& ctx) {
+    auto comm = world->attach();
+    sim::SimEnv env(ctx.sim());
+    roccom::Roccom com;
+    auto& w = com.create_window("fluid");
+    auto b = mesh::MeshBlock::structured(0, {8, 8, 8});
+    mesh::add_fluid_schema(b);
+    w.register_pane(b.id(), &b);
+
+    rochdf::Options o;
+    o.threaded = true;
+    rochdf::Rochdf io(*comm, env, *fs, o);
+    io.write_attribute(com, roccom::IoRequest{"fluid", "all", "tl", 0.0});
+    ctx.compute(5.0);  // overlap window for the background write
+    io.sync();
+  });
+  sim.run();
+
+  const Trace trace = collect_trace();
+  const auto tl = snapshot_timelines(trace);
+  ASSERT_EQ(tl.size(), 1u);
+  const SnapshotTimeline& s = tl[0];
+  EXPECT_EQ(s.base, "tl");
+  // Virtual time: the whole snapshot fits inside the ~5 s simulated run.
+  EXPECT_LT(s.end, 10.0);
+  EXPECT_GT(s.wall_s, 0.0);
+  // Active buffering hid the write: the background work dwarfs the
+  // perceived marshal cost, and the raw vfs writes happened inside it.
+  EXPECT_GT(s.hidden_s, s.perceived_s);
+  EXPECT_GT(s.raw_write_s, 0.0);
+  EXPECT_LE(s.raw_write_s, s.background_s + 1e-9);
+  EXPECT_EQ(s.client_threads, 1);
+  EXPECT_EQ(s.writer_threads, 1);
+  EXPECT_NEAR(s.perceived_s + s.hidden_s, s.wall_s, 0.05 * s.wall_s);
+#endif
+}
+
+// --- log satellites ---------------------------------------------------------
+
+TEST(LogMacro, EvaluatesLevelExactlyOnce) {
+  ScopedLogCapture capture(LogLevel::kDebug);
+  int level_evals = 0;
+  auto level = [&] {
+    ++level_evals;
+    return LogLevel::kWarn;
+  };
+  ROC_LOG(level()) << "once";
+  EXPECT_EQ(level_evals, 1);
+  ASSERT_EQ(capture.size(), 1u);
+  EXPECT_EQ(capture.lines()[0].msg, "once");
+}
+
+TEST(LogMacro, FilteredLineEvaluatesNoOperands) {
+  ScopedLogCapture capture(LogLevel::kError);
+  int operand_evals = 0;
+  auto operand = [&] {
+    ++operand_evals;
+    return "expensive";
+  };
+  ROC_DEBUG << operand();
+  EXPECT_EQ(operand_evals, 0);
+  EXPECT_EQ(capture.size(), 0u);
+  ROC_ERROR << operand();
+  EXPECT_EQ(operand_evals, 1);
+  EXPECT_TRUE(capture.contains("expensive"));
+}
+
+TEST(LogMacro, BindsCorrectlyInUnbracedIfElse) {
+  ScopedLogCapture capture(LogLevel::kDebug);
+  bool took_else = false;
+  if (true)
+    ROC_WARN << "then-branch";
+  else
+    took_else = true;  // a dangling-else capture would run this
+  EXPECT_FALSE(took_else);
+  EXPECT_TRUE(capture.contains("then-branch"));
+
+  if (false)
+    ROC_WARN << "not emitted";
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+  EXPECT_FALSE(capture.contains("not emitted"));
+}
+
+TEST(LogCapture, RestoresSinkAndLevelOnExit) {
+  const LogLevel before = log_level();
+  {
+    ScopedLogCapture outer(LogLevel::kDebug);
+    {
+      ScopedLogCapture inner(LogLevel::kError);
+      log_line(LogLevel::kError, "to inner");
+      EXPECT_EQ(log_level(), LogLevel::kError);
+    }
+    EXPECT_EQ(log_level(), LogLevel::kDebug);
+    log_line(LogLevel::kInfo, "to outer");
+    EXPECT_TRUE(outer.contains("to outer"));
+    EXPECT_FALSE(outer.contains("to inner"));
+  }
+  EXPECT_EQ(log_level(), before);
+}
+
+TEST(LogMirror, ErrorLinesBecomeTraceInstants) {
+  ScopedLogCapture capture(LogLevel::kDebug);  // keep stderr quiet
+  ScopedTracing tracing;
+  ROC_ERROR << "disk on fire";
+  ROC_WARN << "only a warning";
+  const Trace t = collect_trace();
+  int error_instants = 0;
+  for (const TraceEvent& e : t.events) {
+    if (std::string(e.category) != "log") continue;
+    ++error_instants;
+    EXPECT_LT(e.dur, 0.0);
+    EXPECT_EQ(e.detail, "disk on fire");
+  }
+  EXPECT_EQ(error_instants, 1);
+  // The sink still got both lines: the mirror is an observer, not a tee.
+  EXPECT_TRUE(capture.contains("disk on fire"));
+  EXPECT_TRUE(capture.contains("only a warning"));
+}
+
+// --- stats views ------------------------------------------------------------
+
+TEST(StatsView, RochdfStatsMirrorsItsRegistry) {
+  vfs::MemFileSystem fs;
+  comm::World::run(1, [&](comm::Comm& comm) {
+    comm::RealEnv env;
+    roccom::Roccom com;
+    auto& w = com.create_window("fluid");
+    auto b = mesh::MeshBlock::structured(0, {4, 4, 4});
+    mesh::add_fluid_schema(b);
+    w.register_pane(b.id(), &b);
+
+    rochdf::Rochdf io(comm, env, fs, rochdf::Options{});
+    io.write_attribute(com, roccom::IoRequest{"fluid", "all", "sv", 0.0});
+
+    const auto s = io.stats();
+    EXPECT_EQ(s.write_calls, 1u);
+    EXPECT_EQ(s.blocks_written, 1u);
+    EXPECT_EQ(s.files_written, 1u);
+    // The struct is a view over the named metrics, not a second set of
+    // counters.
+    auto& reg = io.metrics();
+    EXPECT_EQ(reg.counter("rochdf.write_calls").value(), s.write_calls);
+    EXPECT_EQ(reg.counter("rochdf.blocks_written").value(),
+              s.blocks_written);
+    const std::string text = reg.to_text();
+    EXPECT_NE(text.find("rochdf.write_calls 1"), std::string::npos);
+  });
+}
+
+}  // namespace
+}  // namespace roc::telemetry

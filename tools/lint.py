@@ -8,6 +8,12 @@ Enforces repo-wide correctness invariants that the compiler cannot:
                    src/util/mutex.h -- all locking must go through
                    roc::Mutex / roc::CondVar so Clang Thread Safety
                    Analysis and the debug lock checker see it.
+  raw-clock        No raw std::chrono clock reads
+                   (steady_clock/system_clock/high_resolution_clock::now)
+                   outside roc::Stopwatch (src/util/stopwatch.h) and the
+                   telemetry clock -- everything else must time through
+                   Stopwatch or telemetry::now() so simulated runs see
+                   virtual time and traces stay on one timebase.
   catch-all        No `catch (...)` that silently swallows exceptions: the
                    handler must rethrow (`throw`), capture
                    (`std::current_exception`), or carry an explicit
@@ -51,6 +57,20 @@ RAW_SYNC_RE = re.compile(
 )
 
 ALLOW_MARKER = "LINT-ALLOW"
+
+# Sanctioned raw-clock users: the wall-clock wrapper and the swappable
+# telemetry clock (whose WallClock fallback must read the real clock).
+RAW_CLOCK_ALLOWLIST_FILES = {
+    os.path.join("src", "util", "stopwatch.h"),
+}
+RAW_CLOCK_ALLOWLIST_DIRS = (
+    os.path.join("src", "telemetry") + os.sep,
+)
+
+RAW_CLOCK_RE = re.compile(
+    r"\bstd\s*::\s*chrono\s*::\s*"
+    r"(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b"
+)
 
 BUILD_ARTIFACT_RES = [
     re.compile(r"^build[^/]*/"),
@@ -171,6 +191,30 @@ def check_raw_sync(root: str, path: str, text: str, stripped: str):
             f"roc::MutexLock from src/util/mutex.h (or comm::Gate)")
 
 
+# --- rule: raw-clock --------------------------------------------------------
+
+def check_raw_clock(root: str, path: str, text: str, stripped: str):
+    rel = relpath(root, path)
+    if rel in RAW_CLOCK_ALLOWLIST_FILES:
+        return
+    if any(rel.startswith(d) for d in RAW_CLOCK_ALLOWLIST_DIRS):
+        return
+    lines = stripped.splitlines()
+    raw_lines = text.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        m = RAW_CLOCK_RE.search(line)
+        if not m:
+            continue
+        raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        if ALLOW_MARKER in raw:
+            continue
+        yield Violation(
+            "raw-clock", rel, lineno,
+            f"raw std::chrono::{m.group(1)}::now() -- use roc::Stopwatch "
+            f"(src/util/stopwatch.h) or roc::telemetry::now() so simulated "
+            f"runs see virtual time")
+
+
 # --- rule: catch-all --------------------------------------------------------
 
 CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
@@ -251,6 +295,7 @@ def check_build_artifacts(root: str):
 
 FILE_RULES = {
     "raw-sync": check_raw_sync,
+    "raw-clock": check_raw_clock,
     "catch-all": check_catch_all,
     "pragma-once": check_pragma_once,
 }

@@ -68,6 +68,47 @@ class TestRawSync(LintTestCase):
         self.assertEqual(self.run_rules(["raw-sync"]), [])
 
 
+class TestRawClock(LintTestCase):
+    def test_flags_raw_clock_reads(self):
+        self.write("src/a.cpp", """
+            auto t0 = std::chrono::steady_clock::now();
+            auto t1 = std::chrono::system_clock::now();
+            auto t2 = std::chrono::high_resolution_clock::now();
+        """)
+        v = self.run_rules(["raw-clock"])
+        self.assertEqual(self.rules_hit(v), {"raw-clock"})
+        self.assertEqual(len(v), 3)
+
+    def test_stopwatch_and_telemetry_are_allowlisted(self):
+        self.write("src/util/stopwatch.h",
+                   "auto t = std::chrono::steady_clock::now();\n")
+        self.write("src/telemetry/clock.cpp",
+                   "auto t = std::chrono::steady_clock::now();\n")
+        self.assertEqual(self.run_rules(["raw-clock"]), [])
+
+    def test_ignores_comments_and_strings(self):
+        self.write("src/b.cpp", """
+            // std::chrono::steady_clock::now() is banned here
+            const char* s = "std::chrono::steady_clock::now()";
+            double t = roc::telemetry::now();
+        """)
+        self.assertEqual(self.run_rules(["raw-clock"]), [])
+
+    def test_explicit_allow_marker(self):
+        self.write(
+            "src/c.cpp",
+            "auto t = std::chrono::steady_clock::now();"
+            "  // LINT-ALLOW(raw-clock): boot timing\n")
+        self.assertEqual(self.run_rules(["raw-clock"]), [])
+
+    def test_duration_use_without_now_is_clean(self):
+        self.write("src/d.cpp", """
+            std::chrono::steady_clock::time_point deadline;
+            std::chrono::milliseconds pause(5);
+        """)
+        self.assertEqual(self.run_rules(["raw-clock"]), [])
+
+
 class TestCatchAll(LintTestCase):
     def test_flags_swallowing_catch_all(self):
         self.write("src/a.cpp", """
