@@ -79,10 +79,14 @@ double run(bool blocking_probe, int compute_procs) {
         env.compute(kWorkPerStep);
         local->barrier();
         acc += env.now() - t0;
-        if (step % kSnapshotEvery == 0)
+        if (step % kSnapshotEvery == 0) {
+          // Piecewise append: `"lit" + std::to_string(...)` trips GCC
+          // 12's bogus -Werror=restrict at -O3 (PR105651).
+          std::string snap = "p";
+          snap += std::to_string(step);
           client.write_attribute(
-              com, roccom::IoRequest{"field", "all",
-                                     "p" + std::to_string(step), 0.0});
+              com, roccom::IoRequest{"field", "all", snap, 0.0});
+        }
       }
       client.sync();
       compute[static_cast<size_t>(comm->rank())] = acc;

@@ -137,9 +137,12 @@ double run_config(Config config, int compute_procs) {
         compute_comm->barrier();  // per-step synchronization
         compute_acc += env.now() - t0;
         if (step % kSnapshotEvery == 0) {
+          // Piecewise append: `"lit" + std::to_string(...)` trips GCC
+          // 12's bogus -Werror=restrict at -O3 (PR105651).
+          std::string snap = "b";
+          snap += std::to_string(step);
           io->write_attribute(
-              com, roccom::IoRequest{"field", "all",
-                                     "b" + std::to_string(step), 0.0});
+              com, roccom::IoRequest{"field", "all", snap, 0.0});
         }
       }
       io->sync();

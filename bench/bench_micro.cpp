@@ -75,7 +75,11 @@ void BM_ShdfWriteDataset(benchmark::State& state) {
   vfs::MemFileSystem fs;
   int file_id = 0;
   for (auto _ : state) {
-    shdf::Writer w(fs, "f" + std::to_string(file_id++), kind);
+    // Piecewise append: `"lit" + std::to_string(...)` trips GCC 12's
+    // bogus -Werror=restrict at -O3 (PR105651).
+    std::string fname = "f";
+    fname += std::to_string(file_id++);
+    shdf::Writer w(fs, fname, kind);
     for (int i = 0; i < 32; ++i)
       w.add("ds_" + std::to_string(i), payload);
   }

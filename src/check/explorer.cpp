@@ -1,0 +1,107 @@
+#include "check/explorer.h"
+
+#include <cstdio>
+
+namespace roc::check {
+
+namespace {
+
+/// splitmix64 finalizer: stateless hash for fn-event priorities, so bare
+/// scheduler-context events (network delivery, timers) get stable
+/// seed-dependent priorities without consuming rng_ state in an order that
+/// depends on how ties happened to group.
+uint64_t mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double unit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::string fmt_time(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", t);
+  return buf;
+}
+
+}  // namespace
+
+Explorer::Explorer(Options opts) : opts_(opts), rng_(opts.seed) {}
+
+double Explorer::priority_locked(int sched_id) {
+  auto [it, fresh] = prio_.try_emplace(sched_id, 0.0);
+  if (fresh) it->second = rng_.next_double();
+  return it->second;
+}
+
+void Explorer::record_locked(TraceEvent ev) {
+  if (trace_.size() < opts_.max_trace) trace_.push_back(std::move(ev));
+  ++step_;
+}
+
+size_t Explorer::pick(const std::vector<Candidate>& c) {
+  std::lock_guard<std::mutex> g(mu_);  // LINT-ALLOW(raw-sync)
+  size_t best = 0;
+  double best_p = -1.0;
+  for (size_t i = 0; i < c.size(); ++i) {
+    // Process candidates carry a persistent priority (PCT); bare fn events
+    // hash to a per-event priority so message deliveries shuffle too.
+    const double p = c[i].is_fn ? unit(mix64(opts_.seed ^ c[i].seq))
+                                : priority_locked(c[i].sched_id);
+    if (p > best_p) {
+      best_p = p;
+      best = i;
+    }
+  }
+  record_locked(TraceEvent{'p', c[best].time, c[best].seq, c[best].sched_id,
+                           static_cast<int>(c.size()), ""});
+  return best;
+}
+
+void Explorer::maybe_preempt(const char* kind, size_t locks_held) {
+  sim::Simulation* sim = sim_;
+  if (sim == nullptr || locks_held > 0) return;
+  bool fire;
+  {
+    std::lock_guard<std::mutex> g(mu_);  // LINT-ALLOW(raw-sync)
+    fire = rng_.next_double() < opts_.preempt_probability;
+    if (fire) {
+      const int sid = sim->current_sched_id();
+      // The priority change that makes PCT explore: the preempted thread
+      // re-rolls, so a different thread likely wins the next tie.
+      prio_[sid] = rng_.next_double();
+      record_locked(TraceEvent{'j', sim->now(), 0, sid, 0,
+                               kind != nullptr ? kind : "?"});
+    }
+  }
+  // try_preempt() parks this thread and hands control to the event loop;
+  // doing that while holding mu_ would deadlock against pick().
+  if (fire) sim->try_preempt();
+}
+
+std::string Explorer::trace_json() const {
+  std::lock_guard<std::mutex> g(mu_);  // LINT-ALLOW(raw-sync)
+  std::string out = "[";
+  for (size_t i = 0; i < trace_.size(); ++i) {
+    const TraceEvent& ev = trace_[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"type\":\"";
+    out += ev.type;
+    out += "\",\"t\":" + fmt_time(ev.time);
+    if (ev.type == 'p') {
+      out += ",\"seq\":" + std::to_string(ev.seq) +
+             ",\"sched_id\":" + std::to_string(ev.sched_id) +
+             ",\"ties\":" + std::to_string(ev.candidates);
+    } else {
+      out += ",\"sched_id\":" + std::to_string(ev.sched_id) + ",\"kind\":\"" +
+             ev.kind + "\"";
+    }
+    out += "}";
+  }
+  out += trace_.empty() ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace roc::check

@@ -1,0 +1,87 @@
+#pragma once
+/// \file explorer.h
+/// \brief Seed-driven schedule exploration (PCT-style) for sim-mode runs.
+///
+/// The simulator is deterministic except for one degree of freedom: the
+/// order of events due at the same virtual time.  The Explorer owns that
+/// freedom.  It plugs into Simulation as a Scheduler (picking among
+/// time-tied events by per-process random priority) and into the checker's
+/// preemption hooks (injecting zero-time preemptions at mutex acquires,
+/// comm hops and vfs writes, then demoting the preempted thread's
+/// priority — the PCT priority-change move).
+///
+/// Every decision is a pure function of the seed and the event stream, so
+/// a failing seed replays bit-for-bit: same seed, same schedule, same
+/// findings, same trace JSON.
+
+#include <cstdint>
+#include <map>
+#include <mutex>  // LINT-ALLOW(raw-sync): part of the checker itself
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace roc::check {
+
+class Explorer final : public sim::Scheduler {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Chance that any given preemption point fires (held-lock-free
+    /// points only; see maybe_preempt()).
+    double preempt_probability = 0.125;
+    /// Trace ring stops growing past this many decisions (the schedule
+    /// itself is unaffected).
+    size_t max_trace = 20000;
+  };
+
+  explicit Explorer(Options opts);
+
+  Explorer(const Explorer&) = delete;
+  Explorer& operator=(const Explorer&) = delete;
+
+  /// The simulation whose threads this explorer may preempt (borrowed;
+  /// set before run, clear after).
+  void attach(sim::Simulation* sim) { sim_ = sim; }
+
+  // --- sim::Scheduler ------------------------------------------------------
+  size_t pick(const std::vector<Candidate>& c) override;
+
+  /// Called by Session::preemption_point() with the caller's held-lock
+  /// count.  Never preempts while locks are held: the simulator's gates
+  /// provide mutual exclusion cooperatively, and a preemption inside a
+  /// critical section would explore schedules a real machine cannot reach.
+  void maybe_preempt(const char* kind, size_t locks_held);
+
+  /// The decision trace as a compact JSON array.  Identical across replays
+  /// of the same seed over the same scenario.
+  [[nodiscard]] std::string trace_json() const;
+
+  [[nodiscard]] uint64_t seed() const { return opts_.seed; }
+
+ private:
+  struct TraceEvent {
+    char type;        ///< 'p' = pick, 'j' = preempt.
+    double time;      ///< Virtual time.
+    uint64_t seq;     ///< Chosen event seq ('p') or 0.
+    int sched_id;     ///< Chosen/preempted process.
+    int candidates;   ///< Tie-set size ('p') or 0.
+    std::string kind; ///< Preemption-point kind ('j') or "".
+  };
+
+  double priority_locked(int sched_id);
+  void record_locked(TraceEvent ev);
+
+  const Options opts_;
+  sim::Simulation* sim_ = nullptr;
+
+  mutable std::mutex mu_;  // LINT-ALLOW(raw-sync): see file comment
+  Rng rng_;
+  std::map<int, double> prio_;  ///< sched_id -> current priority.
+  std::vector<TraceEvent> trace_;
+  uint64_t step_ = 0;
+};
+
+}  // namespace roc::check

@@ -1,0 +1,90 @@
+#pragma once
+/// \file vector_clock.h
+/// \brief Sparse vector clocks for happens-before race detection.
+///
+/// A VectorClock maps thread id -> logical clock.  The detector keeps one
+/// per thread (its knowledge of everyone's progress), one per sync object
+/// (the clock last released into it), and one per in-flight packet token.
+/// Sparse storage keeps joins cheap at the scale the simulator runs
+/// (tens of threads, not thousands).
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace roc::check {
+
+/// Thread id within one checker session (dense, assigned on first event).
+using Tid = int;
+
+/// A single (tid, clock) coordinate — FastTrack calls this an epoch.
+struct Epoch {
+  Tid tid = -1;
+  uint64_t clock = 0;
+};
+
+class VectorClock {
+ public:
+  /// Component for `tid` (0 when absent).
+  [[nodiscard]] uint64_t get(Tid tid) const {
+    auto it = c_.find(tid);
+    return it == c_.end() ? 0 : it->second;
+  }
+
+  void set(Tid tid, uint64_t v) { c_[tid] = v; }
+
+  /// Advances this thread's own component.
+  void tick(Tid tid) { ++c_[tid]; }
+
+  /// Pointwise maximum: acquire/join semantics.
+  void join(const VectorClock& other) {
+    for (const auto& [tid, v] : other.c_) {
+      auto& mine = c_[tid];
+      mine = std::max(mine, v);
+    }
+  }
+
+  /// True iff the epoch is covered: epoch.clock <= get(epoch.tid).
+  /// "The event at `epoch` happened before the state summarized here."
+  [[nodiscard]] bool covers(const Epoch& e) const {
+    return e.clock <= get(e.tid);
+  }
+
+  /// True iff every component of `other` is <= ours (other ⊑ this).
+  [[nodiscard]] bool covers(const VectorClock& other) const {
+    for (const auto& [tid, v] : other.c_)
+      if (v > get(tid)) return false;
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const { return c_.empty(); }
+
+  /// "{0:3, 2:1}" — diagnostics and tests.
+  [[nodiscard]] std::string str() const {
+    std::string s = "{";
+    bool first = true;
+    for (const auto& [tid, v] : c_) {
+      if (!first) s += ", ";
+      first = false;
+      s += std::to_string(tid) + ":" + std::to_string(v);
+    }
+    return s + "}";
+  }
+
+  [[nodiscard]] bool operator==(const VectorClock& other) const {
+    // Maps never store zero explicitly via this API's mutators, but a
+    // defensive compare through get() keeps equality semantic, not
+    // representational.
+    for (const auto& [tid, v] : c_)
+      if (other.get(tid) != v) return false;
+    for (const auto& [tid, v] : other.c_)
+      if (get(tid) != v) return false;
+    return true;
+  }
+
+ private:
+  std::map<Tid, uint64_t> c_;
+};
+
+}  // namespace roc::check

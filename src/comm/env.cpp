@@ -5,25 +5,22 @@
 
 #include "util/mutex.h"
 #include "util/stopwatch.h"
+#include "util/thread.h"
 
 namespace roc::comm {
 
 namespace {
 
 class RealGate final : public Gate {
- public:
-  void lock() ROC_ACQUIRE() ROC_NO_THREAD_SAFETY_ANALYSIS override {
-    lock_.lock();
-  }
-  void unlock() ROC_RELEASE() ROC_NO_THREAD_SAFETY_ANALYSIS override {
-    lock_.unlock();
-  }
-  void wait() ROC_REQUIRES(this) ROC_NO_THREAD_SAFETY_ANALYSIS override {
+ protected:
+  void do_lock() override { lock_.lock(); }
+  void do_unlock() override { lock_.unlock(); }
+  void do_wait() override {
     // The caller holds lock_ per the Gate contract; CondVar::wait adopts
     // it for the wait and hands it back on return.
     cv_.wait(lock_);
   }
-  void notify_all() override { cv_.notify_all(); }
+  void do_notify_all() override { cv_.notify_all(); }
 
  private:
   roc::Mutex lock_{"gate", /*level=*/-1};
@@ -34,13 +31,10 @@ class RealWorker final : public Worker {
  public:
   explicit RealWorker(std::function<void()> body)
       : thread_(std::move(body)) {}
-  ~RealWorker() override {
-    if (thread_.joinable()) thread_.join();
-  }
   void join() override { thread_.join(); }
 
  private:
-  std::thread thread_;
+  roc::Thread thread_;
 };
 
 }  // namespace

@@ -12,7 +12,9 @@
 
 #include <functional>
 #include <memory>
+#include <source_location>
 
+#include "util/check_hooks.h"
 #include "util/thread_annotations.h"
 
 namespace roc::comm {
@@ -29,19 +31,48 @@ namespace roc::comm {
 ///
 /// Gate is a thread-safety *capability*: fields coordinated through a gate
 /// are declared ROC_GUARDED_BY(gate_) and Clang Thread Safety Analysis
-/// verifies every access happens with the gate held.  Implementations
-/// (RealGate, SimGate) must repeat these annotations on their overrides and
-/// mark the bodies ROC_NO_THREAD_SAFETY_ANALYSIS (they manipulate the
-/// underlying primitive the interface annotation already describes).
+/// verifies every access happens with the gate held.  The public methods
+/// are non-virtual wrappers that carry the annotations and the concurrency
+/// checker's hooks (ROCPIO_CHECK); implementations (RealGate, SimGate)
+/// override the protected do_* primitives.  The hooks matter even for
+/// SimGate, whose do_lock/do_unlock are no-ops under cooperative
+/// scheduling: the checker still needs the gate's release->acquire
+/// happens-before edges to understand the protocol.
 class ROC_CAPABILITY("gate") Gate {
  public:
-  virtual ~Gate() = default;
-  virtual void lock() ROC_ACQUIRE() = 0;
-  virtual void unlock() ROC_RELEASE() = 0;
+  virtual ~Gate() { ROC_CHECKHOOK_(lock_destroy(this)); }
+
+  void lock(std::source_location loc = std::source_location::current())
+      ROC_ACQUIRE() ROC_NO_THREAD_SAFETY_ANALYSIS {
+    ROC_CHECK_PREEMPT("gate.lock");
+    do_lock();
+    ROC_CHECKHOOK_(lock_acquire(this, "gate", loc.file_name(), loc.line()));
+    (void)loc;
+  }
+
+  void unlock() ROC_RELEASE() ROC_NO_THREAD_SAFETY_ANALYSIS {
+    ROC_CHECKHOOK_(lock_release(this));
+    do_unlock();
+  }
+
   /// Atomically releases the lock, waits for a notify, re-acquires.  The
   /// gate is held on entry and held again on return.
-  virtual void wait() ROC_REQUIRES(this) = 0;
-  virtual void notify_all() = 0;
+  void wait(std::source_location loc = std::source_location::current())
+      ROC_REQUIRES(this) ROC_NO_THREAD_SAFETY_ANALYSIS {
+    ROC_CHECKHOOK_(wait_begin(this));
+    do_wait();
+    ROC_CHECKHOOK_(wait_end(this, "gate", loc.file_name(), loc.line()));
+    (void)loc;
+  }
+
+  /// May be called with or without the lock held.
+  void notify_all() { do_notify_all(); }
+
+ protected:
+  virtual void do_lock() = 0;
+  virtual void do_unlock() = 0;
+  virtual void do_wait() = 0;
+  virtual void do_notify_all() = 0;
 };
 
 /// RAII lock for a Gate.

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <deque>
 #include <exception>
-#include <thread>
 
+#include "util/check_hooks.h"
 #include "util/mutex.h"
 #include "util/serialize.h"
+#include "util/thread.h"
 
 namespace roc::comm {
 
@@ -20,6 +21,9 @@ struct Envelope {
   int source;  ///< Sender's rank within the communicator `comm_id`.
   int tag;
   SharedBuffer payload;
+#if defined(ROCPIO_CHECK)
+  uint64_t check_token = 0;  ///< Carries the sender's clock to the receiver.
+#endif
 };
 
 /// Per-process mailbox: FIFO of envelopes + wakeup signalling.
@@ -73,6 +77,10 @@ void ThreadComm::send(int dest, int tag, SharedBuffer buf) {
   e.source = rank_;
   e.tag = tag;
   e.payload = std::move(buf);  // reference enqueue: no byte copy
+#if defined(ROCPIO_CHECK)
+  e.check_token = check::next_token();
+  ROC_CHECKHOOK_(packet_send(e.check_token));
+#endif
   {
     roc::MutexLock lock(box.mutex);
     box.queue.push_back(std::move(e));
@@ -96,6 +104,10 @@ Message ThreadComm::recv(int source, int tag) {
       m.source = it->source;
       m.tag = it->tag;
       m.payload = std::move(it->payload);
+#if defined(ROCPIO_CHECK)
+      const uint64_t token = it->check_token;
+      ROC_CHECKHOOK_(packet_recv(token));
+#endif
       box.queue.erase(it);
       return m;
     }
@@ -218,7 +230,7 @@ void World::run(int n, const Body& body) {
   std::vector<int> members(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) members[static_cast<size_t>(i)] = i;
 
-  std::vector<std::thread> threads;
+  std::vector<roc::Thread> threads;
   threads.reserve(static_cast<size_t>(n));
   roc::Mutex error_mutex{"world-error"};
   std::exception_ptr first_error;

@@ -7,6 +7,7 @@
 #include "rocpanda/wire.h"
 #include "shdf/reader.h"
 #include "telemetry/trace.h"
+#include "util/check_hooks.h"
 #include "util/log.h"
 
 namespace roc::rochdf {
@@ -36,6 +37,7 @@ Rochdf::Rochdf(comm::Comm& comm, comm::Env& env, vfs::FileSystem& fs,
 Rochdf::~Rochdf() {
   if (worker_) {
     gate_->lock();
+    ROC_CHECK_SHARED_WRITE(&stop_, "rochdf.stop");
     stop_ = true;
     gate_->notify_all();
     gate_->unlock();
@@ -96,6 +98,7 @@ void Rochdf::write_job(const Job& job) {
           shdf::Writer::append(fs_, job.file));
     open_path_ = job.file;
     comm::GateLock lock(*gate_);
+    ROC_CHECK_SHARED_WRITE(&open_file_, "rochdf.open_file");
     open_file_ = job.file;
   }
   for (const auto& b : job.blocks) {
@@ -112,12 +115,15 @@ void Rochdf::worker_loop() {
   telemetry::set_thread_name("t-rochdf writer");
   gate_->lock();
   for (;;) {
+    ROC_CHECK_SHARED_READ(&queue_, "rochdf.queue");
     if (!queue_.empty()) {
+      ROC_CHECK_SHARED_WRITE(&queue_, "rochdf.queue");
       Job job = std::move(queue_.front());
       queue_.pop_front();
       gate_->unlock();
       write_job(job);
       gate_->lock();
+      ROC_CHECK_SHARED_WRITE(&pending_, "rochdf.pending");
       auto it = pending_.find(job.file);
       if (--it->second == 0) pending_.erase(it);
       gate_->notify_all();
@@ -131,10 +137,12 @@ void Rochdf::worker_loop() {
       writer_.reset();
       open_path_.clear();
       gate_->lock();
+      ROC_CHECK_SHARED_WRITE(&open_file_, "rochdf.open_file");
       open_file_.clear();
       gate_->notify_all();
       continue;
     }
+    ROC_CHECK_SHARED_READ(&stop_, "rochdf.stop");
     if (stop_) break;
     gate_->wait();
   }
@@ -144,6 +152,8 @@ void Rochdf::worker_loop() {
 void Rochdf::wait_file_complete(const std::string& file) {
   comm::GateLock lock(*gate_);
   bool waited = false;
+  ROC_CHECK_SHARED_READ(&pending_, "rochdf.pending");
+  ROC_CHECK_SHARED_READ(&open_file_, "rochdf.open_file");
   while (pending_.count(file) > 0 || open_file_ == file) {
     waited = true;
     gate_->wait();
@@ -177,12 +187,15 @@ void Rochdf::write_attribute(Roccom& com, const IoRequest& req) {
   // T-Rochdf: at most one snapshot in flight (paper §6.2).
   {
     comm::GateLock lock(*gate_);
+    ROC_CHECK_SHARED_READ(&current_snapshot_, "rochdf.current_snapshot");
     if (current_snapshot_ != req.file && !current_snapshot_.empty()) {
       const std::string prev =
           proc_file(options_.file_prefix, current_snapshot_, comm_.rank());
       bool waited = false;
       {
         ROC_TRACE_SPAN_D("rochdf", "snapshot.wait_previous", req.file);
+        ROC_CHECK_SHARED_READ(&pending_, "rochdf.pending");
+        ROC_CHECK_SHARED_READ(&open_file_, "rochdf.open_file");
         while (pending_.count(prev) > 0 || open_file_ == prev) {
           waited = true;
           gate_->wait();
@@ -190,6 +203,7 @@ void Rochdf::write_attribute(Roccom& com, const IoRequest& req) {
       }
       if (waited) m_snapshot_waits_.increment();
     }
+    ROC_CHECK_SHARED_WRITE(&current_snapshot_, "rochdf.current_snapshot");
     current_snapshot_ = req.file;
   }
 
@@ -215,7 +229,9 @@ void Rochdf::write_attribute(Roccom& com, const IoRequest& req) {
 
   m_bytes_buffered_.add(bytes);
   comm::GateLock lock(*gate_);
+  ROC_CHECK_SHARED_WRITE(&queue_, "rochdf.queue");
   queue_.push_back(std::move(job));
+  ROC_CHECK_SHARED_WRITE(&pending_, "rochdf.pending");
   ++pending_[path];
   gate_->notify_all();
   m_write_seconds_.observe(telemetry::now() - t0);
@@ -225,6 +241,9 @@ void Rochdf::sync() {
   if (!options_.threaded) return;
   ROC_TRACE_SPAN("rochdf", "sync");
   comm::GateLock lock(*gate_);
+  ROC_CHECK_SHARED_READ(&queue_, "rochdf.queue");
+  ROC_CHECK_SHARED_READ(&pending_, "rochdf.pending");
+  ROC_CHECK_SHARED_READ(&open_file_, "rochdf.open_file");
   while (!queue_.empty() || !pending_.empty() || !open_file_.empty())
     gate_->wait();
 }

@@ -232,8 +232,13 @@ std::vector<mesh::MeshBlock> RocpandaClient::fetch_internal(
     std::string missing;
     std::map<int, bool> got;
     for (const auto& b : blocks) got[b.id()] = true;
-    for (int id : pane_ids)
-      if (!got.count(id)) missing += " " + std::to_string(id);
+    // Appended piecewise: `"lit" + std::to_string(...)` trips GCC 12's
+    // bogus -Wrestrict at -O3 (PR105651).
+    for (int id : pane_ids) {
+      if (got.count(id)) continue;
+      missing += ' ';
+      missing += std::to_string(id);
+    }
     throw IoError("restart from '" + file + "': blocks not found:" + missing);
   }
 

@@ -13,6 +13,7 @@
 #include "shdf/writer.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
+#include "util/check_hooks.h"
 #include "util/log.h"
 #include "util/serialize.h"
 
@@ -122,6 +123,7 @@ class Server {
       // or while a collective output is still streaming in (outstanding
       // write contexts), the server waits for requests instead of starting
       // a long disk write that would delay the buffering acks.
+      ROC_CHECK_SHARED_READ(&buffer_, "server.buffer");
       const bool receive_priority = buffer_.empty() || !write_ctx_.empty();
       if (receive_priority) {
         // Blocking probe frees the CPU (the paper's OS-offload effect);
@@ -232,6 +234,9 @@ class Server {
   // --- active buffering ----------------------------------------------------
 
   void buffer_item(BufferedItem item) {
+    // The buffer table is server-loop-private by design; the annotation
+    // lets the checker prove that stays true across schedules.
+    ROC_CHECK_SHARED_WRITE(&buffer_, "server.buffer");
     const uint64_t bytes = item.wire_bytes.size();
     // Graceful overflow: write the oldest buffered blocks until the new
     // one fits (paper §6.1).
@@ -254,6 +259,7 @@ class Server {
   }
 
   void write_one_buffered() {
+    ROC_CHECK_SHARED_WRITE(&buffer_, "server.buffer");
     BufferedItem item = std::move(buffer_.front());
     buffer_.pop_front();
     buffered_bytes_ -= item.wire_bytes.size();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check_hooks.h"
 #include "util/serialize.h"
 
 namespace roc::sim {
@@ -72,6 +73,7 @@ void SimComm::send(int dest, int tag, const void* data, size_t n) {
 
 void SimComm::send(int dest, int tag, SharedBuffer buf) {
   require(dest >= 0 && dest < size(), "send: dest rank out of range");
+  ROC_CHECK_PREEMPT("comm.send");
   const int src_world = members_[static_cast<size_t>(rank_)];
   const int dst_world = members_[static_cast<size_t>(dest)];
 
@@ -81,6 +83,10 @@ void SimComm::send(int dest, int tag, SharedBuffer buf) {
   e.tag = tag;
   const size_t n = buf.size();
   e.payload = std::move(buf);
+#if defined(ROCPIO_CHECK)
+  e.check_token = check::next_token();
+  ROC_CHECKHOOK_(packet_send(e.check_token));
+#endif
 
   const double end = world_->transfer_end(src_world, dst_world, n);
   world_->deliver_at(end, dst_world, std::move(e));
@@ -92,6 +98,7 @@ void SimComm::send(int dest, int tag, SharedBuffer buf) {
 comm::Message SimComm::recv(int source, int tag) {
   require(source == comm::kAnySource || (source >= 0 && source < size()),
           "recv: source rank out of range");
+  ROC_CHECK_PREEMPT("comm.recv");
   for (;;) {
     auto it = find(source, tag);
     if (it != my_mailbox().queue.end()) {
@@ -99,6 +106,10 @@ comm::Message SimComm::recv(int source, int tag) {
       m.source = it->source;
       m.tag = it->tag;
       m.payload = std::move(it->payload);
+#if defined(ROCPIO_CHECK)
+      const uint64_t token = it->check_token;
+      ROC_CHECKHOOK_(packet_recv(token));
+#endif
       my_mailbox().queue.erase(it);
       return m;
     }

@@ -46,6 +46,9 @@ class SimWorld {
     int source;
     int tag;
     SharedBuffer payload;  // roc::SharedBuffer; reference-shipped, immutable
+#if defined(ROCPIO_CHECK)
+    uint64_t check_token = 0;  ///< Carries the sender's clock (checker HB).
+#endif
   };
 
   struct Mailbox {

@@ -23,18 +23,19 @@ class SimGate final : public comm::Gate {
  public:
   explicit SimGate(Simulation& sim) : sim_(sim) {}
 
+ protected:
   // Lock/unlock are no-ops because the scheduler guarantees mutual
-  // exclusion; the ROC_ACQUIRE/ROC_RELEASE annotations still describe the
-  // capability protocol to the static analysis, exactly as for RealGate.
-  void lock() ROC_ACQUIRE() ROC_NO_THREAD_SAFETY_ANALYSIS override {}
-  void unlock() ROC_RELEASE() ROC_NO_THREAD_SAFETY_ANALYSIS override {}
+  // exclusion; the Gate base wrapper still records the acquire/release
+  // protocol for the concurrency checker and the static analysis.
+  void do_lock() override {}
+  void do_unlock() override {}
 
-  void wait() ROC_REQUIRES(this) ROC_NO_THREAD_SAFETY_ANALYSIS override {
+  void do_wait() override {
     waiters_.push_back(sim_.current());
     sim_.current_context().block();
   }
 
-  void notify_all() override {
+  void do_notify_all() override {
     for (detail::Process* p : waiters_) sim_.wake(p, sim_.now());
     waiters_.clear();
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "telemetry/trace.h"
+#include "util/check_hooks.h"
 
 namespace roc::sim {
 
@@ -27,6 +28,7 @@ class SimFile final : public vfs::File {
     // virtual time, including channel queueing (same category/names as the
     // PosixFile spans so timeline.h treats both substrates identically).
     ROC_TRACE_SPAN("vfs", "write");
+    ROC_CHECK_PREEMPT("vfs.write");
     const FsParams& p = fs_->sim_.platform().fs;
     const double scaled =
         static_cast<double>(n) * fs_->sim_.platform().byte_scale;
@@ -43,6 +45,7 @@ class SimFile final : public vfs::File {
 
   void writev(std::span<const ConstBuffer> segments) override {
     ROC_TRACE_SPAN("vfs", "writev");
+    ROC_CHECK_PREEMPT("vfs.write");
     // A gather is one logical operation: one op overhead for the whole
     // chain (this is the point of File::writev), bandwidth for every byte.
     uint64_t n = 0;

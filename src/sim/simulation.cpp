@@ -27,6 +27,12 @@ class SimClockSource final : public telemetry::ClockSource {
   const Simulation& sim_;
 };
 
+/// Which simulation/process owns the calling thread, for
+/// Simulation::try_preempt() — the checker's preemption hook fires on
+/// arbitrary threads and must only act on this sim's running process.
+thread_local Simulation* t_sim = nullptr;
+thread_local Process* t_proc = nullptr;
+
 }  // namespace
 
 double NodeState::noise_factor(const NodeParams& p, bool any_idle_cpu) {
@@ -88,6 +94,7 @@ int Simulation::add_process(ProcBody body) {
   auto p = std::make_unique<Process>();
   p->rank = static_cast<int>(procs_.size());
   p->node = p->rank / platform_.node.cpus;
+  p->sched_id = p->rank;
   p->body = std::move(body);
   procs_.push_back(std::move(p));
   return static_cast<int>(procs_.size()) - 1;
@@ -144,7 +151,9 @@ std::exception_ptr Simulation::take_error() {
 
 void Simulation::start_process_thread(Process* p) {
   p->started = true;
-  p->thread = std::thread([this, p] {
+  p->thread = roc::Thread([this, p] {
+    t_sim = this;
+    t_proc = p;
     p->go.acquire();
     // Default trace name; workers may refine it (e.g. "t-rochdf writer").
     telemetry::set_thread_name(p->is_aux
@@ -171,6 +180,13 @@ void Simulation::start_process_thread(Process* p) {
 void Simulation::finish_process(Process* p) {
   // Runs on the process thread while it still holds control: exclusive
   // access to simulation state is guaranteed.
+#if defined(ROCPIO_CHECK)
+  // Publish this process's clock so join_aux() can pick it up: the
+  // semaphore handoff that delivers the join wake-up is scheduler
+  // machinery, deliberately not a happens-before edge.
+  p->finish_token = check::next_token();
+  ROC_CHECKHOOK_(packet_send(p->finish_token));
+#endif
   p->finished = true;
   for (Process* w : p->join_waiters) wake(w, now_);
   p->join_waiters.clear();
@@ -190,10 +206,53 @@ void Simulation::yield_to_scheduler(Process* p) {
   if (cancelled_) throw SimCancelled();
 }
 
+bool Simulation::try_preempt() {
+  if (t_sim != this || t_proc == nullptr) return false;
+  Process* p = t_proc;
+  if (p != current_ || p->finished) return false;
+  // Re-enqueue the continuation at the current virtual time and give the
+  // event loop a chance to run other same-time events first.
+  wake(p, now_);
+  yield_to_scheduler(p);
+  return true;
+}
+
+Simulation::Event Simulation::pop_next_event() {
+  if (scheduler_ == nullptr) {
+    Event e = events_.top();
+    events_.pop();
+    return e;
+  }
+  // Gather every event due at the earliest virtual time; the scheduler
+  // chooses among them.  Unpicked events go back with their original
+  // sequence numbers, so relative FIFO order within a tie is preserved.
+  const double t = events_.top().time;
+  std::vector<Event> ties;
+  while (!events_.empty() && events_.top().time == t) {
+    ties.push_back(events_.top());
+    events_.pop();
+  }
+  std::vector<Scheduler::Candidate> cands;
+  cands.reserve(ties.size());
+  for (const Event& e : ties) {
+    cands.push_back(Scheduler::Candidate{
+        e.time, e.seq, e.proc != nullptr ? e.proc->sched_id : -1,
+        e.proc != nullptr && e.proc->is_aux, e.proc == nullptr});
+  }
+  size_t k = scheduler_->pick(cands);
+  if (k >= ties.size()) k = 0;
+  Event chosen = std::move(ties[k]);
+  for (size_t i = 0; i < ties.size(); ++i) {
+    if (i != k) events_.push(std::move(ties[i]));
+  }
+  return chosen;
+}
+
 Process* Simulation::spawn_aux(Process* parent, std::function<void()> body) {
   auto p = std::make_unique<Process>();
   p->rank = -1;
   p->node = parent->node;
+  p->sched_id = static_cast<int>(procs_.size() + aux_.size());
   p->is_aux = true;
   p->aux_body = std::move(body);
   Process* raw = p.get();
@@ -209,6 +268,11 @@ void Simulation::join_aux(Process* caller, Process* target) {
     yield_to_scheduler(caller);
   }
   if (target->thread.joinable()) target->thread.join();
+#if defined(ROCPIO_CHECK)
+  if (target->finish_token != 0) {
+    ROC_CHECKHOOK_(packet_recv(target->finish_token));
+  }
+#endif
 }
 
 void Simulation::run() {
@@ -228,8 +292,7 @@ void Simulation::run() {
   }
 
   while (!events_.empty() && !has_error()) {
-    Event e = events_.top();
-    events_.pop();
+    Event e = pop_next_event();
     now_ = std::max(now_, e.time);
     if (e.proc != nullptr) {
       if (e.proc->finished) continue;
@@ -242,10 +305,18 @@ void Simulation::run() {
 
   if (!has_error()) {
     std::string stuck;
-    for (const auto& p : procs_)
-      if (!p->finished) stuck += " " + std::to_string(p->rank);
-    for (const auto& p : aux_)
-      if (!p->finished) stuck += " aux@" + std::to_string(p->node);
+    // Appended piecewise: `"lit" + std::to_string(...)` trips GCC 12's
+    // bogus -Wrestrict at -O3 (PR105651).
+    for (const auto& p : procs_) {
+      if (p->finished) continue;
+      stuck += ' ';
+      stuck += std::to_string(p->rank);
+    }
+    for (const auto& p : aux_) {
+      if (p->finished) continue;
+      stuck += " aux@";
+      stuck += std::to_string(p->node);
+    }
     if (!stuck.empty())
       record_error(std::make_exception_ptr(
           CommError("simulation deadlock: processes blocked forever:" +
@@ -261,7 +332,7 @@ void Simulation::run() {
     auto abandon = [&](std::vector<std::unique_ptr<Process>>& list) {
       for (auto& p : list) {
         if (p->started && !p->finished) {
-          p->thread.detach();
+          p->thread.abandon();
           ++leaked;
           (void)p.release();  // leak: the detached thread references it
         } else if (p->thread.joinable()) {

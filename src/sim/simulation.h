@@ -23,13 +23,13 @@
 #include <queue>
 #include <semaphore>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "sim/platform.h"
 #include "util/error.h"
 #include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread.h"
 
 namespace roc::sim {
 
@@ -50,12 +50,15 @@ namespace detail {
 struct Process {
   int rank = -1;       ///< World rank (main processes); -1 for aux workers.
   int node = 0;
+  int sched_id = -1;   ///< Stable scheduler identity (rank for mains,
+                       ///< process_count()+spawn-ordinal for aux workers).
   bool is_aux = false; ///< Aux workers don't occupy a CPU slot.
-  std::thread thread;
+  roc::Thread thread;
   std::binary_semaphore go{0};
   bool started = false;
   bool finished = false;
   bool wake_pending = false;  ///< An event will resume this process.
+  uint64_t finish_token = 0;  ///< Checker HB token published at finish.
   std::vector<Process*> join_waiters;
   std::function<void()> aux_body;
   ProcBody body;
@@ -98,6 +101,28 @@ class ProcContext {
   detail::Process* proc_;
 };
 
+/// Pluggable tie-break policy for the event loop (used by the schedule
+/// explorer, src/check/explorer.h).  Virtual time stays authoritative:
+/// the scheduler only chooses among events that are runnable at the SAME
+/// earliest virtual time — exactly the nondeterminism a real machine has.
+/// The default (no scheduler installed) is FIFO by sequence number.
+class Scheduler {
+ public:
+  /// A runnable event, described but never dereferenced, so policies can
+  /// prioritize deterministically from the metadata alone.
+  struct Candidate {
+    double time;    ///< Virtual due time (equal across one pick() call).
+    uint64_t seq;   ///< Global FIFO sequence number (unique).
+    int sched_id;   ///< Stable process identity; -1 for bare fn events.
+    bool is_aux;    ///< True for auxiliary workers (T-Rochdf I/O thread).
+    bool is_fn;     ///< True for scheduler-context fn events.
+  };
+  virtual ~Scheduler() = default;
+  /// Returns the index (into `c`) of the event to run next.  `c` is
+  /// non-empty; out-of-range returns fall back to index 0.
+  virtual size_t pick(const std::vector<Candidate>& c) = 0;
+};
+
 class Simulation {
  public:
   explicit Simulation(Platform platform);
@@ -113,6 +138,25 @@ class Simulation {
   /// Runs to completion.  Rethrows the first process exception (after
   /// cancelling and joining everything).  May be called once.
   void run();
+
+  /// Installs a tie-break scheduler (nullptr restores FIFO).  Must be set
+  /// before run(); the pointer is borrowed, not owned.
+  void set_scheduler(Scheduler* s) { scheduler_ = s; }
+
+  /// Requests a zero-time preemption of the process running on the
+  /// CALLING thread: its continuation is re-enqueued at the current
+  /// virtual time and control returns to the event loop, which may run
+  /// other same-time events first.  Returns false (no-op) when the
+  /// calling thread is not a process of this simulation — the checker's
+  /// preemption hook calls this blindly from any instrumented site.
+  bool try_preempt();
+
+  /// Scheduler identity of the process currently executing, or -1 when no
+  /// process is running (scheduler context).  Used by the explorer to
+  /// demote the priority of a thread it just preempted.
+  [[nodiscard]] int current_sched_id() const {
+    return current_ != nullptr ? current_->sched_id : -1;
+  }
 
   [[nodiscard]] double now() const { return now_; }
   [[nodiscard]] const Platform& platform() const { return platform_; }
@@ -178,6 +222,9 @@ class Simulation {
   void yield_to_scheduler(detail::Process* p);
   void start_process_thread(detail::Process* p);
   void finish_process(detail::Process* p);
+  /// Pops the next event; with a scheduler installed, gathers the events
+  /// tied at the earliest time and lets it choose.
+  Event pop_next_event();
 
   /// Records the first failure.  Callable from any process thread (the
   /// scheduler handoff serialises them in practice, but the error path
@@ -203,6 +250,7 @@ class Simulation {
 
   std::binary_semaphore sched_sem_{0};
   detail::Process* current_ = nullptr;
+  Scheduler* scheduler_ = nullptr;  ///< Borrowed; nullptr = FIFO.
 };
 
 }  // namespace roc::sim

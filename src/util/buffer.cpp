@@ -71,6 +71,10 @@ struct PooledRep {
 void pool_release(BufferPoolState& s, std::vector<unsigned char> bytes) {
   const size_t b = bucket_of(bytes.capacity());
   MutexLock lock(s.mutex);
+  // Annotated for the concurrency checker: release runs on whichever
+  // thread drops the last SharedBuffer reference (PooledRep::~PooledRep),
+  // so this is the pool's cross-thread hot spot.
+  ROC_CHECK_SHARED_WRITE(&s.free_lists, "buffer_pool.state");
   if (b >= kPoolBuckets || s.free_lists[b].size() >= s.max_per_bucket) {
     ++s.discards;
     return;  // `bytes` (a parameter) frees after `lock` releases.
@@ -90,6 +94,7 @@ std::vector<unsigned char> BufferPool::acquire(size_t n) {
   const size_t b = detail::bucket_of(n);
   if (b < detail::kPoolBuckets) {
     MutexLock lock(state_->mutex);
+    ROC_CHECK_SHARED_WRITE(&state_->free_lists, "buffer_pool.state");
     auto& list = state_->free_lists[b];
     if (!list.empty()) {
       std::vector<unsigned char> v = std::move(list.back());
@@ -101,6 +106,7 @@ std::vector<unsigned char> BufferPool::acquire(size_t n) {
     ++state_->misses;
   } else {
     MutexLock lock(state_->mutex);
+    ROC_CHECK_SHARED_WRITE(&state_->free_lists, "buffer_pool.state");
     ++state_->misses;
   }
   std::vector<unsigned char> v;
@@ -133,6 +139,7 @@ SharedBuffer BufferPool::gather(const BufferChain& chain) {
 
 BufferPool::Stats BufferPool::stats() const {
   MutexLock lock(state_->mutex);
+  ROC_CHECK_SHARED_READ(&state_->free_lists, "buffer_pool.state");
   return Stats{state_->hits, state_->misses, state_->returns,
                state_->discards};
 }

@@ -23,7 +23,9 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <source_location>
 
+#include "util/check_hooks.h"
 #include "util/thread_annotations.h"
 
 namespace roc {
@@ -66,20 +68,32 @@ class ROC_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ROC_ACQUIRE() ROC_NO_THREAD_SAFETY_ANALYSIS {
+  ~Mutex() { ROC_CHECKHOOK_(lock_destroy(this)); }
+
+  void lock(std::source_location loc = std::source_location::current())
+      ROC_ACQUIRE() ROC_NO_THREAD_SAFETY_ANALYSIS {
+    ROC_CHECK_PREEMPT("mutex.lock");
     m_.lock();
     ROC_LOCKDEBUG_(lockdebug::note_acquire(this, name_, level_));
+    ROC_CHECKHOOK_(lock_acquire(this, name_, loc.file_name(), loc.line()));
+    (void)loc;
   }
 
   void unlock() ROC_RELEASE() ROC_NO_THREAD_SAFETY_ANALYSIS {
     ROC_LOCKDEBUG_(lockdebug::note_release(this, name_));
+    ROC_CHECKHOOK_(lock_release(this));
     m_.unlock();
   }
 
-  [[nodiscard]] bool try_lock()
+  [[nodiscard]] bool try_lock(
+      std::source_location loc = std::source_location::current())
       ROC_TRY_ACQUIRE(true) ROC_NO_THREAD_SAFETY_ANALYSIS {
     const bool ok = m_.try_lock();
     ROC_LOCKDEBUG_(if (ok) lockdebug::note_acquire(this, name_, level_));
+    if (ok) {
+      ROC_CHECKHOOK_(lock_acquire(this, name_, loc.file_name(), loc.line()));
+    }
+    (void)loc;
     return ok;
   }
 
@@ -93,7 +107,12 @@ class ROC_CAPABILITY("mutex") Mutex {
 /// RAII lock for a roc::Mutex (the only way most code should lock one).
 class ROC_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& m) ROC_ACQUIRE(m) : m_(m) { m.lock(); }
+  explicit MutexLock(Mutex& m,
+                     std::source_location loc = std::source_location::current())
+      ROC_ACQUIRE(m)
+      : m_(m) {
+    m.lock(loc);
+  }
   ~MutexLock() ROC_RELEASE() { m_.unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -112,14 +131,18 @@ class CondVar {
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void wait(Mutex& m) ROC_REQUIRES(m) ROC_NO_THREAD_SAFETY_ANALYSIS {
+  void wait(Mutex& m, std::source_location loc = std::source_location::current())
+      ROC_REQUIRES(m) ROC_NO_THREAD_SAFETY_ANALYSIS {
     // The caller holds m per the contract; adopt it for the wait and hand
     // it back afterwards.
     ROC_LOCKDEBUG_(lockdebug::note_wait_begin(&m, m.name_));
+    ROC_CHECKHOOK_(wait_begin(&m));
     std::unique_lock<std::mutex> lk(m.m_, std::adopt_lock);
     cv_.wait(lk);
     lk.release();  // Caller still owns the lock after wait() returns.
     ROC_LOCKDEBUG_(lockdebug::note_wait_end(&m, m.name_, m.level_));
+    ROC_CHECKHOOK_(wait_end(&m, m.name_, loc.file_name(), loc.line()));
+    (void)loc;
   }
 
   /// Waits until `pred()` holds (spurious-wakeup safe).

@@ -23,6 +23,14 @@ namespace {
 using roccom::IoRequest;
 using roccom::Roccom;
 
+// Piecewise append instead of `"lit" + std::to_string(...)`: the operator+
+// form trips GCC 12's bogus -Werror=restrict at -O3 (PR105651).
+std::string snap_name(const char* prefix, int snap) {
+  std::string name = prefix;
+  name += std::to_string(snap);
+  return name;
+}
+
 mesh::MeshBlock make_block(int id, int n = 4) {
   auto b = mesh::MeshBlock::structured(id, {n, n, n});
   mesh::add_fluid_schema(b);
@@ -110,7 +118,7 @@ TEST_P(ProtocolSequences, SkewedClientsDoNotConvoy) {
            }
            for (int s = 0; s < 3; ++s) {
              panda.write_attribute(
-                 com, IoRequest{"w", "all", "k" + std::to_string(s), 0.0});
+                 com, IoRequest{"w", "all", snap_name("k", s), 0.0});
            }
            panda.sync();
            const auto ids = panda.list_panes("k2");
@@ -140,7 +148,7 @@ TEST_P(ProtocolSequences, AlternatingWindowsWithinSnapshot) {
     // Interleaved multi-window output phases across two snapshots: the
     // per-(file, window) dataset groups must land intact.
     for (int snap = 0; snap < 2; ++snap) {
-      const std::string base = "alt" + std::to_string(snap);
+      const std::string base = snap_name("alt", snap);
       client.write_attribute(com, IoRequest{"a", "all", base, 0.0});
       client.write_attribute(com, IoRequest{"b", "all", base, 0.0});
     }
@@ -160,11 +168,11 @@ TEST_P(ProtocolSequences, ManySmallSnapshotsBackToBack) {
            for (int s = 0; s < 12; ++s) {
              b.field("pressure").data[0] = s;
              panda.write_attribute(
-                 com, IoRequest{"w", "all", "m" + std::to_string(s), 0.0});
+                 com, IoRequest{"w", "all", snap_name("m", s), 0.0});
            }
            panda.sync();
            for (int s = 0; s < 12; ++s) {
-             const auto back = panda.fetch_blocks("m" + std::to_string(s),
+             const auto back = panda.fetch_blocks(snap_name("m", s),
                                                   {clients.rank()});
              EXPECT_EQ(back[0].field("pressure").data[0],
                        static_cast<double>(s))

@@ -12,7 +12,6 @@
 #include <cstring>
 #include <numeric>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "comm/thread_comm.h"
@@ -21,6 +20,7 @@
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/log.h"
+#include "util/thread.h"
 #include "vfs/vfs.h"
 
 namespace roc {
@@ -128,7 +128,7 @@ TEST(RaceTest, OverlappingSnapshots) {
     rochdf::Rochdf io(comm, env, fs, opts);
 
     std::atomic<bool> done{false};
-    std::thread poller([&] {
+    roc::Thread poller([&] {
       while (!done.load(std::memory_order_acquire)) {
         const auto s = io.stats();
         EXPECT_LE(s.blocks_written, s.write_calls * 2);
@@ -164,7 +164,7 @@ TEST(RaceTest, OverlappingSnapshots) {
 TEST(RaceTest, MemFsChurn) {
   vfs::MemFileSystem fs;
   constexpr int kThreads = 4;
-  std::vector<std::thread> threads;
+  std::vector<roc::Thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&fs, t] {
@@ -233,7 +233,7 @@ TEST(RaceTest, MetricsHammer) {
   constexpr std::uint64_t kPerThread = 2000;
 
   std::atomic<bool> done{false};
-  std::thread reader([&] {
+  roc::Thread reader([&] {
     while (!done.load(std::memory_order_acquire)) {
       EXPECT_LE(c.value(), kThreads * kPerThread);
       EXPECT_LE(h.snapshot().count, kThreads * kPerThread);
@@ -241,7 +241,7 @@ TEST(RaceTest, MetricsHammer) {
     }
   });
 
-  std::vector<std::thread> threads;
+  std::vector<roc::Thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       for (std::uint64_t i = 0; i < kPerThread; ++i) {
@@ -269,12 +269,12 @@ TEST(RaceTest, TraceRingHammer) {
   telemetry::set_trace_enabled(true);
   std::atomic<bool> done{false};
   std::uint64_t collected = 0;
-  std::thread collector([&] {
+  roc::Thread collector([&] {
     while (!done.load(std::memory_order_acquire))
       collected += telemetry::collect_trace().events.size();
   });
 
-  std::vector<std::thread> threads;
+  std::vector<roc::Thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([t] {
       telemetry::set_thread_name("hammer " + std::to_string(t));
@@ -300,7 +300,7 @@ TEST(RaceTest, TraceRingHammer) {
 TEST(RaceTest, LoggerHammer) {
   const LogLevel before = log_level();
   set_log_level(LogLevel::kOff);  // exercise the lock, not stderr
-  std::vector<std::thread> threads;
+  std::vector<roc::Thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([t] {
       for (int i = 0; i < kRounds; ++i)

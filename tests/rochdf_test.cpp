@@ -19,6 +19,16 @@ namespace {
 using roccom::IoRequest;
 using roccom::Roccom;
 
+
+/// Piecewise name concatenation: `"lit" + std::to_string(...)` trips
+/// GCC 12's bogus -Wrestrict at -O3 (PR105651).
+std::string snap_name(const char* prefix, int snap, const char* suffix = "") {
+  std::string n = prefix;
+  n += std::to_string(snap);
+  n += suffix;
+  return n;
+}
+
 mesh::MeshBlock make_block(int id, int n = 4) {
   auto b = mesh::MeshBlock::structured(id, {n, n, n});
   mesh::add_fluid_schema(b);
@@ -172,12 +182,12 @@ TEST_P(RochdfTest, SuccessiveSnapshotsAllComplete) {
       b.field("pressure").data.assign(b.field("pressure").data.size(),
                                       static_cast<double>(snap));
       io.write_attribute(
-          com, IoRequest{"fluid", "all", "s" + std::to_string(snap),
+          com, IoRequest{"fluid", "all", snap_name("s", snap),
                          static_cast<double>(snap)});
     }
     io.sync();
     for (int snap = 0; snap < 5; ++snap) {
-      shdf::Reader r(fs, Rochdf::proc_file("", "s" + std::to_string(snap),
+      shdf::Reader r(fs, Rochdf::proc_file("", snap_name("s", snap),
                                            comm.rank()));
       const auto p = r.read<double>(
           roccom::block_prefix("fluid", comm.rank()) + "field:pressure");
@@ -264,12 +274,12 @@ TEST(TRochdf, AtMostOneSnapshotInFlight) {
       b.field("pressure").data.assign(b.field("pressure").data.size(),
                                       static_cast<double>(snap));
       io.write_attribute(com,
-                         IoRequest{"fluid", "all", "q" + std::to_string(snap),
+                         IoRequest{"fluid", "all", snap_name("q", snap),
                                    static_cast<double>(snap)});
     }
     io.sync();
     for (int snap = 0; snap < 8; ++snap) {
-      shdf::Reader r(fs, "q" + std::to_string(snap) + "_p0000.shdf");
+      shdf::Reader r(fs, snap_name("q", snap, "_p0000.shdf"));
       EXPECT_EQ(r.read<double>("fluid/block_000000/field:pressure")[0],
                 static_cast<double>(snap));
     }

@@ -25,6 +25,14 @@
 namespace roc::sim {
 namespace {
 
+// Piecewise append instead of `"lit" + std::to_string(...)`: the operator+
+// form trips GCC 12's bogus -Werror=restrict at -O3 (PR105651).
+std::string seq_name(const char* prefix, int i) {
+  std::string name = prefix;
+  name += std::to_string(i);
+  return name;
+}
+
 TEST(Platforms, PresetsAreInternallyConsistent) {
   for (const Platform& p : {turing_platform(), frost_platform()}) {
     EXPECT_GE(p.node.cpus, 1) << p.name;
@@ -126,7 +134,7 @@ TEST(Contention, MoreConcurrentWritersRaiseOpOverhead) {
     sim.add_process([fs, other_writers, &dt](ProcContext& ctx) {
       std::vector<std::unique_ptr<vfs::File>> held;
       for (int i = 0; i < other_writers; ++i)
-        held.push_back(fs->open("h" + std::to_string(i),
+        held.push_back(fs->open(seq_name("h", i),
                                 vfs::OpenMode::kTruncate));
       auto f = fs->open("mine", vfs::OpenMode::kTruncate);
       const double t0 = ctx.now();
@@ -246,7 +254,7 @@ TEST(Determinism, WholeRocpandaDeploymentIsBitStable) {
         for (int s = 0; s < 3; ++s) {
           ctx.compute(0.5);
           client.write_attribute(
-              com, roccom::IoRequest{"w", "all", "d" + std::to_string(s),
+              com, roccom::IoRequest{"w", "all", seq_name("d", s),
                                      0.0});
         }
         client.sync();

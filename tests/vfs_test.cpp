@@ -7,8 +7,7 @@
 
 #include <cstdio>
 #include <filesystem>
-#include <thread>
-
+#include "util/thread.h"
 #include "vfs/vfs.h"
 
 namespace roc::vfs {
@@ -150,18 +149,23 @@ TEST(MemFileSystem, ConcurrentDistinctFiles) {
   // Many threads write distinct files concurrently; the directory map must
   // stay consistent.
   MemFileSystem fs;
-  std::vector<std::thread> threads;
+  std::vector<roc::Thread> threads;
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&fs, t] {
       for (int i = 0; i < 50; ++i) {
-        auto f = fs.open("t" + std::to_string(t) + "_" + std::to_string(i),
-                         OpenMode::kTruncate);
+        // Name assembled piecewise: `"lit" + std::to_string(...)` trips
+        // GCC 12's bogus -Wrestrict at -O3 (PR105651).
+        std::string name = "t";
+        name += std::to_string(t);
+        name += '_';
+        name += std::to_string(i);
+        auto f = fs.open(name, OpenMode::kTruncate);
         const int v = t * 1000 + i;
         f->write(&v, sizeof(v));
       }
     });
   }
-  for (auto& t : threads) t.join();
+  threads.clear();  // joins
   EXPECT_EQ(fs.file_count(), 400u);
 }
 

@@ -8,6 +8,14 @@ Enforces repo-wide correctness invariants that the compiler cannot:
                    src/util/mutex.h -- all locking must go through
                    roc::Mutex / roc::CondVar so Clang Thread Safety
                    Analysis and the debug lock checker see it.
+  raw-thread       No raw std::thread construction or detach() outside
+                   the roc::Thread wrapper (src/util/thread.*) and the
+                   simulator's platform shim -- every thread must be a
+                   roc::Thread so the concurrency checker sees its
+                   spawn/join happens-before edges and so nothing
+                   detaches (abandon() is the single, named escape
+                   hatch).  std::thread::id and std::this_thread remain
+                   legal.
   raw-clock        No raw std::chrono clock reads
                    (steady_clock/system_clock/high_resolution_clock::now)
                    outside roc::Stopwatch (src/util/stopwatch.h) and the
@@ -57,6 +65,21 @@ RAW_SYNC_RE = re.compile(
 )
 
 ALLOW_MARKER = "LINT-ALLOW"
+
+# Files allowed to touch std::thread directly: the roc::Thread wrapper
+# (instrumented with checker spawn/join edges) and the simulator's
+# platform shim.
+RAW_THREAD_ALLOWLIST = {
+    os.path.join("src", "util", "thread.h"),
+    os.path.join("src", "util", "thread.cpp"),
+    os.path.join("src", "sim", "platform.h"),
+    os.path.join("src", "sim", "platform.cpp"),
+}
+
+# `std::thread t(...)` and friends, but not `std::thread::id` or
+# `std::this_thread::...` (scoped uses stay legal).
+RAW_THREAD_RE = re.compile(r"\bstd\s*::\s*thread\b(?!\s*::)")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(")
 
 # Sanctioned raw-clock users: the wall-clock wrapper and the swappable
 # telemetry clock (whose WallClock fallback must read the real clock).
@@ -191,6 +214,32 @@ def check_raw_sync(root: str, path: str, text: str, stripped: str):
             f"roc::MutexLock from src/util/mutex.h (or comm::Gate)")
 
 
+# --- rule: raw-thread -------------------------------------------------------
+
+def check_raw_thread(root: str, path: str, text: str, stripped: str):
+    rel = relpath(root, path)
+    if rel in RAW_THREAD_ALLOWLIST:
+        return
+    lines = stripped.splitlines()
+    raw_lines = text.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        hit = None
+        if RAW_THREAD_RE.search(line):
+            hit = ("raw std::thread -- use roc::Thread "
+                   "(src/util/thread.h) so spawn/join happens-before "
+                   "edges reach the concurrency checker")
+        elif DETACH_RE.search(line):
+            hit = ("detach() -- threads must be joined; if a thread "
+                   "really must be orphaned, use roc::Thread::abandon() "
+                   "and justify the call site")
+        if hit is None:
+            continue
+        raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        if ALLOW_MARKER in raw:
+            continue
+        yield Violation("raw-thread", rel, lineno, hit)
+
+
 # --- rule: raw-clock --------------------------------------------------------
 
 def check_raw_clock(root: str, path: str, text: str, stripped: str):
@@ -295,6 +344,7 @@ def check_build_artifacts(root: str):
 
 FILE_RULES = {
     "raw-sync": check_raw_sync,
+    "raw-thread": check_raw_thread,
     "raw-clock": check_raw_clock,
     "catch-all": check_catch_all,
     "pragma-once": check_pragma_once,

@@ -68,6 +68,46 @@ class TestRawSync(LintTestCase):
         self.assertEqual(self.run_rules(["raw-sync"]), [])
 
 
+class TestRawThread(LintTestCase):
+    def test_flags_raw_thread_and_detach(self):
+        self.write("src/a.cpp", """
+            #include <thread>
+            std::thread t([] {});
+            std::thread u;
+            t.detach();
+        """)
+        v = self.run_rules(["raw-thread"])
+        self.assertEqual(self.rules_hit(v), {"raw-thread"})
+        self.assertEqual(len(v), 3)
+
+    def test_wrapper_and_platform_shim_are_allowlisted(self):
+        self.write("src/util/thread.cpp", "std::thread t_;\nt_.detach();\n")
+        self.write("src/sim/platform.cpp", "std::thread t([] {});\n")
+        self.assertEqual(self.run_rules(["raw-thread"]), [])
+
+    def test_scoped_uses_stay_legal(self):
+        self.write("src/b.cpp", """
+            std::thread::id tid = std::this_thread::get_id();
+            unsigned n = std::thread::hardware_concurrency();
+            roc::Thread ok([] {});
+        """)
+        self.assertEqual(self.run_rules(["raw-thread"]), [])
+
+    def test_ignores_comments_and_strings(self):
+        self.write("src/c.cpp", """
+            // backed by std::thread, which we then t.detach()
+            const char* s = "std::thread";
+            roc::Thread ok([] {});
+        """)
+        self.assertEqual(self.run_rules(["raw-thread"]), [])
+
+    def test_explicit_allow_marker(self):
+        self.write(
+            "src/d.cpp",
+            "std::thread t([] {});  // LINT-ALLOW(raw-thread): interop\n")
+        self.assertEqual(self.run_rules(["raw-thread"]), [])
+
+
 class TestRawClock(LintTestCase):
     def test_flags_raw_clock_reads(self):
         self.write("src/a.cpp", """
