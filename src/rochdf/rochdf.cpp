@@ -60,6 +60,7 @@ void Rochdf::write_now(const std::string& path, const std::string& window,
   bool first;
   {
     comm::GateLock lock(*gate_);
+    ROC_CHECK_SHARED_WRITE(&started_files_, "rochdf.started_files");
     first = started_files_.insert(path).second;
   }
   if (first) m_files_written_.increment();
@@ -82,6 +83,7 @@ void Rochdf::write_job(const Job& job) {
   bool first;
   {
     comm::GateLock lock(*gate_);
+    ROC_CHECK_SHARED_WRITE(&started_files_, "rochdf.started_files");
     first = started_files_.insert(job.file).second;
   }
   if (first) m_files_written_.increment();

@@ -267,6 +267,7 @@ class Server {
   }
 
   void drain() {
+    ROC_CHECK_SHARED_READ(&buffer_, "server.buffer");
     while (!buffer_.empty()) write_one_buffered();
   }
 

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark run against a committed baseline.
+
+Two comparison modes, chosen per file pair:
+
+  pairs     For Google Benchmark output (bench_micro): wall-clock numbers
+            are machine- and load-dependent, so absolute times are never
+            gated.  What IS stable is the *advantage ratio* of each
+            legacy/optimized pair (marshal, ship, server-write): the
+            legacy path's time divided by the optimized path's time.  A
+            regression means the zero-copy pipeline lost its edge --
+            exactly what this repo must not silently do.
+
+  absolute  For JsonEmitter output (bench_fig3a --smoke): the simulation
+            substrate runs on virtual time, so metrics are deterministic
+            and can be gated directly, respecting each metric's
+            direction (MB/s up is good, seconds down is good).
+
+Usage:
+  tools/bench_compare.py BASELINE.json CANDIDATE.json
+      [--threshold 0.15] [--mode auto|pairs|absolute]
+
+Exit status: 0 within threshold, 1 regression, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+# (legacy benchmark, optimized benchmark) -- compared per size suffix.
+# The optimized side must stay within --threshold of its baseline edge.
+PAIRS = (
+    ("BM_WireMarshalCopy", "BM_WireMarshalChain"),
+    ("BM_BlockShipCopy", "BM_BlockShipZeroCopy"),
+    ("BM_ServerWriteMaterialize", "BM_ServerWritePassThrough"),
+)
+
+HIGHER_IS_BETTER_UNITS = ("MB/s", "GB/s", "KB/s", "B/s", "ops/s", "items/s",
+                          "/s")
+
+
+def load(path):
+    """Returns ({key: value}, {key: units}, kind) for either schema."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    values, units = {}, {}
+    if isinstance(data, dict) and "benchmarks" in data:
+        # With --benchmark_repetitions=N every repetition repeats the same
+        # name; the median per name is what gets compared (single-rep runs
+        # degenerate to the lone measurement).
+        samples = {}
+        for b in data["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            samples.setdefault(b["name"], []).append(float(b["real_time"]))
+            units[b["name"]] = b.get("time_unit", "ns")
+        values = {k: statistics.median(v) for k, v in samples.items()}
+        return values, units, "google-benchmark"
+    if isinstance(data, list):
+        for rec in data:
+            params = rec.get("params", {})
+            key = rec["name"] + "[" + ",".join(
+                f"{k}={params[k]}" for k in sorted(params)) + "]" \
+                + ":" + rec.get("metric", "")
+            values[key] = float(rec["value"])
+            units[key] = rec.get("units", "")
+        return values, units, "emitter"
+    print(f"bench_compare: unrecognized schema in {path}", file=sys.stderr)
+    sys.exit(2)
+
+
+def pair_ratios(values):
+    """legacy_time / optimized_time per (pair, size suffix) present."""
+    ratios = {}
+    for legacy, opt in PAIRS:
+        for name, v in values.items():
+            if not name.startswith(legacy + "/"):
+                continue
+            suffix = name[len(legacy):]
+            peer = opt + suffix
+            if peer in values and values[peer] > 0:
+                ratios[f"{legacy}{suffix} vs {opt}{suffix}"] = \
+                    v / values[peer]
+    return ratios
+
+
+def compare_pairs(base, cand, threshold):
+    base_r, cand_r = pair_ratios(base), pair_ratios(cand)
+    common = sorted(set(base_r) & set(cand_r))
+    if not common:
+        print("bench_compare: no comparable legacy/optimized pairs found",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for key in common:
+        b, c = base_r[key], cand_r[key]
+        # The candidate's advantage ratio may shrink by at most
+        # `threshold` relative to the baseline's.
+        change = (c - b) / b
+        status = "ok"
+        if change < -threshold:
+            status = "REGRESSION"
+            failures += 1
+        print(f"  {key}: advantage {b:.2f}x -> {c:.2f}x "
+              f"({change:+.1%}) {status}")
+    return 1 if failures else 0
+
+
+def compare_absolute(base, cand, base_units, threshold):
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("bench_compare: no common records to compare",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for key in common:
+        b, c = base[key], cand[key]
+        if b == 0:
+            continue
+        unit = base_units.get(key, "")
+        higher_better = unit.endswith(HIGHER_IS_BETTER_UNITS)
+        change = (c - b) / b
+        regressed = change < -threshold if higher_better \
+            else change > threshold
+        status = "REGRESSION" if regressed else "ok"
+        failures += bool(regressed)
+        print(f"  {key}: {b:.3g} -> {c:.3g} {unit} ({change:+.1%}) "
+              f"{status}")
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed relative regression (default 0.15)")
+    ap.add_argument("--mode", choices=("auto", "pairs", "absolute"),
+                    default="auto",
+                    help="auto: pairs for Google Benchmark files, "
+                         "absolute for emitter files")
+    args = ap.parse_args(argv)
+
+    base, base_units, base_kind = load(args.baseline)
+    cand, _cand_units, cand_kind = load(args.candidate)
+    if base_kind != cand_kind:
+        print(f"bench_compare: schema mismatch ({base_kind} vs {cand_kind})",
+              file=sys.stderr)
+        return 2
+
+    mode = args.mode
+    if mode == "auto":
+        mode = "pairs" if base_kind == "google-benchmark" else "absolute"
+    print(f"bench_compare: {args.candidate} vs {args.baseline} "
+          f"({mode}, threshold {args.threshold:.0%})")
+    if mode == "pairs":
+        rc = compare_pairs(base, cand, args.threshold)
+    else:
+        rc = compare_absolute(base, cand, base_units, args.threshold)
+    print("bench_compare: " +
+          ("ok" if rc == 0 else
+           "REGRESSION beyond threshold" if rc == 1 else "nothing compared"))
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,211 @@
+"""libclang engine for rocanalyze.
+
+Both engines must agree on findings or the committed baseline ping-pongs
+between machines, so the rule-facing model (classes, fields, annotations,
+lock tracking) is harvested from source text exactly as the lexical engine
+does it.  libclang contributes what text alone cannot:
+
+  * every translation unit in build/compile_commands.json is parsed, so
+    the engine fails fast when the tree no longer compiles (a lexical run
+    happily "analyzes" garbage);
+  * compiler-accurate record layouts (per-field bit offsets, true sizeof)
+    close the R4 gaps the lexical layout model leaves open
+    (layout_known=False for structs with unrecognized member types), and
+    layout disagreements on structs both models claim to know are
+    reported as notices for debugging -- never as findings, to keep CI
+    deterministic against the locally-built baseline.
+
+Construction raises (ImportError / OSError / RuntimeError) when python
+clang bindings, a loadable libclang, or the compilation database are
+missing; rocanalyze.py turns that into a graceful skip or a lexical
+fallback depending on --engine.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+from cxxmodel import LexicalEngine
+
+# Where Debian/Ubuntu packages drop the C API library; newest first.
+LIBCLANG_GLOBS = (
+    "/usr/lib/llvm-*/lib/libclang-*.so*",
+    "/usr/lib/llvm-*/lib/libclang.so*",
+    "/usr/lib/*/libclang-*.so*",
+    "/usr/lib/*/libclang.so*",
+)
+
+# Compiler argv entries that are meaningless (or harmful) when replayed
+# through libclang.
+DROP_ARGS = {"-c", "-MMD", "-MP", "-MD"}
+DROP_WITH_VALUE = {"-o", "-MF", "-MT", "-MQ"}
+
+
+def load_cindex():
+    """Imports clang.cindex and makes sure a libclang is actually loadable
+    (the python package installs fine without the shared library)."""
+    from clang import cindex  # ImportError when python3-clang is absent
+
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        pass
+    candidates = []
+    for pat in LIBCLANG_GLOBS:
+        candidates.extend(glob.glob(pat))
+    for lib in sorted(set(candidates), reverse=True):
+        try:
+            cindex.Config.loaded = False
+            cindex.Config.set_library_file(lib)
+            cindex.Index.create()
+            return cindex
+        except Exception:
+            continue
+    raise RuntimeError("no loadable libclang shared library found")
+
+
+class ClangEngine:
+    name = "libclang"
+
+    def __init__(self, root, rel_paths, build_dir):
+        self.root = root
+        self.rel_paths = rel_paths
+        self.cindex = load_cindex()
+        bd = build_dir if os.path.isabs(build_dir) \
+            else os.path.join(root, build_dir)
+        self.db_path = os.path.join(bd, "compile_commands.json")
+        with open(self.db_path, encoding="utf-8") as fh:
+            self.db = json.load(fh)
+        if not self.db:
+            raise RuntimeError(f"{self.db_path} is empty")
+
+    # -- compile db ---------------------------------------------------------
+
+    def _tu_args(self, entry):
+        if "arguments" in entry:
+            argv = list(entry["arguments"])
+        else:
+            import shlex
+            argv = shlex.split(entry["command"])
+        args, skip = [], False
+        for a in argv[1:]:  # drop the compiler itself
+            if skip:
+                skip = False
+                continue
+            if a in DROP_WITH_VALUE:
+                skip = True
+                continue
+            if a in DROP_ARGS or a == entry["file"] \
+                    or a.endswith((".cpp", ".cc", ".o")):
+                continue
+            args.append(a)
+        return args
+
+    def _entries(self):
+        want = {os.path.normpath(os.path.join(self.root, r))
+                for r in self.rel_paths}
+        for entry in self.db:
+            f = entry["file"]
+            if not os.path.isabs(f):
+                f = os.path.join(entry.get("directory", ""), f)
+            f = os.path.normpath(f)
+            # A TU is interesting if it, or any header it plausibly pulls
+            # in, is under analysis; parsing a few extra TUs only costs
+            # time, so keep anything under the repo root.
+            if f.startswith(self.root + os.sep) and (f in want or want):
+                yield f, entry
+
+    # -- build --------------------------------------------------------------
+
+    def build(self):
+        models, structs = LexicalEngine(self.root, self.rel_paths).build()
+
+        index = self.cindex.Index.create()
+        parsed = failed = 0
+        layouts = {}
+        for path, entry in self._entries():
+            try:
+                tu = index.parse(path, args=self._tu_args(entry),
+                                 options=0)
+            except Exception:
+                failed += 1
+                continue
+            errors = [d for d in tu.diagnostics if d.severity >= 3]
+            if errors:
+                failed += 1
+                continue
+            parsed += 1
+            self._harvest_layouts(tu.cursor, layouts)
+        if parsed == 0:
+            raise RuntimeError(
+                f"no translation unit parsed cleanly ({failed} failed) -- "
+                f"is {self.db_path} stale?")
+
+        self._refine_structs(structs, layouts)
+        return models, structs
+
+    def _harvest_layouts(self, cursor, layouts):
+        ck = self.cindex.CursorKind
+        stack = [cursor]
+        while stack:
+            c = stack.pop()
+            for ch in c.get_children():
+                loc = ch.location.file
+                if loc is None or not str(loc.name).startswith(
+                        self.root + os.sep):
+                    continue
+                if ch.kind in (ck.STRUCT_DECL, ck.CLASS_DECL) \
+                        and ch.is_definition():
+                    name = ch.spelling
+                    if name and name not in layouts:
+                        pad = self._padding_of(ch)
+                        if pad is not None:
+                            layouts[name] = pad
+                if ch.kind in (ck.NAMESPACE, ck.STRUCT_DECL, ck.CLASS_DECL,
+                               ck.UNEXPOSED_DECL):
+                    stack.append(ch)
+
+    def _padding_of(self, cursor):
+        """True/False when libclang can lay the record out, else None."""
+        try:
+            t = cursor.type
+            size_bits = t.get_size() * 8
+            if size_bits <= 0:
+                return None
+            expect = 0
+            saw_field = False
+            for f in t.get_fields():
+                off = t.get_offset(f.spelling)
+                fsz = f.type.get_size()
+                if off < 0 or fsz <= 0:
+                    return None
+                saw_field = True
+                if off > expect:
+                    return True
+                expect = off + fsz * 8
+            if not saw_field:
+                return None
+            return size_bits > expect
+        except Exception:
+            return None
+
+    def _refine_structs(self, structs, layouts):
+        for name, sl in structs.items():
+            if name not in layouts:
+                continue
+            clang_padded = layouts[name]
+            if not sl.layout_known:
+                # Fill the gap the lexical model could not close.
+                sl.padded = clang_padded
+                sl.layout_known = True
+            elif sl.padded != clang_padded:
+                # Both engines claim to know and disagree: surface it, but
+                # keep the lexical verdict so findings match the baseline.
+                print(f"rocanalyze[libclang]: layout disagreement on "
+                      f"{name} ({sl.file}): lexical padded={sl.padded}, "
+                      f"libclang padded={clang_padded} -- keeping lexical",
+                      file=sys.stderr)

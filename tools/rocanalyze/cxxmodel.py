@@ -1,0 +1,888 @@
+"""Shared intermediate representation for rocanalyze, plus the lexical
+engine that builds it without a compiler.
+
+Both engines (this one and clang_engine.py) produce the same model:
+
+    FileModel
+      classes: [ClassInfo]          # classes/structs + a file-scope pseudo
+      sites:   [RawSite]            # memcpy / reinterpret_cast occurrences
+      allows:  {line: {rule, ...}}  # ROCANALYZE-ALLOW(rule): suppressions
+    StructLayout                    # per-struct triviality / padding facts
+
+so the rules in rules.py never care which engine parsed the code.
+
+The lexical engine is deliberately conservative: it understands the
+repository's actual idiom (Google style, `roc::MutexLock lock(mu_)`,
+`comm::GateLock lock(*gate_)`, explicit `gate_->lock()/unlock()` pairs,
+`ROC_GUARDED_BY(cap)` on the declaration) rather than arbitrary C++.  Where
+it cannot decide, it stays silent -- the libclang engine exists for
+precision; this one exists so the invariants stay checked on machines
+without libclang (mirroring tools/run_clang_tidy.py's graceful skip).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field as dc_field
+
+# ---------------------------------------------------------------------------
+# Model
+# ---------------------------------------------------------------------------
+
+# Borrowing view types (R1): storing one only makes sense next to its owner.
+VIEW_TYPES = ("ConstBuffer", "WireBlockView", "std::string_view",
+              "string_view")
+# Owning types that can back a stored view within the same object.
+OWNER_TYPES = ("SharedBuffer", "BufferChain", "std::shared_ptr",
+               "std::unique_ptr", "std::vector", "std::string", "std::deque",
+               "std::array", "std::map", "std::optional")
+# Capability (lockable) member types for R2.
+MUTEX_TYPES = ("Mutex", "Gate")
+
+ALLOW_MARKER = "ROCANALYZE-ALLOW"
+ALLOW_RE = re.compile(r"ROCANALYZE-ALLOW\(\s*([\w,\s-]+?)\s*\)\s*:\s*\S")
+
+
+@dataclass
+class Access:
+    field: str
+    line: int
+    write: bool
+    held: frozenset  # normalized capability exprs held at this point
+
+
+@dataclass
+class Hook:
+    cell: str  # member the hook's first argument names ("" when unknown)
+    write: bool
+    line: int
+
+
+@dataclass
+class ReturnView:
+    line: int
+    local: str  # the function-local owner the returned view borrows from
+
+
+@dataclass
+class Method:
+    name: str
+    line: int
+    is_ctor: bool = False
+    is_dtor: bool = False
+    no_analysis: bool = False  # ROC_NO_THREAD_SAFETY_ANALYSIS
+    requires: tuple = ()       # ROC_REQUIRES(...) capability args
+    accesses: list = dc_field(default_factory=list)  # [Access]
+    hooks: list = dc_field(default_factory=list)     # [Hook]
+    return_views: list = dc_field(default_factory=list)  # [ReturnView]
+
+
+@dataclass
+class Field:
+    name: str
+    type_str: str
+    line: int
+    guarded_by: str = ""  # normalized ROC_GUARDED_BY arg ("" = none)
+    decl_file: str = ""   # repo-relative file declaring the field
+    is_static: bool = False
+    is_const: bool = False
+    is_mutex: bool = False
+    is_view: bool = False
+    is_owner: bool = False
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    file: str  # repo-relative path
+    line: int
+    fields: dict = dc_field(default_factory=dict)   # name -> Field
+    methods: list = dc_field(default_factory=list)  # [Method]
+
+    def field_named(self, name):
+        return self.fields.get(name)
+
+
+@dataclass
+class RawSite:
+    """One memcpy / reinterpret_cast occurrence (R4 input)."""
+    file: str
+    line: int
+    kind: str        # "memcpy" | "reinterpret_cast"
+    type_name: str   # struct type involved ("" if undetermined)
+    byte_source: bool  # cast source looks like raw bytes
+    text: str
+
+
+@dataclass
+class StructLayout:
+    """Triviality/padding facts about one struct (R4 input)."""
+    name: str
+    file: str
+    line: int
+    trivially_copyable: bool  # False when it owns resources / has vtable
+    padded: bool              # True when layout provably contains padding
+    layout_known: bool        # False when a member size was unrecognized
+
+
+@dataclass
+class FileModel:
+    path: str  # absolute
+    rel: str   # repo-relative
+    classes: list = dc_field(default_factory=list)
+    sites: list = dc_field(default_factory=list)
+    allows: dict = dc_field(default_factory=dict)  # line -> set(rule ids)
+
+    def allowed(self, line, rule):
+        """True when `line` (or the two lines above it) carries an
+        ROCANALYZE-ALLOW marker naming `rule` (or `all`)."""
+        for ln in (line, line - 1, line - 2):
+            rules = self.allows.get(ln)
+            if rules and (rule in rules or "all" in rules):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Lexical scanning helpers
+# ---------------------------------------------------------------------------
+
+def strip_comments_and_strings(text):
+    """Blanks comment and string/char contents, preserving newlines and
+    length (same contract as tools/lint.py)."""
+    out = list(text)
+    i, n = 0, len(text)
+    NORMAL, LINE_C, BLOCK_C, STRING, CHAR = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state, out[i], out[i + 1] = LINE_C, " ", " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state, out[i], out[i + 1] = BLOCK_C, " ", " "
+                i += 2
+                continue
+            if c == '"':
+                state = STRING
+                i += 1
+                continue
+            if c == "'":
+                state = CHAR
+                i += 1
+                continue
+        elif state == LINE_C:
+            if c == "\n":
+                state = NORMAL
+            else:
+                out[i] = " "
+        elif state == BLOCK_C:
+            if c == "*" and nxt == "/":
+                state, out[i], out[i + 1] = NORMAL, " ", " "
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+        else:
+            quote = '"' if state == STRING else "'"
+            if c == "\\":
+                out[i] = " "
+                if i + 1 < n and text[i + 1] != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == quote:
+                state = NORMAL
+            elif c != "\n":
+                out[i] = " "
+        i += 1
+    return "".join(out)
+
+
+def normalize_cap(expr):
+    """Canonical form of a capability expression: `*gate_` -> `gate_`,
+    `&mu_` -> `mu_`, whitespace and `this->` removed."""
+    e = expr.strip().lstrip("*&").replace(" ", "")
+    if e.startswith("this->"):
+        e = e[len("this->"):]
+    return e
+
+
+def cap_leaf(expr):
+    """Final path component of a capability expression:
+    `data_->mutex` -> `mutex`, `s.mutex` -> `mutex`, `gate_` -> `gate_`."""
+    e = normalize_cap(expr)
+    for sep in ("->", "."):
+        if sep in e:
+            e = e.rsplit(sep, 1)[1]
+    return e
+
+
+def caps_match(held_expr, guard_expr):
+    """Heuristic equivalence of a held capability and a GUARDED_BY arg.
+    Exact normalized match, or matching leaf names (handles the guard being
+    declared inside a struct the method reaches via a pointer)."""
+    a, b = normalize_cap(held_expr), normalize_cap(guard_expr)
+    return a == b or cap_leaf(a) == cap_leaf(b)
+
+
+def collect_allows(text):
+    allows = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            allows[lineno] = rules
+    return allows
+
+
+# ---------------------------------------------------------------------------
+# Scope tree
+# ---------------------------------------------------------------------------
+
+class Scope:
+    __slots__ = ("kind", "name", "header", "start", "end", "children",
+                 "parent")
+
+    def __init__(self, kind, name, header, start):
+        self.kind = kind      # class | function | namespace | other
+        self.name = name
+        self.header = header  # text between previous delimiter and '{'
+        self.start = start    # offset of '{'
+        self.end = -1         # offset of matching '}'
+        self.children = []
+        self.parent = None
+
+
+CLASS_HEAD_RE = re.compile(
+    r"\b(class|struct)\s+(?:ROC_\w+\s*(?:\([^)]*\)\s*)?)*(\w+)\s*"
+    r"(?:final\s*)?(?::[^{;]*)?$")
+ENUM_HEAD_RE = re.compile(r"\benum\b")
+
+
+def build_scope_tree(stripped):
+    """Parses `stripped` into a tree of brace scopes classified as
+    class / function / namespace / other."""
+    root = Scope("root", "", "", -1)
+    stack = [root]
+    # Offset just after the previous `{`, `}` or `;` -- the current scope
+    # header starts there.
+    header_start = 0
+    i, n = 0, len(stripped)
+    while i < n:
+        c = stripped[i]
+        if c == "{":
+            header = stripped[header_start:i].strip()
+            kind, name = classify_scope(header)
+            sc = Scope(kind, name, header, i)
+            sc.parent = stack[-1]
+            stack[-1].children.append(sc)
+            stack.append(sc)
+            header_start = i + 1
+        elif c == "}":
+            if len(stack) > 1:
+                stack[-1].end = i
+                stack.pop()
+            header_start = i + 1
+        elif c == ";":
+            header_start = i + 1
+        i += 1
+    # Unterminated scopes (parse slack): close at EOF.
+    for sc in stack[1:]:
+        sc.end = n
+    return root
+
+
+def classify_scope(header):
+    # Strip template prefixes and export macros that precede the keyword.
+    h = re.sub(r"\btemplate\s*<[^<>]*(?:<[^<>]*>[^<>]*)*>", " ", header)
+    h = " ".join(h.split())
+    if ENUM_HEAD_RE.search(h):
+        return "other", ""
+    m = CLASS_HEAD_RE.search(h)
+    if m:
+        return "class", m.group(2)
+    m = re.match(r"namespace(\s+\w+)?\s*$", h)
+    if m:
+        return "namespace", (m.group(1) or "").strip()
+    if h.startswith("extern "):
+        return "namespace", ""
+    # A function/method header mentions a parameter list.  Initializer
+    # lists (`= {`, `{...}` aggregates) and control flow are "other".
+    if re.search(r"\)\s*(const|noexcept|override|final|mutable|->\s*[\w:<>,&*\s]+"
+                 r"|ROC_\w+\s*(\([^)]*\))?|\s)*$", h) and "(" in h:
+        head = h.split("(")[0]
+        if re.search(r"\b(if|for|while|switch|catch|return)\s*$", head):
+            return "other", ""
+        if h.rstrip().endswith("="):
+            return "other", ""
+        nm = function_name(h)
+        if nm:
+            return "function", nm
+    return "other", ""
+
+
+FN_NAME_RE = re.compile(
+    r"(~?\w+|operator\s*(?:\(\)|\[\]|[^\s(]{1,3}))\s*\($")
+
+
+def function_name(header):
+    """Name of the function a scope header declares, qualified when
+    out-of-line (`Class::name`)."""
+    depth = 0
+    # Find the opening paren of the parameter list (the last top-level one
+    # preceded by an identifier).
+    for m in re.finditer(r"[()]", header):
+        pass
+    # Simpler: first '(' whose preceding token is an identifier or
+    # qualified id.
+    for m in re.finditer(r"\(", header):
+        before = header[:m.start()].rstrip()
+        qm = re.search(r"((?:\w+\s*::\s*)*~?\w+)$", before)
+        if qm and qm.group(1) not in ("if", "for", "while", "switch",
+                                      "catch", "return", "sizeof"):
+            return qm.group(1).replace(" ", "")
+        depth += 1
+    return ""
+
+
+# ---------------------------------------------------------------------------
+# Field / method extraction
+# ---------------------------------------------------------------------------
+
+GUARDED_RE = re.compile(r"ROC_(?:PT_)?GUARDED_BY\(([^)]*)\)")
+REQUIRES_RE = re.compile(r"ROC_REQUIRES\(([^)]*)\)")
+NO_TSA_RE = re.compile(r"ROC_NO_THREAD_SAFETY_ANALYSIS")
+
+FIELD_SKIP_RE = re.compile(
+    r"^\s*(using|typedef|friend|public|private|protected|template|enum|"
+    r"static_assert|virtual)\b")
+
+HOOK_RE = re.compile(
+    r"ROC_CHECK_SHARED_(READ|WRITE)\s*\(\s*([^,]+),")
+
+LOCK_RAII_RE = re.compile(
+    r"\b(?:roc\s*::\s*)?MutexLock\s+\w+\s*[({]([^;)}]*)[)}]|"
+    r"\b(?:comm\s*::\s*)?GateLock\s+\w+\s*[({]([^;)}]*)[)}]")
+LOCK_CALL_RE = re.compile(r"([\w.>\[\]()_-]+?)\s*(->|\.)\s*lock\s*\(")
+UNLOCK_CALL_RE = re.compile(r"([\w.>\[\]()_-]+?)\s*(->|\.)\s*unlock\s*\(")
+
+WRITE_AFTER_RE = re.compile(
+    r"^\s*(=[^=]|\+=|-=|\*=|/=|\|=|&=|\^=|>>=|<<=|\+\+|--|"
+    r"\.\s*(push_back|push_front|pop_back|pop_front|emplace|emplace_back|"
+    r"insert|erase|clear|resize|reserve|reset|assign|swap|append)\b|"
+    r"->\s*(push_back|push_front|pop_back|pop_front|emplace|emplace_back|"
+    r"insert|erase|clear|resize|reserve|reset|assign|swap|append)\b)")
+WRITE_BEFORE_RE = re.compile(r"(\+\+|--|std\s*::\s*move\s*\(\s*)$")
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def parse_field_decl(stmt, line):
+    """Parses one class-level declaration statement into a Field, or None
+    when the statement is not a data member."""
+    s = stmt.strip()
+    # Access labels are not ';'-terminated, so the first declaration of a
+    # section arrives glued to its label -- peel them off.
+    s = re.sub(r"^((public|private|protected)\s*:\s*)+", "", s)
+    if not s or FIELD_SKIP_RE.match(s):
+        return None
+    is_static = bool(re.match(r"^\s*static\b", s))
+    if re.search(r"\boperator\b", s):
+        return None
+    guard = ""
+    gm = GUARDED_RE.search(s)
+    if gm:
+        guard = normalize_cap(gm.group(1))
+        s = GUARDED_RE.sub(" ", s)
+    # Drop initializers.
+    s = re.sub(r"=.*$", "", s, flags=re.S)
+    s = re.sub(r"\{.*$", "", s, flags=re.S).strip()
+    # Method declarations / pure virtuals carry a parameter list right
+    # after the name; fields never do.  (Function-pointer members are rare
+    # enough here to ignore.)
+    if s.endswith(")") or re.search(r"\w\s*\(", s):
+        return None
+    # Array suffix.
+    s = re.sub(r"\[[^\]]*\]\s*$", "", s).strip()
+    m = re.match(r"^(?P<type>.+?)\s+(?P<name>\w+)$", s, flags=re.S)
+    if not m:
+        return None
+    type_str = " ".join(m.group("type").split())
+    name = m.group("name")
+    if type_str in ("return", "delete", "new", "goto", "else", "const"):
+        return None
+    bare = type_str.replace("const", "").replace("mutable", "").strip()
+    f = Field(name=name, type_str=type_str, line=line, guarded_by=guard,
+              is_static=is_static)
+    f.is_const = (type_str.startswith("const ")
+                  or " const" in type_str and "*" not in type_str
+                  ) and "mutable" not in type_str
+    f.is_view = _names_type(bare, VIEW_TYPES)
+    f.is_owner = _names_type(bare, OWNER_TYPES)
+    f.is_mutex = (_names_type(bare, MUTEX_TYPES)
+                  and "Lock" not in bare and "unique_ptr" not in bare)
+    return f
+
+
+def _names_type(type_str, names):
+    for t in names:
+        if re.search(r"(^|[\s<:,(])" + re.escape(t) + r"($|[\s>&*,)])",
+                     type_str):
+            return True
+    return False
+
+
+class ParsedFile:
+    """Phase-1 output: structure harvested, method bodies not yet
+    analyzed (that needs the cross-file field merge first)."""
+
+    __slots__ = ("fm", "tree", "stripped", "pseudo", "class_of")
+
+    def __init__(self, fm, tree, stripped, pseudo, class_of):
+        self.fm = fm
+        self.tree = tree
+        self.stripped = stripped
+        self.pseudo = pseudo
+        self.class_of = class_of  # id(scope) -> ClassInfo
+
+
+class LexicalEngine:
+    """Builds FileModels + StructLayouts from source text alone.
+
+    Two phases: (1) harvest classes and fields from every file, (2) merge
+    fields of same-named classes across files, then analyze method bodies.
+    The merge is what lets an out-of-line `Rochdf::write_now` in rochdf.cpp
+    be checked against the guards declared in rochdf.h."""
+
+    name = "lexical"
+
+    def __init__(self, root, rel_paths):
+        self.root = root
+        self.rel_paths = rel_paths
+
+    def build(self):
+        parsed = []
+        for rel in self.rel_paths:
+            path = os.path.join(self.root, rel)
+            try:
+                with open(path, encoding="utf-8", errors="replace") as fh:
+                    text = fh.read()
+            except OSError:
+                continue
+            parsed.append(parse_structure(path, rel, text))
+        global_fields = merge_class_fields(parsed)
+        for pf in parsed:
+            analyze_functions(pf, global_fields)
+        models = [pf.fm for pf in parsed]
+        structs = build_struct_index(models, self.root)
+        return models, structs
+
+
+def merge_class_fields(parsed):
+    """name -> merged {field name -> Field} across all files (the first
+    harvested declaration of a field wins)."""
+    global_fields = {}
+    for pf in parsed:
+        for ci in pf.fm.classes:
+            if ci.name == "<file>":
+                continue
+            d = global_fields.setdefault(ci.name, {})
+            for n, f in ci.fields.items():
+                d.setdefault(n, f)
+    return global_fields
+
+
+def parse_file(path, rel, text):
+    """Single-file convenience wrapper (no cross-file merge)."""
+    pf = parse_structure(path, rel, text)
+    analyze_functions(pf, merge_class_fields([pf]))
+    return pf.fm
+
+
+def parse_structure(path, rel, text):
+    stripped = strip_comments_and_strings(text)
+    fm = FileModel(path=path, rel=rel)
+    fm.allows = collect_allows(text)
+    tree = build_scope_tree(stripped)
+
+    # File-scope pseudo-class: namespace-level variables + free functions
+    # (the log.cpp `g_mutex`/`g_sink` pattern).
+    pseudo = ClassInfo(name="<file>", file=rel, line=1)
+    class_of = {}
+
+    def walk(scope):
+        for child in scope.children:
+            if child.kind == "class":
+                ci = ClassInfo(name=child.name, file=rel,
+                               line=line_of(stripped, child.start))
+                fm.classes.append(ci)
+                class_of[id(child)] = ci
+                harvest_class(ci, child, stripped, rel)
+                walk(child)
+            elif child.kind == "function":
+                pass  # phase 2; local classes inside bodies are ignored
+            else:
+                if child.kind == "namespace" and scope.kind in ("root",
+                                                                "namespace"):
+                    harvest_namespace_vars(pseudo, child, stripped, rel)
+                walk(child)
+
+    walk(tree)
+    harvest_namespace_vars(pseudo, tree, stripped, rel)
+    collect_sites(fm, stripped)
+    return ParsedFile(fm, tree, stripped, pseudo, class_of)
+
+
+def analyze_functions(pf, global_fields):
+    fm, stripped, pseudo = pf.fm, pf.stripped, pf.pseudo
+
+    # Complete every class with fields its other-file declaration carries
+    # (own declarations win).
+    for ci in fm.classes:
+        merged = dict(global_fields.get(ci.name, ()))
+        merged.update(ci.fields)
+        ci.fields = merged
+
+    def walk(scope, cls_stack):
+        for child in scope.children:
+            if child.kind == "class":
+                ci = pf.class_of[id(child)]
+                walk(child, cls_stack + [ci])
+            elif child.kind == "function":
+                owner = owner_class(child, cls_stack, fm, pseudo,
+                                    global_fields)
+                harvest_method(owner, child, stripped)
+                # Do not recurse: harvest_method consumes nested scopes.
+            else:
+                walk(child, cls_stack)
+
+    walk(pf.tree, [])
+    if pseudo.fields or pseudo.methods:
+        fm.classes.append(pseudo)
+
+
+def owner_class(fn_scope, cls_stack, fm, pseudo, global_fields):
+    """Which ClassInfo an encountered function scope belongs to."""
+    if cls_stack:
+        return cls_stack[-1]
+    if "::" in fn_scope.name:
+        cls_name = fn_scope.name.rsplit("::", 2)[-2]
+        for ci in fm.classes:
+            if ci.name == cls_name:
+                return ci
+        # Out-of-line method of a class declared elsewhere: materialize a
+        # local ClassInfo carrying the merged field view.
+        ci = ClassInfo(name=cls_name, file=fm.rel, line=1)
+        ci.fields = dict(global_fields.get(cls_name, ()))
+        fm.classes.append(ci)
+        return ci
+    return pseudo
+
+
+def class_level_statements(scope, stripped):
+    """Statements at a class scope's own depth (nested scopes elided),
+    as (text, line) pairs."""
+    out = []
+    pos = scope.start + 1
+    buf = []
+    buf_start = pos
+    children = sorted(scope.children, key=lambda s: s.start)
+    ci = 0
+    i = pos
+    while i < scope.end:
+        if ci < len(children) and i == children[ci].start:
+            buf = []  # the pending header text belongs to the child scope
+            i = children[ci].end + 1
+            buf_start = i
+            ci += 1
+            continue
+        c = stripped[i]
+        if c == ";":
+            stmt = "".join(buf)
+            if stmt.strip():
+                out.append((stmt, line_of(stripped, buf_start)))
+            buf = []
+            buf_start = i + 1
+        else:
+            if not buf and not c.isspace():
+                buf_start = i
+            buf.append(c)
+        i += 1
+    return out
+
+
+def harvest_class(ci, scope, stripped, rel):
+    for stmt, line in class_level_statements(scope, stripped):
+        f = parse_field_decl(stmt, line)
+        if f and f.name not in ci.fields:
+            f.decl_file = rel
+            ci.fields[f.name] = f
+    # Inline methods are child function scopes; analyze_functions
+    # dispatches them via harvest_method with this class on the stack.
+
+
+def harvest_namespace_vars(pseudo, scope, stripped, rel):
+    for stmt, line in class_level_statements(scope, stripped):
+        f = parse_field_decl(stmt, line)
+        # Only track namespace-level state relevant to locking: mutexes and
+        # explicitly guarded variables (keeps globals noise out).
+        if f and (f.is_mutex or f.guarded_by) and f.name not in pseudo.fields:
+            f.decl_file = rel
+            pseudo.fields[f.name] = f
+
+
+def harvest_method(ci, scope, stripped):
+    name = scope.name.rsplit("::", 1)[-1]
+    m = Method(name=name, line=line_of(stripped, scope.start))
+    m.is_ctor = (name == ci.name)
+    m.is_dtor = (name == "~" + ci.name)
+    m.no_analysis = bool(NO_TSA_RE.search(scope.header))
+    reqs = []
+    for rm in REQUIRES_RE.finditer(scope.header):
+        reqs.extend(normalize_cap(a) for a in rm.group(1).split(","))
+    m.requires = tuple(reqs)
+    analyze_body(ci, m, scope, stripped)
+    ci.methods.append(m)
+
+
+def analyze_body(ci, m, scope, stripped):
+    """Single pass over the method body tracking held capabilities and
+    recording member accesses / checker hooks / returned views."""
+    body = stripped[scope.start:scope.end + 1]
+    base = scope.start
+    field_names = set(ci.fields)
+
+    # Lock events: (offset, kind, cap, scope_end_for_raii)
+    events = []
+    for lm in LOCK_RAII_RE.finditer(body):
+        cap = normalize_cap(lm.group(1) or lm.group(2) or "")
+        if cap:
+            end = _enclosing_scope_end(body, lm.start())
+            events.append((lm.start(), "raii", cap, end))
+    for lm in LOCK_CALL_RE.finditer(body):
+        events.append((lm.start(), "lock", normalize_cap(lm.group(1)), None))
+    for lm in UNLOCK_CALL_RE.finditer(body):
+        events.append((lm.start(), "unlock", normalize_cap(lm.group(1)),
+                       None))
+    events.sort(key=lambda e: e[0])
+
+    def held_at(off):
+        held = set(m.requires)
+        for eoff, kind, cap, send in events:
+            if eoff >= off:
+                break
+            if kind == "raii":
+                if send is None or off < send:
+                    held.add(cap)
+            elif kind == "lock":
+                held.add(cap)
+            elif kind == "unlock":
+                held.discard(cap)
+        return frozenset(held)
+
+    # Hooks.
+    for hm in HOOK_RE.finditer(body):
+        arg = hm.group(2).strip()
+        cell = cap_leaf(arg.lstrip("&"))
+        cell = re.sub(r"\(\)$", "", cell.split("(")[0]) or cell
+        m.hooks.append(Hook(cell=cell, write=(hm.group(1) == "WRITE"),
+                            line=line_of(stripped, base + hm.start())))
+
+    # Member accesses.
+    for fname in field_names:
+        f = ci.fields[fname]
+        if f.is_static:
+            continue
+        for am in re.finditer(r"(?<![\w.>])(?:this\s*->\s*)?\b" +
+                              re.escape(fname) + r"\b", body):
+            before = body[max(0, am.start() - 24):am.start()]
+            if before.rstrip().endswith(("::", ".", "->")) \
+                    and not before.rstrip().endswith("this->"):
+                continue
+            after = body[am.end():am.end() + 40]
+            if re.match(r"\s*\(", after) and not f.is_mutex:
+                # A call through a same-named method, or a constructor arg
+                # list -- not a data access we can classify.
+                pass
+            write = bool(WRITE_AFTER_RE.match(after)) or \
+                bool(WRITE_BEFORE_RE.search(before))
+            m.accesses.append(Access(field=fname,
+                                     line=line_of(stripped, base + am.start()),
+                                     write=write,
+                                     held=held_at(am.start())))
+
+    # Returned views of locals (R1).
+    local_owners = set()
+    for dm in re.finditer(
+            r"\b(SharedBuffer|BufferChain|std::vector\s*<[^>]*>|std::string)"
+            r"\s+(\w+)\s*[=({;]", body):
+        local_owners.add(dm.group(2))
+    view_alt = "|".join(re.escape(v) for v in VIEW_TYPES)
+    for rm in re.finditer(r"\breturn\s+(?:" + view_alt + r")\s*[({]"
+                          r"([^;]*)[)}]\s*;", body):
+        args = rm.group(1)
+        for lo in local_owners:
+            if re.search(r"\b" + re.escape(lo) + r"\b", args):
+                m.return_views.append(
+                    ReturnView(line=line_of(stripped, base + rm.start()),
+                               local=lo))
+                break
+
+
+def _enclosing_scope_end(body, off):
+    """Offset of the `}` closing the innermost scope containing `off`."""
+    depth = 0
+    i = off
+    while i < len(body):
+        if body[i] == "{":
+            depth += 1
+        elif body[i] == "}":
+            if depth == 0:
+                return i
+            depth -= 1
+        i += 1
+    return len(body)
+
+
+# ---------------------------------------------------------------------------
+# R4 inputs: struct layouts and raw byte sites
+# ---------------------------------------------------------------------------
+
+SIZEOF_TYPES = {
+    "bool": (1, 1), "char": (1, 1), "signed char": (1, 1),
+    "unsigned char": (1, 1), "int8_t": (1, 1), "uint8_t": (1, 1),
+    "short": (2, 2), "unsigned short": (2, 2), "int16_t": (2, 2),
+    "uint16_t": (2, 2), "int": (4, 4), "unsigned": (4, 4),
+    "unsigned int": (4, 4), "int32_t": (4, 4), "uint32_t": (4, 4),
+    "float": (4, 4), "long": (8, 8), "unsigned long": (8, 8),
+    "int64_t": (8, 8), "uint64_t": (8, 8), "size_t": (8, 8),
+    "double": (8, 8), "long long": (8, 8), "unsigned long long": (8, 8),
+    "long double": (16, 16), "std::size_t": (8, 8), "std::uint8_t": (1, 1),
+    "std::uint16_t": (2, 2), "std::uint32_t": (4, 4),
+    "std::uint64_t": (8, 8), "std::int8_t": (1, 1), "std::int16_t": (2, 2),
+    "std::int32_t": (4, 4), "std::int64_t": (8, 8), "uintptr_t": (8, 8),
+    "intptr_t": (8, 8), "ptrdiff_t": (8, 8), "wchar_t": (4, 4),
+}
+NONTRIVIAL_MEMBER_RE = re.compile(
+    r"\bstd\s*::\s*(string|vector|map|set|deque|list|unordered_\w+|function|"
+    r"shared_ptr|unique_ptr|weak_ptr|optional|variant|any)\b|"
+    r"\bSharedBuffer\b|\bBufferChain\b|\bMeshBlock\b|\bField\b")
+
+
+def build_struct_index(models, root):
+    """Second lexical pass over every model file collecting struct layout
+    facts for R4.  Independent of the class model above so that plain
+    aggregate structs (no methods) are still seen."""
+    index = {}
+    for fm in models:
+        try:
+            with open(fm.path, encoding="utf-8", errors="replace") as fh:
+                text = fh.read()
+        except OSError:
+            continue
+        stripped = strip_comments_and_strings(text)
+        tree = build_scope_tree(stripped)
+
+        def walk(scope):
+            for child in scope.children:
+                if child.kind == "class" and child.name:
+                    layout = compute_layout(child, stripped, fm.rel)
+                    # First definition wins; redefinitions across TUs of the
+                    # same name are assumed identical (one repo, one ODR).
+                    index.setdefault(child.name, layout)
+                walk(child)
+
+        walk(tree)
+    return index
+
+
+def compute_layout(scope, stripped, rel):
+    has_virtual = bool(re.search(r"\bvirtual\b",
+                                 stripped[scope.start:scope.end]))
+    has_base = ":" in re.sub(r"::", "", scope.header.split("{")[0]) \
+        and not scope.header.rstrip().endswith("final")
+    nontrivial = has_virtual
+    layout_known = not (has_virtual or has_base)
+    offset = 0
+    max_align = 1
+    padding = 0
+    for stmt, _line in class_level_statements(scope, stripped):
+        f = parse_field_decl(stmt, 0)
+        if not f or f.is_static:
+            continue
+        t = f.type_str.replace("const ", "").replace("mutable ", "").strip()
+        if NONTRIVIAL_MEMBER_RE.search(t):
+            nontrivial = True
+            layout_known = False
+            continue
+        if "*" in t or "&" in t:
+            size, align = 8, 8
+        elif t in SIZEOF_TYPES:
+            size, align = SIZEOF_TYPES[t]
+        else:
+            layout_known = False
+            continue
+        if offset % align:
+            padding += align - (offset % align)
+            offset += align - (offset % align)
+        offset += size
+        max_align = max(max_align, align)
+    if layout_known and offset % max_align:
+        padding += max_align - (offset % max_align)
+    return StructLayout(name=scope.name, file=rel,
+                        line=line_of(stripped, scope.start),
+                        trivially_copyable=not nontrivial,
+                        padded=bool(layout_known and padding),
+                        layout_known=layout_known)
+
+
+MEMCPY_RE = re.compile(r"\b(?:std\s*::\s*)?memcpy\s*\(")
+SIZEOF_ARG_RE = re.compile(r"\bsizeof\s*\(\s*([\w:]+)\s*\)")
+REINTERPRET_RE = re.compile(
+    r"\breinterpret_cast\s*<\s*(?:const\s+)?([\w:]+)\s*\*?\s*>\s*\(")
+BYTE_SOURCE_RE = re.compile(
+    r"\.data\s*\(|->data\s*\(|\bbytes\b|\bbuf\b|\bbuffer\b|\bpayload\b|"
+    r"\bwire\b|\braw\b|unsigned char|uint8_t|\bptr\b")
+
+
+def collect_sites(fm, stripped):
+    for mm in MEMCPY_RE.finditer(stripped):
+        args = _call_args(stripped, mm.end() - 1)
+        tn = ""
+        sm = SIZEOF_ARG_RE.search(args)
+        if sm:
+            tn = sm.group(1).rsplit("::", 1)[-1]
+        fm.sites.append(RawSite(file=fm.rel,
+                                line=line_of(stripped, mm.start()),
+                                kind="memcpy", type_name=tn,
+                                byte_source=True,
+                                text=" ".join(args.split())[:120]))
+    for cm in REINTERPRET_RE.finditer(stripped):
+        args = _call_args(stripped, cm.end() - 1)
+        tn = cm.group(1).rsplit("::", 1)[-1]
+        fm.sites.append(RawSite(file=fm.rel,
+                                line=line_of(stripped, cm.start()),
+                                kind="reinterpret_cast", type_name=tn,
+                                byte_source=bool(BYTE_SOURCE_RE.search(args)),
+                                text=" ".join(args.split())[:120]))
+
+
+def _call_args(stripped, open_paren):
+    depth = 0
+    i = open_paren
+    while i < len(stripped):
+        if stripped[i] == "(":
+            depth += 1
+        elif stripped[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return stripped[open_paren + 1:i]
+        i += 1
+    return stripped[open_paren + 1:open_paren + 200]

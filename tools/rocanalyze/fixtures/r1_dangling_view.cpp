@@ -1,0 +1,31 @@
+// rocanalyze fixture: R1 buffer-lifetime violations.  This TU is never
+// compiled -- rocanalyze_test.py parses it and asserts that
+// r1-stored-view and r1-return-view fire (and nothing else does).
+#include <string>
+
+struct ConstBuffer {
+  ConstBuffer(const char* d, unsigned long n) : data(d), size(n) {}
+  const char* data;
+  unsigned long size;
+};
+
+// Bad: stores a borrowing view with no owning member alongside it.  The
+// bytes belong to whoever built the view; nothing here pins them.
+class BlockIndexEntry {
+ public:
+  void remember(ConstBuffer v) { view_ = v; }
+
+ private:
+  ConstBuffer view_;  // <- r1-stored-view
+  unsigned long block_id_ = 0;
+};
+
+// Bad: returns a view over a function-local string; the storage dies at
+// the closing brace.
+class FrameCodec {
+ public:
+  ConstBuffer encode(int value) {
+    std::string scratch = std::to_string(value);
+    return ConstBuffer(scratch.data(), scratch.size());  // <- r1-return-view
+  }
+};

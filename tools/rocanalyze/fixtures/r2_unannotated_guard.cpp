@@ -1,0 +1,29 @@
+// rocanalyze fixture: R2 guard-completeness violations.  Never compiled;
+// rocanalyze_test.py asserts r2-unannotated and r2-unlocked-access fire.
+namespace roc {
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+}  // namespace roc
+
+class StatTable {
+ public:
+  void bump() {
+    roc::MutexLock lock(mu_);
+    hits_ += 1;  // <- r2-unannotated: written under mu_, no ROC_GUARDED_BY
+  }
+  unsigned long peek() const {
+    return total_;  // <- r2-unlocked-access: guarded, accessed lock-free
+  }
+
+ private:
+  roc::Mutex mu_;
+  unsigned long hits_ = 0;
+  unsigned long total_ ROC_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,31 @@
+// rocanalyze fixture: R3 hook-coverage violations.  Never compiled;
+// rocanalyze_test.py asserts r3-missing-hook and r3-unregistered-sibling
+// fire.
+#include <deque>
+
+namespace roc {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+}  // namespace roc
+
+class SnapshotQueue {
+ public:
+  void push(int job) {
+    roc::MutexLock lock(mu_);
+    ROC_CHECK_SHARED_WRITE(&jobs_, "fixture.jobs");
+    jobs_.push_back(job);
+  }
+  bool idle() {
+    roc::MutexLock lock(mu_);
+    return jobs_.empty();  // <- r3-missing-hook: registered cell, no hook
+  }
+
+ private:
+  roc::Mutex mu_;
+  std::deque<int> jobs_ ROC_GUARDED_BY(mu_);
+  // Same capability as the registered cell, never registered itself:
+  unsigned long dropped_ ROC_GUARDED_BY(mu_) = 0;  // <- r3-unregistered-sibling
+};

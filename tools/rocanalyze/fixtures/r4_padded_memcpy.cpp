@@ -1,0 +1,20 @@
+// rocanalyze fixture: R4 wire-format hygiene violations.  Never compiled;
+// rocanalyze_test.py asserts r4-memcpy-struct and r4-cast-serialize fire.
+#include <cstring>
+
+// 1-byte tag followed by an 8-byte offset: seven padding bytes in the
+// middle and four at the tail.  Byte-copying this is not a wire format.
+struct PackedHeader {
+  unsigned char tag;
+  unsigned long long offset;
+  unsigned int length;
+};
+
+unsigned long encode_header(const PackedHeader& h, unsigned char* wire) {
+  std::memcpy(wire, &h, sizeof(PackedHeader));  // <- r4-memcpy-struct
+  return sizeof(PackedHeader);
+}
+
+const PackedHeader* decode_header(const unsigned char* bytes) {
+  return reinterpret_cast<const PackedHeader*>(bytes);  // <- r4-cast-serialize
+}

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/rocanalyze.
+
+Each rule family is exercised against its planted-violation fixture in
+tools/rocanalyze/fixtures/ (every expected rule id must fire, and nothing
+else), the real tree must analyze clean, and the baseline / suppression /
+graceful-skip mechanics are covered.  Run directly or via ctest
+(`rocanalyze_selftest`).
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+DRIVER = os.path.join(HERE, "rocanalyze.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+EXPECTED = {
+    "r1_dangling_view.cpp": {"r1-stored-view", "r1-return-view"},
+    "r2_unannotated_guard.cpp": {"r2-unannotated", "r2-unlocked-access"},
+    "r3_hookless_shared.cpp": {"r3-missing-hook", "r3-unregistered-sibling"},
+    "r4_padded_memcpy.cpp": {"r4-memcpy-struct", "r4-cast-serialize"},
+}
+
+
+def run_driver(*args):
+    proc = subprocess.run(
+        [sys.executable, DRIVER, *args],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def analyze(paths, *extra):
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tf:
+        out = tf.name
+    try:
+        rc, stdout, stderr = run_driver(
+            "--root", ROOT, "--engine", "lexical", "--no-baseline", "-q",
+            "--out", out, "--paths", *paths, *extra)
+        with open(out, encoding="utf-8") as fh:
+            findings = json.load(fh)["findings"]
+    finally:
+        os.unlink(out)
+    return rc, findings, stdout, stderr
+
+
+class TestFixtures(unittest.TestCase):
+    """Every planted violation is caught, with the right rule id, and the
+    fixtures contain no accidental extra violations."""
+
+    def test_each_fixture_yields_exactly_its_rules(self):
+        for name, want in EXPECTED.items():
+            with self.subTest(fixture=name):
+                rc, findings, _, _ = analyze(
+                    [os.path.join(FIXTURES, name)])
+                self.assertEqual(rc, 1, f"{name} should fail the run")
+                self.assertEqual({f["rule"] for f in findings}, want)
+
+    def test_findings_carry_location_and_fingerprint(self):
+        _, findings, _, _ = analyze(
+            [os.path.join(FIXTURES, "r4_padded_memcpy.cpp")])
+        for f in findings:
+            self.assertTrue(f["file"].endswith("r4_padded_memcpy.cpp"))
+            self.assertGreater(f["line"], 0)
+            self.assertRegex(f["fingerprint"], r"^[0-9a-f]{16}$")
+
+    def test_rule_selection(self):
+        rc, findings, _, _ = analyze(
+            [os.path.join(FIXTURES, "r2_unannotated_guard.cpp")],
+            "--rules", "r2-unlocked-access")
+        self.assertEqual({f["rule"] for f in findings},
+                         {"r2-unlocked-access"})
+        self.assertEqual(rc, 1)
+
+
+class TestSuppression(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.mkdtemp(prefix="rocanalyze_test_")
+        self.addCleanup(shutil.rmtree, self.dir, ignore_errors=True)
+
+    def read_fixture(self, name):
+        with open(os.path.join(FIXTURES, name), encoding="utf-8") as fh:
+            return fh.read()
+
+    def test_inline_allow_silences_named_rule_only(self):
+        src = self.read_fixture("r4_padded_memcpy.cpp")
+        src = src.replace(
+            "  std::memcpy(",
+            "  // ROCANALYZE-ALLOW(r4-memcpy-struct): fixture self-test\n"
+            "  std::memcpy(")
+        path = os.path.join(self.dir, "allowed.cpp")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(src)
+        rc, findings, _, _ = analyze([path])
+        self.assertEqual({f["rule"] for f in findings},
+                         {"r4-cast-serialize"})
+        self.assertEqual(rc, 1)
+
+    def test_fingerprints_survive_line_drift(self):
+        src = self.read_fixture("r1_dangling_view.cpp")
+        a = os.path.join(self.dir, "fixture.cpp")
+        with open(a, "w", encoding="utf-8") as fh:
+            fh.write(src)
+        _, before, _, _ = analyze([a])
+        with open(a, "w", encoding="utf-8") as fh:
+            fh.write("\n\n// shifted by a header comment\n\n" + src)
+        _, after, _, _ = analyze([a])
+        self.assertEqual({f["fingerprint"] for f in before},
+                         {f["fingerprint"] for f in after})
+        self.assertNotEqual([f["line"] for f in before],
+                            [f["line"] for f in after])
+
+
+class TestBaselineFlow(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.mkdtemp(prefix="rocanalyze_test_")
+        self.addCleanup(shutil.rmtree, self.dir, ignore_errors=True)
+        self.baseline = os.path.join(self.dir, "baseline.json")
+        self.fixture = os.path.join(FIXTURES, "r3_hookless_shared.cpp")
+
+    def drive(self, *extra):
+        return run_driver("--root", ROOT, "--engine", "lexical",
+                          "--baseline", self.baseline,
+                          "--paths", self.fixture, *extra)
+
+    def test_update_then_rerun_is_clean_and_strict_wants_justification(self):
+        rc, _, _ = self.drive("--update-baseline")
+        self.assertEqual(rc, 0)
+        rc, _, _ = self.drive()
+        self.assertEqual(rc, 0, "baselined findings must not fail the run")
+        rc, out, _ = self.drive("--strict")
+        self.assertEqual(rc, 1, "--strict rejects unjustified entries")
+        self.assertIn("justification", out)
+        with open(self.baseline, encoding="utf-8") as fh:
+            data = json.load(fh)
+        for e in data["findings"]:
+            e["justification"] = "fixture: accepted for the self-test"
+        with open(self.baseline, "w", encoding="utf-8") as fh:
+            json.dump(data, fh)
+        rc, _, _ = self.drive("--strict")
+        self.assertEqual(rc, 0)
+
+    def test_strict_flags_stale_entries(self):
+        self.drive("--update-baseline")
+        rc, out, _ = run_driver(
+            "--root", ROOT, "--engine", "lexical",
+            "--baseline", self.baseline, "--strict",
+            "--paths", os.path.join(FIXTURES, "r1_dangling_view.cpp"))
+        self.assertEqual(rc, 1)
+        self.assertIn("stale", out)
+
+
+class TestTreeAndEngines(unittest.TestCase):
+    def test_real_tree_is_clean_in_strict_mode(self):
+        rc, out, err = run_driver("--root", ROOT, "--strict")
+        self.assertEqual(rc, 0, f"tree not clean:\n{out}\n{err}")
+
+    def test_explicit_libclang_engine_skips_when_unavailable(self):
+        try:
+            import clang.cindex  # noqa: F401
+            import clang_engine
+            clang_engine.load_cindex()
+            have_libclang = True
+        except Exception:
+            have_libclang = False
+        if have_libclang:
+            self.skipTest("libclang present: skip path not reachable")
+        rc, out, _ = run_driver("--root", ROOT, "--engine", "libclang")
+        self.assertEqual(rc, 0)
+        self.assertIn("skipping", out)
+
+    def test_libclang_engine_matches_lexical_when_available(self):
+        try:
+            sys.path.insert(0, HERE)
+            import clang_engine
+            clang_engine.load_cindex()
+        except Exception:
+            self.skipTest("libclang not installed")
+        if not os.path.exists(
+                os.path.join(ROOT, "build", "compile_commands.json")):
+            self.skipTest("no compilation database")
+        rc_c, out_c, err_c = run_driver("--root", ROOT,
+                                        "--engine", "libclang", "--strict")
+        self.assertEqual(rc_c, 0,
+                         f"libclang engine diverged:\n{out_c}\n{err_c}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
