@@ -67,7 +67,14 @@ class Server {
         m_sync_requests_(metrics_.counter("server.sync_requests")),
         m_read_sessions_(metrics_.counter("server.read_sessions")),
         m_buffered_bytes_peak_(metrics_.gauge("server.buffered_bytes_peak")),
-        m_write_seconds_(metrics_.histogram("server.write_seconds")) {}
+        m_write_seconds_(metrics_.histogram("server.write_seconds")) {
+    // The async layer wraps the caller's filesystem and shares the server's
+    // metrics registry, so its counters land next to the server.* ones in
+    // the same export (and in the ServerStats view below).
+    if (opts_.async_io)
+      async_fs_ =
+          std::make_unique<vfs::AsyncFileSystem>(fs_, opts_.async, &metrics_);
+  }
 
   /// The returned struct is a view over the server's metrics registry,
   /// assembled once the serve loop exits.
@@ -82,6 +89,13 @@ class Server {
     s.files_created = m_files_created_.value();
     s.sync_requests = m_sync_requests_.value();
     s.read_sessions = m_read_sessions_.value();
+    if (async_fs_) {
+      const vfs::AsyncFileSystem::Stats a = async_fs_->stats();
+      s.async_submissions = a.submissions;
+      s.async_coalesced_writes = a.coalesced_writes;
+      s.async_stall_waits = a.stall_waits;
+      s.async_queue_depth_peak = a.queue_depth_peak;
+    }
     return s;
   }
 
@@ -273,15 +287,22 @@ class Server {
 
   // --- file writing --------------------------------------------------------
 
+  /// The filesystem the background writer runs on: the async backend when
+  /// enabled, the caller's filesystem otherwise.  Reads stay on fs_ — every
+  /// read path drains and closes the writer first, and closing the writer
+  /// settles the async file, so the base filesystem is coherent by then.
+  vfs::FileSystem& write_fs() { return async_fs_ ? *async_fs_ : fs_; }
+
   void ensure_writer(const std::string& path) {
     if (writer_ && open_path_ != path) close_writer();
     if (!writer_) {
       if (started_files_.insert(path).second) {
-        writer_ = std::make_unique<shdf::Writer>(fs_, path, opts_.directory);
+        writer_ =
+            std::make_unique<shdf::Writer>(write_fs(), path, opts_.directory);
         m_files_created_.increment();
       } else {
-        writer_ =
-            std::make_unique<shdf::Writer>(shdf::Writer::append(fs_, path));
+        writer_ = std::make_unique<shdf::Writer>(
+            shdf::Writer::append(write_fs(), path));
       }
       open_path_ = path;
     }
@@ -486,6 +507,8 @@ class Server {
   vfs::FileSystem& fs_;
   const Layout& layout_;
   ServerOptions opts_;
+  /// Set iff opts_.async_io: wraps fs_ for the background writer.
+  std::unique_ptr<vfs::AsyncFileSystem> async_fs_;
   int my_index_;
   std::vector<int> clients_;
 

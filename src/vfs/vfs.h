@@ -10,6 +10,7 @@
 ///     against a platform file-system model (benchmarks).
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <string>
@@ -40,10 +41,21 @@ class File {
   /// Gather write: writes every segment, in order, at the cursor as one
   /// logical operation.  Implementations may service it with a single
   /// vectored syscall (PosixFile uses ::writev) or one pre-sized append
-  /// (MemFile); the default falls back to a write() loop.
+  /// (MemFile); the default gathers into one pre-sized staging block and
+  /// issues a single write() — one copy, one backend operation, instead of
+  /// a per-segment write loop.
   virtual void writev(std::span<const ConstBuffer> segments) {
-    for (const ConstBuffer& s : segments)
-      if (s.size > 0) write(s.data, s.size);
+    size_t total = 0;
+    for (const ConstBuffer& s : segments) total += s.size;
+    if (total == 0) return;
+    std::vector<unsigned char> gathered(total);
+    unsigned char* out = gathered.data();
+    for (const ConstBuffer& s : segments) {
+      if (s.size == 0) continue;
+      std::memcpy(out, s.data, s.size);
+      out += s.size;
+    }
+    write(gathered.data(), total);
   }
 
   /// Reads exactly `n` bytes at the cursor, advancing it.
@@ -88,6 +100,10 @@ class PosixFileSystem final : public FileSystem {
   bool exists(const std::string& path) override;
   void remove(const std::string& path) override;
   std::vector<std::string> list(const std::string& prefix) override;
+
+  /// Root prefix ("" or ends with '/').  AsyncFileSystem uses it to open
+  /// raw descriptors on the same paths this instance serves.
+  [[nodiscard]] const std::string& root() const { return root_; }
 
  private:
   [[nodiscard]] std::string full(const std::string& path) const;

@@ -8,28 +8,44 @@
 #include <cstdio>
 #include <filesystem>
 #include "util/thread.h"
+#include "vfs/async.h"
 #include "vfs/vfs.h"
 
 namespace roc::vfs {
 namespace {
 
-/// Parameterized over both implementations: they must behave identically.
+/// Parameterized over every implementation — including the async decorator
+/// in its real-engine and sync-shim configurations: they must all behave
+/// identically through the File/FileSystem contract.
 class FileSystemTest : public ::testing::TestWithParam<const char*> {
  protected:
   void SetUp() override {
-    if (std::string(GetParam()) == "posix") {
+    const std::string param = GetParam();
+    if (param != "mem" && param != "async-mem") {
       root_ = std::filesystem::temp_directory_path() /
               ("rocpio_vfs_test_" + std::to_string(::getpid()));
-      fs_ = std::make_unique<PosixFileSystem>(root_.string());
+      base_ = std::make_unique<PosixFileSystem>(root_.string());
     } else {
-      fs_ = std::make_unique<MemFileSystem>();
+      base_ = std::make_unique<MemFileSystem>();
     }
+    if (param == "posix" || param == "mem") {
+      fs_ = std::move(base_);
+      return;
+    }
+    AsyncOptions opts;
+    if (param == "async-sync") opts.backend = AsyncBackend::kSync;
+    if (param == "async-threads") opts.backend = AsyncBackend::kThreadPool;
+    if (param == "async-uncoalesced") opts.coalesce_bytes = 0;
+    if (param == "async-direct") opts.direct_io = true;
+    fs_ = std::make_unique<AsyncFileSystem>(*base_, opts);
   }
   void TearDown() override {
     fs_.reset();
+    base_.reset();
     if (!root_.empty()) std::filesystem::remove_all(root_);
   }
 
+  std::unique_ptr<FileSystem> base_;  ///< wrapped base for async variants
   std::unique_ptr<FileSystem> fs_;
   std::filesystem::path root_;
 };
@@ -125,7 +141,10 @@ TEST_P(FileSystemTest, ZeroByteOperationsAreNoOps) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, FileSystemTest,
-                         ::testing::Values("posix", "mem"));
+                         ::testing::Values("posix", "mem", "async-auto",
+                                           "async-sync", "async-threads",
+                                           "async-uncoalesced", "async-direct",
+                                           "async-mem"));
 
 TEST(MemFileSystem, SharedStoreAcrossCopies) {
   MemFileSystem a;

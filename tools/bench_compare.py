@@ -9,7 +9,10 @@ Two comparison modes, chosen per file pair:
             legacy/optimized pair (marshal, ship, server-write): the
             legacy path's time divided by the optimized path's time.  A
             regression means the zero-copy pipeline lost its edge --
-            exactly what this repo must not silently do.
+            exactly what this repo must not silently do.  With emitter
+            files, `--mode pairs` compares EMITTER_PAIRS ratios instead
+            (e.g. bench_shdf_scaling's linear-vs-indexed edge, whose
+            absolute wall times are machine-dependent).
 
   absolute  For JsonEmitter output (bench_fig3a --smoke): the simulation
             substrate runs on virtual time, so metrics are deterministic
@@ -36,6 +39,19 @@ PAIRS = (
     ("BM_WireMarshalCopy", "BM_WireMarshalChain"),
     ("BM_BlockShipCopy", "BM_BlockShipZeroCopy"),
     ("BM_ServerWriteMaterialize", "BM_ServerWritePassThrough"),
+    # Raw-write band (async vfs backend); the suffix is the queue depth.
+    ("BM_RawWriteSync", "BM_RawWriteAsync"),
+    ("BM_RawWriteSync", "BM_RawWriteAsyncUncoalesced"),
+    ("BM_RawWriteBulkBuffered", "BM_RawWriteBulkDirect"),
+)
+
+# Emitter-file counterpart of PAIRS: (record name, param, legacy value,
+# optimized value).  The advantage ratio legacy/optimized is compared per
+# remaining-params + metric combination -- used with --mode pairs for
+# emitter benches whose absolute wall times are machine-dependent but
+# whose engine-vs-engine ratios are stable (bench_shdf_scaling).
+EMITTER_PAIRS = (
+    ("shdf_scaling", "engine", "linear", "indexed"),
 )
 
 HIGHER_IS_BETTER_UNITS = ("MB/s", "GB/s", "KB/s", "B/s", "ops/s", "items/s",
@@ -91,8 +107,23 @@ def pair_ratios(values):
     return ratios
 
 
-def compare_pairs(base, cand, threshold):
-    base_r, cand_r = pair_ratios(base), pair_ratios(cand)
+def emitter_pair_ratios(values):
+    """legacy_value / optimized_value per (record, params, metric) present."""
+    ratios = {}
+    for name, param, legacy, opt in EMITTER_PAIRS:
+        legacy_tag = f"{param}={legacy}"
+        for key, v in values.items():
+            if not key.startswith(name + "[") or legacy_tag not in key:
+                continue
+            peer = key.replace(legacy_tag, f"{param}={opt}")
+            if peer in values and values[peer] > 0:
+                ratios[f"{key} vs {param}={opt}"] = v / values[peer]
+    return ratios
+
+
+def compare_pairs(base, cand, threshold, kind="google-benchmark"):
+    make_ratios = emitter_pair_ratios if kind == "emitter" else pair_ratios
+    base_r, cand_r = make_ratios(base), make_ratios(cand)
     common = sorted(set(base_r) & set(cand_r))
     if not common:
         print("bench_compare: no comparable legacy/optimized pairs found",
@@ -161,7 +192,7 @@ def main(argv=None):
     print(f"bench_compare: {args.candidate} vs {args.baseline} "
           f"({mode}, threshold {args.threshold:.0%})")
     if mode == "pairs":
-        rc = compare_pairs(base, cand, args.threshold)
+        rc = compare_pairs(base, cand, args.threshold, base_kind)
     else:
         rc = compare_absolute(base, cand, base_units, args.threshold)
     print("bench_compare: " +

@@ -38,6 +38,11 @@ Enforces repo-wide correctness invariants that the compiler cannot:
                    allowlisted files that tools/rocanalyze verifies more
                    deeply (rule R1); this is the cheap lexical net for
                    machines without libclang.
+  raw-io           No raw POSIX write calls (::write/::pwrite/::writev
+                   and variants) outside src/vfs/ -- all file output must
+                   flow through the vfs layer so the async backend,
+                   telemetry spans and the sim substrate see it.  Reads
+                   stay legal (tools legitimately read /proc etc.).
   build-artifacts  No build artifacts tracked in git (build*/ trees,
                    object files, CMake/CTest droppings).
 
@@ -102,6 +107,18 @@ RAW_CLOCK_RE = re.compile(
     r"\bstd\s*::\s*chrono\s*::\s*"
     r"(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b"
 )
+
+# The vfs layer is the single sanctioned home of raw write syscalls; tests
+# may open raw descriptors to probe kernel features (O_DIRECT, io_uring)
+# but route actual writes through IoTarget/File implementations.
+RAW_IO_ALLOWLIST_DIRS = (
+    os.path.join("src", "vfs") + os.sep,
+)
+
+# A global-scope-qualified write call: `::write(`, `::pwrite64(`, ... but
+# not `obj::write(` (namespaced member) or `f->write(` (vfs::File).
+RAW_IO_RE = re.compile(
+    r"(?:^|[^:\w])::\s*(write|pwrite|pwrite64|writev|pwritev|pwritev2)\s*\(")
 
 BUILD_ARTIFACT_RES = [
     re.compile(r"^build[^/]*/"),
@@ -395,6 +412,28 @@ def check_view_member(root: str, path: str, text: str, stripped: str):
         i += 1
 
 
+# --- rule: raw-io -----------------------------------------------------------
+
+def check_raw_io(root: str, path: str, text: str, stripped: str):
+    rel = relpath(root, path)
+    if any(rel.startswith(d) for d in RAW_IO_ALLOWLIST_DIRS):
+        return
+    lines = stripped.splitlines()
+    raw_lines = text.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        m = RAW_IO_RE.search(line)
+        if not m:
+            continue
+        raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        if ALLOW_MARKER in raw:
+            continue
+        yield Violation(
+            "raw-io", rel, lineno,
+            f"raw ::{m.group(1)}() outside src/vfs/ -- write through the "
+            f"vfs layer (vfs::File / vfs::IoTarget) so the async backend, "
+            f"trace spans and the sim substrate see the bytes")
+
+
 # --- rule: build-artifacts --------------------------------------------------
 
 def check_build_artifacts(root: str):
@@ -425,6 +464,7 @@ FILE_RULES = {
     "catch-all": check_catch_all,
     "pragma-once": check_pragma_once,
     "view-member": check_view_member,
+    "raw-io": check_raw_io,
 }
 REPO_RULES = {
     "build-artifacts": check_build_artifacts,

@@ -276,6 +276,45 @@ class TestViewMember(LintTestCase):
         self.assertEqual(len(self.run_rules(["view-member"])), 1)
 
 
+class TestRawIo(LintTestCase):
+    def test_flags_raw_write_family(self):
+        self.write("src/rocpanda/leak.cpp", """
+            ::write(fd, buf, n);
+            ::pwrite(fd, buf, n, off);
+            ::pwritev2(fd, iov, 2, off, 0);
+        """)
+        v = self.run_rules(["raw-io"])
+        self.assertEqual(self.rules_hit(v), {"raw-io"})
+        self.assertEqual(len(v), 3)
+
+    def test_vfs_implementation_is_allowlisted(self):
+        self.write("src/vfs/async.cpp", "::pwrite(fd_, p, n, off);\n")
+        self.write("src/vfs/vfs.cpp", "::writev(fd_, iov, cnt);\n")
+        self.assertEqual(self.run_rules(["raw-io"]), [])
+
+    def test_methods_and_reads_stay_legal(self):
+        self.write("src/b.cpp", """
+            file.write(buf, n);
+            target->pwrite(buf, n, off);
+            ::pread(fd, buf, n, off);
+            ::read(fd, buf, n);
+        """)
+        self.assertEqual(self.run_rules(["raw-io"]), [])
+
+    def test_ignores_comments_and_strings(self):
+        self.write("src/c.cpp", """
+            // falls back to ::pwrite(fd, ...) on EINVAL
+            const char* s = "::write(fd, buf, n)";
+        """)
+        self.assertEqual(self.run_rules(["raw-io"]), [])
+
+    def test_explicit_allow_marker(self):
+        self.write(
+            "tests/d.cpp",
+            "::pwrite(fd, p, n, off);  // LINT-ALLOW(raw-io): ring fixture\n")
+        self.assertEqual(self.run_rules(["raw-io"]), [])
+
+
 class TestBuildArtifacts(LintTestCase):
     def git(self, *args):
         subprocess.run(
