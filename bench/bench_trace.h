@@ -26,12 +26,24 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/flight.h"
 #include "telemetry/timeline.h"
 #include "telemetry/trace.h"
 
 #include "bench_json.h"
 
 namespace bench {
+
+/// Per-run async-backend counters (the PR 7 vfs layer), folded into the
+/// snapshot_timeline records so Fig.-3 data carries the backend's story
+/// (how many submissions, how hard the ring pushed back) next to the
+/// perceived/hidden split.
+struct AsyncCounters {
+  uint64_t submissions = 0;
+  uint64_t coalesced_writes = 0;
+  uint64_t stall_waits = 0;
+  int64_t queue_depth_peak = 0;
+};
 
 /// Consumes `--trace <path>` from argc/argv (like JsonEmitter's `--json`).
 /// Construct before the first measured run; destroy (scope exit) to write
@@ -48,6 +60,11 @@ class TraceSession {
     }
     if (enabled()) {
       roc::telemetry::set_trace_enabled(true);
+      // Traced runs fly with the black box armed: crashes/stalls/require
+      // failures dump the last events of every thread next to the trace.
+      roc::telemetry::flight::set_enabled(true);
+      roc::telemetry::flight::set_dump_path("rocpio-flight.json");
+      roc::telemetry::flight::install_signal_handlers();
       // Drop anything recorded before the session (e.g. warmup runs).
       (void)roc::telemetry::collect_trace();
     }
@@ -59,6 +76,7 @@ class TraceSession {
   ~TraceSession() {
     if (!enabled()) return;
     roc::telemetry::set_trace_enabled(false);
+    roc::telemetry::flight::set_enabled(false);
     roc::telemetry::TraceWriter w(path_);
     for (auto& [label, trace] : batches_) w.add(label, std::move(trace));
     if (w.write())
@@ -74,7 +92,8 @@ class TraceSession {
   /// (schema above).  Call once per measured configuration, right after
   /// its run completes.
   std::vector<roc::telemetry::SnapshotTimeline> collect(
-      const std::string& label, JsonEmitter* json = nullptr) {
+      const std::string& label, JsonEmitter* json = nullptr,
+      const AsyncCounters* async = nullptr) {
     if (!enabled()) return {};
     roc::telemetry::Trace trace = roc::telemetry::collect_trace();
     if (trace.dropped > 0)
@@ -97,6 +116,16 @@ class TraceSession {
                      t.raw_write_s, "s");
         json->record("snapshot_timeline", params, "wall_time",
                      t.wall_s, "s");
+        if (async != nullptr) {
+          json->record("snapshot_timeline", params, "async_submissions",
+                       static_cast<double>(async->submissions), "count");
+          json->record("snapshot_timeline", params, "async_coalesced_writes",
+                       static_cast<double>(async->coalesced_writes), "count");
+          json->record("snapshot_timeline", params, "async_stall_waits",
+                       static_cast<double>(async->stall_waits), "count");
+          json->record("snapshot_timeline", params, "async_queue_depth_peak",
+                       static_cast<double>(async->queue_depth_peak), "count");
+        }
       }
     }
     batches_.emplace_back(label, std::move(trace));

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "telemetry/trace_context.h"
 #include "util/buffer.h"
 #include "util/error.h"
 
@@ -47,6 +48,12 @@ struct Message {
   int source = kAnySource;
   int tag = kAnyTag;
   SharedBuffer payload;
+  /// The sender's causal context at send time (null when the sender was
+  /// not inside a traced span).  Receivers that act on behalf of the
+  /// message adopt it with telemetry::ScopedTraceContext so their spans
+  /// stitch into the sender's trace.  POD and unconditionally present —
+  /// layout does not depend on the telemetry configuration.
+  telemetry::TraceContext ctx;
 };
 
 /// An ordered group of processes with point-to-point and collective

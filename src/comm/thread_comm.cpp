@@ -21,6 +21,8 @@ struct Envelope {
   int source;  ///< Sender's rank within the communicator `comm_id`.
   int tag;
   SharedBuffer payload;
+  /// Sender's causal context, delivered in Message::ctx (trace stitching).
+  telemetry::TraceContext ctx;
 #if defined(ROCPIO_CHECK)
   uint64_t check_token = 0;  ///< Carries the sender's clock to the receiver.
 #endif
@@ -77,6 +79,7 @@ void ThreadComm::send(int dest, int tag, SharedBuffer buf) {
   e.source = rank_;
   e.tag = tag;
   e.payload = std::move(buf);  // reference enqueue: no byte copy
+  e.ctx = telemetry::current_trace_context();
 #if defined(ROCPIO_CHECK)
   e.check_token = check::next_token();
   ROC_CHECKHOOK_(packet_send(e.check_token));
@@ -104,6 +107,7 @@ Message ThreadComm::recv(int source, int tag) {
       m.source = it->source;
       m.tag = it->tag;
       m.payload = std::move(it->payload);
+      m.ctx = it->ctx;
 #if defined(ROCPIO_CHECK)
       const uint64_t token = it->check_token;
       ROC_CHECKHOOK_(packet_recv(token));

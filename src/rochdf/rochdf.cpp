@@ -7,6 +7,7 @@
 #include "rocpanda/wire.h"
 #include "shdf/reader.h"
 #include "telemetry/trace.h"
+#include "telemetry/watchdog.h"
 #include "util/check_hooks.h"
 #include "util/log.h"
 
@@ -15,6 +16,12 @@ namespace roc::rochdf {
 using roccom::IoRequest;
 using roccom::Pane;
 using roccom::Roccom;
+
+namespace {
+/// Watchdog deadline for the T-Rochdf writer: a buffered snapshot job is
+/// expected to reach disk within this many seconds of the previous beat.
+constexpr double kWriterDeadlineSeconds = 30.0;
+}  // namespace
 
 Rochdf::Rochdf(comm::Comm& comm, comm::Env& env, vfs::FileSystem& fs,
                Options options)
@@ -77,8 +84,11 @@ void Rochdf::write_now(const std::string& path, const std::string& window,
 void Rochdf::write_job(const Job& job) {
   // The background half of T-Rochdf: everything here is I/O cost the
   // application thread never sees (unless it collides with the
-  // one-snapshot-in-flight wait).
+  // one-snapshot-in-flight wait).  Re-adopting the job's context makes
+  // this span a child of the perceived write that buffered it.
+  telemetry::ScopedTraceContext adopt(job.ctx);
   ROC_TRACE_SPAN_D("rochdf", "snapshot.background", job.base);
+  telemetry::watchdog::beat("rochdf.writer", kWriterDeadlineSeconds);
   const double t0 = telemetry::now();
   bool first;
   {
@@ -216,6 +226,7 @@ void Rochdf::write_attribute(Roccom& com, const IoRequest& req) {
   job.base = req.file;
   job.window = req.window;
   job.time = req.time;
+  job.ctx = telemetry::current_trace_context();
   job.blocks.reserve(panes.size());
   uint64_t bytes = 0;
   {

@@ -101,6 +101,9 @@ class Rochdf final : public roccom::IoService {
     std::string window;
     double time = 0;
     std::vector<SharedBuffer> blocks;  ///< Marshalled pane snapshots.
+    /// Requesting thread's causal context: the worker re-adopts it so the
+    /// background write stitches to the perceived write span.
+    telemetry::TraceContext ctx;
   };
 
   /// Synchronous write of one request into the per-process file

@@ -64,7 +64,9 @@ void RocpandaClient::shutdown() {
 
 void RocpandaClient::ship(const Job& job) {
   // Background in hierarchy mode: this is the cost the local buffer hides
-  // from the application thread.
+  // from the application thread.  Re-adopting the job's context makes this
+  // span a child of the perceived write that queued it (cross-thread edge).
+  telemetry::ScopedTraceContext adopt(job.ctx);
   ROC_TRACE_SPAN("client", "ship.background");
   world_.send(server_, kTagWriteBegin, job.header);
   for (const auto& bytes : job.blocks)
@@ -116,6 +118,11 @@ void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
   h.attribute = req.attribute;
   h.time = req.time;
   h.nblocks = static_cast<uint32_t>(panes.size());
+  // Stamp the perceived span's identity into the header: the server adopts
+  // it for every span this request triggers (zeros when untraced).
+  const telemetry::TraceContext trace_ctx = telemetry::current_trace_context();
+  h.trace_id = trace_ctx.trace_id;
+  h.span_id = trace_ctx.span_id;
   m_write_calls_.increment();
 
   if (worker_) {
@@ -124,6 +131,7 @@ void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
     // from the marshalling copy itself.
     Job job;
     job.header = h.serialize();
+    job.ctx = trace_ctx;
     job.blocks.reserve(panes.size());
     {
       ROC_TRACE_SPAN("client", "marshal");

@@ -98,6 +98,9 @@ class RocpandaClient final : public roccom::IoService {
     std::vector<unsigned char> header;  ///< WriteHeader bytes.
     std::vector<SharedBuffer> blocks;   ///< WireBlock bytes, pool-backed.
     uint64_t bytes = 0;
+    /// Requesting thread's causal context: the background worker re-adopts
+    /// it so ship-side spans stitch to the perceived write span.
+    telemetry::TraceContext ctx;
   };
 
   /// Ships one job to the server and waits for the buffering ack.

@@ -13,6 +13,7 @@
 #include "shdf/writer.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
+#include "telemetry/watchdog.h"
 #include "util/check_hooks.h"
 #include "util/log.h"
 #include "util/serialize.h"
@@ -28,6 +29,11 @@ std::string server_file(const std::string& prefix, const std::string& base,
 
 namespace {
 
+/// Watchdog deadline for the background writer: a buffered block is
+/// expected to reach disk within this many seconds of the previous beat
+/// (same clock domain as telemetry::now()).
+constexpr double kWriterDeadlineSeconds = 30.0;
+
 /// One buffered (not yet written) block.
 struct BufferedItem {
   std::string path;    ///< Server file the block belongs in.
@@ -35,6 +41,9 @@ struct BufferedItem {
   std::string window;
   double time;
   SharedBuffer wire_bytes;  ///< Serialized WireBlock, as received.
+  /// Causing client span (from the WriteHeader): re-adopted when the block
+  /// is finally written, which may be long after the buffering ack.
+  telemetry::TraceContext ctx;
   /// Parsed header view over wire_bytes (pass-through mode only); its
   /// payloads are written without reconstructing a MeshBlock.
   std::optional<WireBlockView> view;
@@ -67,6 +76,9 @@ class Server {
         m_sync_requests_(metrics_.counter("server.sync_requests")),
         m_read_sessions_(metrics_.counter("server.read_sessions")),
         m_buffered_bytes_peak_(metrics_.gauge("server.buffered_bytes_peak")),
+        m_async_stall_waits_(metrics_.gauge("server.async_stall_waits")),
+        m_async_queue_depth_peak_(
+            metrics_.gauge("server.async_queue_depth_peak")),
         m_write_seconds_(metrics_.histogram("server.write_seconds")) {
     // The async layer wraps the caller's filesystem and shares the server's
     // metrics registry, so its counters land next to the server.* ones in
@@ -95,6 +107,10 @@ class Server {
       s.async_coalesced_writes = a.coalesced_writes;
       s.async_stall_waits = a.stall_waits;
       s.async_queue_depth_peak = a.queue_depth_peak;
+      // Mirror the struct-only async view into registry gauges so it shows
+      // up in to_text/to_json snapshots alongside the server.* counters.
+      m_async_stall_waits_.set(static_cast<int64_t>(a.stall_waits));
+      m_async_queue_depth_peak_.set(a.queue_depth_peak);
     }
     return s;
   }
@@ -190,6 +206,9 @@ class Server {
           throw CommError("WriteBlock without WriteBegin from rank " +
                           std::to_string(st.source));
         WriteContext& ctx = it->second;
+        // Dispatch under the sender's context: buffering/overflow spans
+        // become children of the client's ship span (cross-thread edge).
+        telemetry::ScopedTraceContext adopt(msg.ctx);
         m_blocks_received_.increment();
         m_bytes_received_.add(msg.payload.size());
 
@@ -199,6 +218,8 @@ class Server {
         item.base = ctx.header.file;
         item.window = ctx.header.window;
         item.time = ctx.header.time;
+        item.ctx = telemetry::TraceContext{ctx.header.trace_id,
+                                           ctx.header.span_id};
         item.wire_bytes = std::move(msg.payload);
         // Parse the header up front: malformed blocks fail at receive time
         // in both modes, and the view is what write_item streams from.
@@ -251,6 +272,7 @@ class Server {
     // The buffer table is server-loop-private by design; the annotation
     // lets the checker prove that stays true across schedules.
     ROC_CHECK_SHARED_WRITE(&buffer_, "server.buffer");
+    ROC_TRACE_SPAN_D("server", "buffer", item.base);
     const uint64_t bytes = item.wire_bytes.size();
     // Graceful overflow: write the oldest buffered blocks until the new
     // one fits (paper §6.1).
@@ -320,7 +342,12 @@ class Server {
     // requests (active buffering) — and its visible cost when it runs
     // before the ack (write-through ablation); the timeline report tells
     // the two apart by overlap with the clients' perceived spans.
+    // Adopting the item's context links this span (however deferred) to
+    // the client write request that produced the block.
+    telemetry::ScopedTraceContext adopt(item.ctx);
     ROC_TRACE_SPAN_D("server", "snapshot.background", item.base);
+    telemetry::watchdog::beat("server.background_writer",
+                              kWriterDeadlineSeconds);
     const double t0 = telemetry::now();
     ensure_writer(item.path);
     if (item.view) {
@@ -333,6 +360,12 @@ class Server {
     }
     m_blocks_written_.increment();
     m_write_seconds_.observe(telemetry::now() - t0);
+    if (async_fs_) {
+      // Keep the mirrored gauges live during the run, not only at exit.
+      const vfs::AsyncFileSystem::Stats a = async_fs_->stats();
+      m_async_stall_waits_.set(static_cast<int64_t>(a.stall_waits));
+      m_async_queue_depth_peak_.set(a.queue_depth_peak);
+    }
   }
 
   // --- restart (collective read) -------------------------------------------
@@ -533,6 +566,8 @@ class Server {
   telemetry::Counter& m_sync_requests_;
   telemetry::Counter& m_read_sessions_;
   telemetry::Gauge& m_buffered_bytes_peak_;
+  telemetry::Gauge& m_async_stall_waits_;
+  telemetry::Gauge& m_async_queue_depth_peak_;
   telemetry::Histogram& m_write_seconds_;
 };
 

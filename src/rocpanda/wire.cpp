@@ -12,6 +12,8 @@ std::vector<unsigned char> WriteHeader::serialize() const {
   w.put_string(attribute);
   w.put<double>(time);
   w.put<uint32_t>(nblocks);
+  w.put<uint64_t>(trace_id);
+  w.put<uint64_t>(span_id);
   return w.take();
 }
 
@@ -23,6 +25,8 @@ WriteHeader WriteHeader::deserialize(const std::vector<unsigned char>& bytes) {
   h.attribute = r.get_string();
   h.time = r.get<double>();
   h.nblocks = r.get<uint32_t>();
+  h.trace_id = r.get<uint64_t>();
+  h.span_id = r.get<uint64_t>();
   return h;
 }
 

@@ -38,12 +38,20 @@ inline constexpr int kTagListAck = 110;     ///< server -> client, i32 ids
 inline constexpr int kTagShutdown = 111;    ///< client -> server, empty
 
 /// Header announcing one collective write request from one client.
+///
+/// Carries the client's causal trace context (trace.h): the server adopts
+/// it for every span triggered by this request — including background
+/// writes performed long after the ack — so traced runs stitch the
+/// server-side work to the client span that caused it.  Zero ids mean
+/// "untraced"; the fields always travel (fixed cost: 16 bytes).
 struct WriteHeader {
   std::string file;       ///< Snapshot basename.
   std::string window;
   std::string attribute;  ///< "all" | "mesh" | field name.
   double time = 0;
   uint32_t nblocks = 0;   ///< WriteBlock messages that follow.
+  uint64_t trace_id = 0;  ///< Client trace id (0 = untraced).
+  uint64_t span_id = 0;   ///< Client span the request belongs to.
 
   [[nodiscard]] std::vector<unsigned char> serialize() const;
   static WriteHeader deserialize(const std::vector<unsigned char>& bytes);

@@ -83,6 +83,7 @@ void SimComm::send(int dest, int tag, SharedBuffer buf) {
   e.tag = tag;
   const size_t n = buf.size();
   e.payload = std::move(buf);
+  e.ctx = telemetry::current_trace_context();
 #if defined(ROCPIO_CHECK)
   e.check_token = check::next_token();
   ROC_CHECKHOOK_(packet_send(e.check_token));
@@ -106,6 +107,7 @@ comm::Message SimComm::recv(int source, int tag) {
       m.source = it->source;
       m.tag = it->tag;
       m.payload = std::move(it->payload);
+      m.ctx = it->ctx;
 #if defined(ROCPIO_CHECK)
       const uint64_t token = it->check_token;
       ROC_CHECKHOOK_(packet_recv(token));

@@ -1,0 +1,374 @@
+#include "telemetry/flight.h"
+
+#if !defined(ROCPIO_TELEMETRY_DISABLED)
+
+#include <cstddef>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "telemetry/clock.h"
+#include "telemetry/trace.h"
+#include "telemetry/trace_context.h"
+#include "util/error.h"
+
+namespace roc::telemetry::flight {
+
+namespace detail {
+std::atomic<bool> g_flight_enabled{false};
+}  // namespace detail
+
+namespace {
+
+// One event is a fixed run of 64-bit words so every store/load is a single
+// relaxed atomic op: ts bits, category ptr, name ptr, trace id, packed
+// kind+detail length, then the inline detail payload.
+constexpr std::size_t kDetailWords = 6;
+constexpr std::size_t kDetailBytes = kDetailWords * 8;  // 48
+constexpr std::size_t kWordsPerEvent = 5 + kDetailWords;
+constexpr std::size_t kNameWords = 4;  // 32-byte thread name
+constexpr int kMaxRings = 256;
+
+struct Ring {
+  std::atomic<std::uint64_t> head{0};  ///< events ever written
+  std::atomic<std::uint64_t> name[kNameWords] = {};
+  int tid = 0;
+  // Slots are only read up to head, so they need no initialization.
+  std::atomic<std::uint64_t> words[kFlightRingCapacity * kWordsPerEvent];
+};
+
+std::atomic<Ring*> g_rings[kMaxRings] = {};
+std::atomic<int> g_ring_count{0};
+std::atomic<std::uint64_t> g_total_events{0};
+
+// Fixed-size dump path: a signal handler must be able to read it without
+// allocation.  Length is published with release/acquire.
+char g_dump_path[512];
+std::atomic<std::size_t> g_dump_path_len{0};
+
+Ring* this_ring() {
+  static thread_local Ring* ring = [] {
+    const int idx = g_ring_count.fetch_add(1, std::memory_order_acq_rel);
+    if (idx >= kMaxRings) return static_cast<Ring*>(nullptr);
+    Ring* r = new Ring;  // leaked: a crash dump may outlive the thread
+    r->tid = idx + 1;
+    g_rings[idx].store(r, std::memory_order_release);
+    return r;
+  }();
+  return ring;
+}
+
+void pack_bytes(std::atomic<std::uint64_t>* words, std::size_t nwords,
+                const char* s, std::size_t len) {
+  for (std::size_t w = 0; w < nwords; ++w) {
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      const std::size_t i = w * 8 + b;
+      if (i < len) {
+        word |= static_cast<std::uint64_t>(
+                    static_cast<unsigned char>(s[i]))
+                << (b * 8);
+      }
+    }
+    words[w].store(word, std::memory_order_relaxed);
+  }
+}
+
+void unpack_bytes(const std::atomic<std::uint64_t>* words,
+                  std::size_t nwords, char* out) {
+  for (std::size_t w = 0; w < nwords; ++w) {
+    const std::uint64_t word = words[w].load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < 8; ++b) {
+      out[w * 8 + b] = static_cast<char>((word >> (b * 8)) & 0xff);
+    }
+  }
+  out[nwords * 8] = '\0';
+}
+
+std::size_t cstr_len(const char* s, std::size_t cap) {
+  std::size_t n = 0;
+  while (n < cap && s[n] != '\0') ++n;
+  return n;
+}
+
+/// Buffered fd writer built on raw write(2); everything below is
+/// async-signal-safe: no locks, no allocation, no stdio.
+struct FdWriter {
+  int fd;
+  char buf[512];
+  std::size_t n = 0;
+
+  explicit FdWriter(int f) : fd(f) {}
+
+  void flush() {
+    std::size_t off = 0;
+    while (off < n) {
+      // Flight dumps must work from a signal handler; the vfs layer (and
+      // its own spans) cannot be re-entered here.
+      const auto k =
+          ::write(fd, buf + off, n - off);  // LINT-ALLOW(raw-io): see above
+      if (k <= 0) break;
+      off += static_cast<std::size_t>(k);
+    }
+    n = 0;
+  }
+
+  void put_char(char c) {
+    if (n == sizeof buf) flush();
+    buf[n++] = c;
+  }
+
+  void put(const char* s) {
+    for (std::size_t i = 0; s[i] != '\0'; ++i) put_char(s[i]);
+  }
+
+  void put_u64(std::uint64_t v) {
+    char tmp[24];
+    std::size_t i = sizeof tmp;
+    do {
+      tmp[--i] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    for (; i < sizeof tmp; ++i) put_char(tmp[i]);
+  }
+
+  /// Emits a JSON string literal (quotes included).  Escapes to pure
+  /// ASCII so a truncated multi-byte sequence cannot corrupt the file.
+  void put_string(const char* s, std::size_t len) {
+    static const char* hex = "0123456789abcdef";
+    put_char('"');
+    for (std::size_t i = 0; i < len; ++i) {
+      const auto c = static_cast<unsigned char>(s[i]);
+      if (c == '"' || c == '\\') {
+        put_char('\\');
+        put_char(static_cast<char>(c));
+      } else if (c < 0x20 || c >= 0x7f) {
+        put_char('\\');
+        put_char('u');
+        put_char('0');
+        put_char('0');
+        put_char(hex[c >> 4]);
+        put_char(hex[c & 0xf]);
+      } else {
+        put_char(static_cast<char>(c));
+      }
+    }
+    put_char('"');
+  }
+};
+
+const char* kind_name(std::uint32_t kind) {
+  switch (static_cast<EventKind>(kind)) {
+    case EventKind::kSpanBegin: return "span_begin";
+    case EventKind::kSpanEnd: return "span_end";
+    case EventKind::kInstant: return "instant";
+    case EventKind::kError: return "error";
+    case EventKind::kWatchdog: return "watchdog";
+  }
+  return "unknown";
+}
+
+const char* dump_path_or_default() {
+  return g_dump_path_len.load(std::memory_order_acquire) > 0
+             ? g_dump_path
+             : "rocpio-flight.json";
+}
+
+void dump_one_ring(FdWriter& w, Ring& ring) {
+  char name[kNameWords * 8 + 1];
+  unpack_bytes(ring.name, kNameWords, name);
+  w.put("{\"tid\":");
+  w.put_u64(static_cast<std::uint64_t>(ring.tid));
+  w.put(",\"name\":");
+  w.put_string(name, cstr_len(name, sizeof name - 1));
+  const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+  const std::uint64_t count =
+      head < kFlightRingCapacity ? head : kFlightRingCapacity;
+  w.put(",\"dropped\":");
+  w.put_u64(head - count);
+  w.put(",\"events\":[");
+  for (std::uint64_t i = head - count; i < head; ++i) {
+    const std::atomic<std::uint64_t>* words =
+        &ring.words[(i % kFlightRingCapacity) * kWordsPerEvent];
+    const std::uint64_t ts_bits = words[0].load(std::memory_order_relaxed);
+    const auto cat = reinterpret_cast<const char*>(
+        static_cast<std::uintptr_t>(words[1].load(std::memory_order_relaxed)));
+    const auto name_ptr = reinterpret_cast<const char*>(
+        static_cast<std::uintptr_t>(words[2].load(std::memory_order_relaxed)));
+    const std::uint64_t trace_id = words[3].load(std::memory_order_relaxed);
+    const std::uint64_t packed = words[4].load(std::memory_order_relaxed);
+    const auto kind = static_cast<std::uint32_t>(packed & 0xffffffffu);
+    std::size_t detail_len = static_cast<std::size_t>(packed >> 32);
+    if (detail_len > kDetailBytes) detail_len = kDetailBytes;
+    char detail[kDetailBytes + 1];
+    unpack_bytes(words + 5, kDetailWords, detail);
+
+    double ts;
+    std::memcpy(&ts, &ts_bits, sizeof ts);
+    const std::uint64_t ts_us =
+        ts > 0.0 ? static_cast<std::uint64_t>(ts * 1e6) : 0;
+
+    if (i != head - count) w.put_char(',');
+    w.put("{\"kind\":\"");
+    w.put(kind_name(kind));
+    w.put("\",\"cat\":");
+    const char* c = cat != nullptr ? cat : "";
+    w.put_string(c, cstr_len(c, 128));
+    w.put(",\"name\":");
+    const char* nm = name_ptr != nullptr ? name_ptr : "";
+    w.put_string(nm, cstr_len(nm, 128));
+    w.put(",\"ts_us\":");
+    w.put_u64(ts_us);
+    w.put(",\"trace_id\":");
+    w.put_u64(trace_id);
+    if (detail_len > 0) {
+      w.put(",\"detail\":");
+      w.put_string(detail, detail_len);
+    }
+    w.put_char('}');
+  }
+  w.put("]}");
+}
+
+void require_observer(const char* message) {
+  if (!enabled()) return;
+  record(EventKind::kError, "require", "failure", telemetry::now(),
+         current_trace_context().trace_id, message);
+  // Auto-dump only when a destination was configured: require failures
+  // are routine on error paths and must not litter the working directory.
+  if (g_dump_path_len.load(std::memory_order_acquire) > 0) {
+    dump_now("require failure");
+  }
+}
+
+#if !defined(_WIN32)
+std::atomic<bool> g_handlers_installed{false};
+std::atomic<bool> g_crash_dumping{false};
+
+void crash_handler(int sig) {
+  if (!g_crash_dumping.exchange(true)) {
+    const int fd =
+        ::open(dump_path_or_default(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      dump_to_fd(fd, sig == SIGSEGV ? "signal: SIGSEGV" : "signal: SIGABRT");
+      ::close(fd);
+    }
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+#endif  // !_WIN32
+
+}  // namespace
+
+void set_enabled(bool on) {
+  if (on) {
+    telemetry::detail::install_log_mirror();
+    roc::detail::set_require_observer(&require_observer);
+  }
+  detail::g_flight_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_dump_path(const char* path) {
+  g_dump_path_len.store(0, std::memory_order_release);
+  if (path == nullptr) return;
+  std::size_t n = cstr_len(path, sizeof g_dump_path - 1);
+  std::memcpy(g_dump_path, path, n);
+  g_dump_path[n] = '\0';
+  g_dump_path_len.store(n, std::memory_order_release);
+}
+
+void record(EventKind kind, const char* category, const char* name,
+            double ts, std::uint64_t trace_id, const char* detail) {
+  if (!enabled()) return;
+  Ring* r = this_ring();
+  if (r == nullptr) return;  // more threads than ring slots: drop
+  const std::uint64_t seq = r->head.load(std::memory_order_relaxed);
+  std::atomic<std::uint64_t>* w =
+      &r->words[(seq % kFlightRingCapacity) * kWordsPerEvent];
+  std::uint64_t ts_bits;
+  std::memcpy(&ts_bits, &ts, sizeof ts_bits);
+  w[0].store(ts_bits, std::memory_order_relaxed);
+  w[1].store(static_cast<std::uint64_t>(
+                 reinterpret_cast<std::uintptr_t>(category)),
+             std::memory_order_relaxed);
+  w[2].store(
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(name)),
+      std::memory_order_relaxed);
+  w[3].store(trace_id, std::memory_order_relaxed);
+  const std::size_t detail_len =
+      detail != nullptr ? cstr_len(detail, kDetailBytes) : 0;
+  w[4].store(static_cast<std::uint64_t>(kind) |
+                 (static_cast<std::uint64_t>(detail_len) << 32),
+             std::memory_order_relaxed);
+  pack_bytes(w + 5, kDetailWords, detail != nullptr ? detail : "",
+             detail_len);
+  r->head.store(seq + 1, std::memory_order_release);
+  g_total_events.fetch_add(1, std::memory_order_relaxed);
+}
+
+void set_thread_name(const char* name) {
+  Ring* r = this_ring();
+  if (r == nullptr || name == nullptr) return;
+  pack_bytes(r->name, kNameWords, name,
+             cstr_len(name, kNameWords * 8 - 1));
+}
+
+void dump_to_fd(int fd, const char* reason) {
+  FdWriter w(fd);
+  w.put("{\"flight_recorder\":true,\"reason\":");
+  const char* r = reason != nullptr ? reason : "";
+  w.put_string(r, cstr_len(r, 256));
+  w.put(",\"threads\":[");
+  int count = g_ring_count.load(std::memory_order_acquire);
+  if (count > kMaxRings) count = kMaxRings;
+  bool first = true;
+  for (int i = 0; i < count; ++i) {
+    Ring* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    if (!first) w.put_char(',');
+    first = false;
+    dump_one_ring(w, *ring);
+  }
+  w.put("]}");
+  w.flush();
+}
+
+bool dump_now(const char* reason, const char* path) {
+#if defined(_WIN32)
+  (void)reason;
+  (void)path;
+  return false;
+#else
+  const char* p = path != nullptr ? path : dump_path_or_default();
+  const int fd = ::open(p, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  dump_to_fd(fd, reason);
+  ::close(fd);
+  return true;
+#endif
+}
+
+void install_signal_handlers() {
+#if !defined(_WIN32)
+  if (g_handlers_installed.exchange(true)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = &crash_handler;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGSEGV, &sa, nullptr);
+  sigaction(SIGABRT, &sa, nullptr);
+#endif
+}
+
+std::uint64_t events_recorded() {
+  return g_total_events.load(std::memory_order_relaxed);
+}
+
+}  // namespace roc::telemetry::flight
+
+#endif  // !ROCPIO_TELEMETRY_DISABLED

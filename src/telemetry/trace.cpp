@@ -5,6 +5,7 @@
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 
 #include "util/log.h"
 #include "util/mutex.h"
@@ -57,11 +58,14 @@ struct RingBuffer {
 };
 
 /// Global list of all rings ever created.  shared_ptr keeps a ring alive
-/// after its thread exits until the next collect_trace().
+/// after its thread exits until the next collect_trace().  `epoch` bumps
+/// on reset_trace_identity_for_replay(): threads that cached a ring from
+/// an earlier epoch re-register, so tid numbering restarts deterministically.
 struct BufferList {
   Mutex mu{"trace_buffers"};
   std::vector<std::shared_ptr<RingBuffer>> buffers ROC_GUARDED_BY(mu);
   int next_tid ROC_GUARDED_BY(mu) = 1;
+  std::atomic<std::uint64_t> epoch{0};
 };
 
 BufferList& buffer_list() {
@@ -70,23 +74,31 @@ BufferList& buffer_list() {
 }
 
 RingBuffer& this_thread_buffer() {
-  static thread_local std::shared_ptr<RingBuffer> buffer = [] {
+  thread_local std::shared_ptr<RingBuffer> buffer;
+  thread_local std::uint64_t epoch = ~std::uint64_t{0};
+  BufferList& list = buffer_list();
+  const std::uint64_t current = list.epoch.load(std::memory_order_acquire);
+  if (buffer == nullptr || epoch != current) {
     auto b = std::make_shared<RingBuffer>();
-    BufferList& list = buffer_list();
     MutexLock lock(list.mu);
     b->tid = list.next_tid++;
     list.buffers.push_back(b);
-    return b;
-  }();
+    buffer = std::move(b);
+    epoch = current;
+  }
   return *buffer;
 }
 
-/// Mirrors error-level log lines into the trace as instant events so a
-/// timeline shows *when* things went wrong.  Registered once, checks the
-/// enable flag itself.
+/// Mirrors error-level log lines into the trace (instant event) and the
+/// flight recorder, so timelines and crash dumps show *when* things went
+/// wrong.  Registered once, checks the enable flags itself.
 void log_mirror(roc::LogLevel level, const std::string& msg) {
-  if (level == roc::LogLevel::kError && trace_enabled()) {
+  if (level != roc::LogLevel::kError) return;
+  if (trace_enabled()) {
     record_instant("log", "error", msg);
+  } else if (flight::enabled()) {
+    flight::record(flight::EventKind::kError, "log", "error", now(),
+                   current_trace_context().trace_id, msg.c_str());
   }
 }
 
@@ -115,18 +127,25 @@ std::string json_escape(std::string_view s) {
 
 }  // namespace
 
+namespace detail {
+
+void install_log_mirror() {
+  static const bool installed = [] {
+    roc::detail::set_log_mirror(&log_mirror);
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace detail
+
 void set_trace_enabled(bool on) {
-  if (on) {
-    static const bool mirror_installed = [] {
-      roc::detail::set_log_mirror(&log_mirror);
-      return true;
-    }();
-    (void)mirror_installed;
-  }
+  if (on) detail::install_log_mirror();
   detail::g_trace_enabled.store(on, std::memory_order_relaxed);
 }
 
 void set_thread_name(std::string name) {
+  flight::set_thread_name(name.c_str());
   RingBuffer& b = this_thread_buffer();
   MutexLock lock(b.mu);
   b.thread_name = std::move(name);
@@ -135,24 +154,47 @@ void set_thread_name(std::string name) {
 void record_span(const char* category, const char* name, double ts, double dur,
                  std::string detail) {
   if (!trace_enabled()) return;
+  const TraceContext ctx = current_trace_context();
+  record_span_ids(category, name, ts, dur, ctx.trace_id, alloc_span_id(),
+                  ctx.span_id, std::move(detail));
+}
+
+void record_span_ids(const char* category, const char* name, double ts,
+                     double dur, std::uint64_t trace_id, std::uint64_t span_id,
+                     std::uint64_t parent_id, std::string detail) {
+  if (!trace_enabled()) return;
   TraceEvent ev;
   ev.category = category;
   ev.name = name;
   ev.detail = std::move(detail);
   ev.ts = ts;
   ev.dur = dur;
+  ev.trace_id = trace_id;
+  ev.span_id = span_id;
+  ev.parent_id = parent_id;
   this_thread_buffer().push(std::move(ev));
 }
 
 void record_instant(const char* category, const char* name,
                     std::string detail) {
-  if (!trace_enabled()) return;
+  const bool traced = trace_enabled();
+  const bool flown = flight::enabled();
+  if (!traced && !flown) return;
+  const double ts = now();
+  const TraceContext ctx = current_trace_context();
+  if (flown) {
+    flight::record(flight::EventKind::kInstant, category, name, ts,
+                   ctx.trace_id, detail.empty() ? nullptr : detail.c_str());
+  }
+  if (!traced) return;
   TraceEvent ev;
   ev.category = category;
   ev.name = name;
   ev.detail = std::move(detail);
-  ev.ts = now();
+  ev.ts = ts;
   ev.dur = -1.0;
+  ev.trace_id = ctx.trace_id;
+  ev.parent_id = ctx.span_id;
   this_thread_buffer().push(std::move(ev));
 }
 
@@ -162,6 +204,15 @@ Trace collect_trace() {
   MutexLock lock(list.mu);
   for (const auto& b : list.buffers) b->drain(out);
   return out;
+}
+
+void reset_trace_identity_for_replay() {
+  BufferList& list = buffer_list();
+  MutexLock lock(list.mu);
+  list.buffers.clear();  // uncollected events are intentionally dropped
+  list.next_tid = 1;
+  list.epoch.fetch_add(1, std::memory_order_release);
+  reset_trace_ids();
 }
 
 void write_chrome_trace(
@@ -186,6 +237,11 @@ void write_chrome_trace(
          << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
          << json_escape(tname) << "\"}}";
     }
+    // Index spans by id for flow-event (causal arrow) emission below.
+    std::unordered_map<std::uint64_t, const TraceEvent*> by_span;
+    for (const TraceEvent& ev : trace.events) {
+      if (ev.dur >= 0.0 && ev.span_id != 0) by_span[ev.span_id] = &ev;
+    }
     for (const TraceEvent& ev : trace.events) {
       comma();
       // Chrome tracing wants microseconds.
@@ -198,10 +254,58 @@ void write_chrome_trace(
       } else {
         os << ",\"ph\":\"i\",\"s\":\"t\"";
       }
-      if (!ev.detail.empty()) {
-        os << ",\"args\":{\"detail\":\"" << json_escape(ev.detail) << "\"}";
+      const bool has_args = !ev.detail.empty() || ev.trace_id != 0 ||
+                            ev.span_id != 0 || ev.parent_id != 0;
+      if (has_args) {
+        os << ",\"args\":{";
+        bool afirst = true;
+        const auto acomma = [&] {
+          if (!afirst) os << ',';
+          afirst = false;
+        };
+        if (!ev.detail.empty()) {
+          acomma();
+          os << "\"detail\":\"" << json_escape(ev.detail) << "\"";
+        }
+        if (ev.trace_id != 0) {
+          acomma();
+          os << "\"trace_id\":" << ev.trace_id;
+        }
+        if (ev.span_id != 0) {
+          acomma();
+          os << "\"span_id\":" << ev.span_id;
+        }
+        if (ev.parent_id != 0) {
+          acomma();
+          os << "\"parent_id\":" << ev.parent_id;
+        }
+        os << '}';
       }
       os << '}';
+    }
+    // Causal arrows: one flow start ("s") at the parent span and one flow
+    // finish ("f", binding to the enclosing slice) at the child, for every
+    // cross-thread parent->child edge.  Same-thread nesting needs no arrow.
+    for (const TraceEvent& ev : trace.events) {
+      if (ev.dur < 0.0 || ev.parent_id == 0) continue;
+      const auto it = by_span.find(ev.parent_id);
+      if (it == by_span.end()) continue;
+      const TraceEvent& parent = *it->second;
+      if (parent.tid == ev.tid) continue;
+      // The start timestamp is clamped into the parent span so viewers
+      // accept the pair (s.ts <= f.ts always holds: child.ts >= s.ts).
+      double s_ts = ev.ts;
+      if (s_ts < parent.ts) s_ts = parent.ts;
+      if (s_ts > parent.ts + parent.dur) s_ts = parent.ts + parent.dur;
+      comma();
+      os << "{\"ph\":\"s\",\"id\":" << ev.span_id << ",\"pid\":" << pid
+         << ",\"tid\":" << parent.tid << ",\"ts\":" << s_ts * 1e6
+         << ",\"cat\":\"flow\",\"name\":\"causal\"}";
+      comma();
+      os << "{\"ph\":\"f\",\"bp\":\"e\",\"id\":" << ev.span_id
+         << ",\"pid\":" << pid << ",\"tid\":" << ev.tid
+         << ",\"ts\":" << ev.ts * 1e6
+         << ",\"cat\":\"flow\",\"name\":\"causal\"}";
     }
   }
   os << "]}";

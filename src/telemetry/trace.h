@@ -11,7 +11,7 @@
 ///   }
 ///   ROC_TRACE_INSTANT("server", "spill");
 ///
-/// Tracing is globally off by default; every macro starts with one relaxed
+/// Tracing is globally off by default; every macro starts with a relaxed
 /// atomic load, so the disabled-at-runtime cost is a test-and-branch.
 /// Building with -DROCPIO_TELEMETRY=OFF compiles the macros away entirely
 /// (`ROCPIO_TELEMETRY_DISABLED`), which is the configuration the bench_micro
@@ -21,6 +21,17 @@
 /// *virtual* time when the simulator has installed its clock, so sim traces
 /// show the modelled overlap of client and I/O-server work, not host
 /// scheduling noise.
+///
+/// Causality.  Every open Span publishes itself as the calling thread's
+/// current TraceContext (trace_context.h); nested spans become its
+/// children automatically, and contexts carried across comm envelopes,
+/// wire headers and queued jobs (ScopedTraceContext on the receiving side)
+/// stitch client, server and vfs spans into one trace.  The Chrome output
+/// stamps args.trace_id/span_id/parent_id on each span and draws flow
+/// arrows (ph:"s"/"f") for every cross-thread parent->child edge, so a
+/// server-side background write is visibly linked to the client request
+/// that caused it.  Spans also feed the flight recorder (flight.h) when it
+/// is enabled.
 ///
 /// Span categories (see DESIGN.md "Telemetry"): "client", "server",
 /// "rochdf", "vfs", "sim", "log".  Span names that feed the per-snapshot
@@ -40,12 +51,17 @@
 #include <vector>
 
 #include "telemetry/clock.h"
+#include "telemetry/flight.h"
+#include "telemetry/trace_context.h"
 
 namespace roc::telemetry {
 
 /// One recorded event.  `category` / `name` must be string literals (or
 /// otherwise outlive collection); `detail` is an optional dynamic payload
-/// shown as args.detail in the trace viewer.
+/// shown as args.detail in the trace viewer.  trace_id groups the event
+/// into a causal chain (0 = unlinked); span_id / parent_id encode the
+/// chain's tree (parent_id references another event's span_id, possibly on
+/// a different thread).
 struct TraceEvent {
   const char* category = "";
   const char* name = "";
@@ -53,6 +69,9 @@ struct TraceEvent {
   double ts = 0.0;   ///< start, seconds on the telemetry clock
   double dur = -1.0; ///< seconds; < 0 marks an instant event
   int tid = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;   ///< 0 for instants
+  std::uint64_t parent_id = 0;
 };
 
 /// Everything collect_trace() drained: events from all threads (each
@@ -68,6 +87,10 @@ struct Trace {
 
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;
+/// Installs the shared log mirror that feeds kError lines into the trace
+/// ring and the flight recorder.  Idempotent; called by set_trace_enabled
+/// and flight::set_enabled.
+void install_log_mirror();
 }  // namespace detail
 
 /// Events per thread before the ring drops its oldest entries.
@@ -82,52 +105,97 @@ void set_trace_enabled(bool on);
 }
 
 /// Names the calling thread in trace output ("rank 3", "t-rochdf writer").
-/// Last call wins.
+/// Last call wins.  Also names the thread in flight-recorder dumps.
 void set_thread_name(std::string name);
 
 /// Records a completed span / an instant event on the calling thread's
-/// ring.  No-ops when tracing is disabled.
+/// ring.  No-ops when tracing is disabled.  Both stamp the calling
+/// thread's current TraceContext (the completed span becomes a child of
+/// the innermost open Span).
 void record_span(const char* category, const char* name, double ts, double dur,
                  std::string detail = {});
 void record_instant(const char* category, const char* name,
                     std::string detail = {});
 
+/// record_span with explicit causal ids (the Span destructor's path).
+void record_span_ids(const char* category, const char* name, double ts,
+                     double dur, std::uint64_t trace_id, std::uint64_t span_id,
+                     std::uint64_t parent_id, std::string detail = {});
+
 /// Drains every thread's ring buffer (including buffers of exited
 /// threads).  Events already collected are not returned again.
 [[nodiscard]] Trace collect_trace();
 
-/// RAII span: measures construction-to-destruction on the telemetry clock.
-/// Usually spelled via ROC_TRACE_SPAN.
+/// Restarts thread-id numbering, drops all (uncollected) ring buffers and
+/// resets the trace/span id counters.  Two runs with deterministic thread
+/// creation and event order (the sim substrate) then produce bit-identical
+/// serialized traces.  Call between replays, after collect_trace().
+void reset_trace_identity_for_replay();
+
+/// RAII span: measures construction-to-destruction on the telemetry clock,
+/// publishes itself as the thread's current TraceContext for the duration,
+/// and feeds the flight recorder when that is enabled.  Usually spelled
+/// via ROC_TRACE_SPAN.
 class Span {
  public:
   Span(const char* category, const char* name)
       : category_(category), name_(name) {
-    if (trace_enabled()) start_ = now();
+    open();
   }
   Span(const char* category, const char* name, std::string detail)
       : category_(category), name_(name), detail_(std::move(detail)) {
-    if (trace_enabled()) start_ = now();
+    open();
   }
   ~Span() {
-    if (start_ >= 0.0 && trace_enabled()) {
-      record_span(category_, name_, start_, now() - start_,
-                  std::move(detail_));
+    if (start_ < 0.0) return;
+    set_trace_context(parent_);
+    const double end = now();
+    if (flight::enabled()) {
+      flight::record(flight::EventKind::kSpanEnd, category_, name_, end,
+                     ctx_.trace_id,
+                     detail_.empty() ? nullptr : detail_.c_str());
+    }
+    if (trace_enabled()) {
+      record_span_ids(category_, name_, start_, end - start_, ctx_.trace_id,
+                      ctx_.span_id, parent_.span_id, std::move(detail_));
     }
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
+  void open() {
+    const bool traced = trace_enabled();
+    const bool flown = flight::enabled();
+    if (!traced && !flown) return;
+    start_ = now();
+    parent_ = current_trace_context();
+    ctx_.trace_id =
+        parent_.trace_id != 0 ? parent_.trace_id : alloc_trace_id();
+    ctx_.span_id = alloc_span_id();
+    set_trace_context(ctx_);
+    if (flown) {
+      flight::record(flight::EventKind::kSpanBegin, category_, name_, start_,
+                     ctx_.trace_id,
+                     detail_.empty() ? nullptr : detail_.c_str());
+    }
+  }
+
   const char* category_;
   const char* name_;
   std::string detail_;
-  double start_ = -1.0;  // < 0: tracing was off at construction
+  TraceContext parent_{};
+  TraceContext ctx_{};
+  double start_ = -1.0;  // < 0: recording was off at construction
 };
 
 /// Writes one or more labelled trace batches as a Chrome-tracing JSON
 /// object ({"traceEvents": [...]}; load in chrome://tracing or
 /// https://ui.perfetto.dev).  Each batch becomes one pid with the label as
-/// its process_name; timestamps convert to microseconds.
+/// its process_name; timestamps convert to microseconds.  Cross-thread
+/// parent->child span edges within a batch additionally emit flow events
+/// (ph:"s" at the parent, ph:"f" bp:"e" at the child) so the viewer draws
+/// causal arrows.
 void write_chrome_trace(std::ostream& os,
                         const std::vector<std::pair<std::string, Trace>>& batches);
 
@@ -172,23 +240,27 @@ class TraceWriter {
   }
 
 /// Span with a dynamic detail payload (e.g. the snapshot base name).  The
-/// detail expression is evaluated only while tracing is enabled.
-#define ROC_TRACE_SPAN_D(category, name, detail)                          \
-  ::roc::telemetry::Span ROC_TRACE_CONCAT_(roc_trace_span_, __LINE__) {   \
-    category, name,                                                       \
-        ::roc::telemetry::trace_enabled() ? std::string(detail)           \
-                                          : std::string()                 \
+/// detail expression is evaluated only while recording is enabled.
+#define ROC_TRACE_SPAN_D(category, name, detail)                           \
+  ::roc::telemetry::Span ROC_TRACE_CONCAT_(roc_trace_span_, __LINE__) {    \
+    category, name,                                                        \
+        (::roc::telemetry::trace_enabled() ||                              \
+         ::roc::telemetry::flight::enabled())                              \
+            ? std::string(detail)                                          \
+            : std::string()                                                \
   }
 
 #define ROC_TRACE_INSTANT(category, name)                 \
   do {                                                    \
-    if (::roc::telemetry::trace_enabled())                \
+    if (::roc::telemetry::trace_enabled() ||              \
+        ::roc::telemetry::flight::enabled())              \
       ::roc::telemetry::record_instant(category, name);   \
   } while (0)
 
 #define ROC_TRACE_INSTANT_D(category, name, detail)               \
   do {                                                            \
-    if (::roc::telemetry::trace_enabled())                        \
+    if (::roc::telemetry::trace_enabled() ||                      \
+        ::roc::telemetry::flight::enabled())                      \
       ::roc::telemetry::record_instant(category, name,            \
                                        std::string(detail));      \
   } while (0)

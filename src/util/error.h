@@ -6,6 +6,7 @@
 /// subclass so callers can discriminate failure domains without string
 /// matching.  Errors carry a human-readable message assembled at throw time.
 
+#include <atomic>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -58,6 +59,28 @@ class RegistryError : public Error {
 
 namespace detail {
 
+/// Observer invoked with the failure message just before require() throws
+/// (same lock-free fn-pointer pattern as the log mirror).  The flight
+/// recorder installs one so a failed precondition leaves a black-box dump
+/// even when the exception is swallowed upstream.
+using RequireObserver = void (*)(const char* message);
+
+inline std::atomic<RequireObserver>& require_observer_slot() {
+  static std::atomic<RequireObserver> observer{nullptr};
+  return observer;
+}
+
+inline void set_require_observer(RequireObserver observer) {
+  require_observer_slot().store(observer, std::memory_order_release);
+}
+
+inline void notify_require_failure(const char* message) {
+  if (RequireObserver obs =
+          require_observer_slot().load(std::memory_order_acquire)) {
+    obs(message);
+  }
+}
+
 inline void append_part(std::string& s, std::string_view part) { s += part; }
 inline void append_part(std::string& s, const char* part) { s += part; }
 inline void append_part(std::string& s, const std::string& part) {
@@ -76,6 +99,7 @@ template <typename... Parts>
 [[noreturn]] inline void require_fail(Parts&&... parts) {
   std::string msg;
   (append_part(msg, std::forward<Parts>(parts)), ...);
+  notify_require_failure(msg.c_str());
   throw InvalidArgument(msg);
 }
 
@@ -83,7 +107,9 @@ template <typename... Parts>
 template <typename F,
           typename = std::enable_if_t<std::is_invocable_v<F&>>>
 [[noreturn]] inline void require_fail(F&& message_fn) {
-  throw InvalidArgument(std::string(message_fn()));
+  std::string msg(message_fn());
+  notify_require_failure(msg.c_str());
+  throw InvalidArgument(std::move(msg));
 }
 
 }  // namespace detail

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "telemetry/trace.h"
+#include "telemetry/watchdog.h"
 #include "util/check_hooks.h"
 #include "util/error.h"
 #include "util/log.h"
@@ -72,6 +73,10 @@ bool uring_available() {
 // ---------------------------------------------------------------------------
 
 namespace {
+
+/// Watchdog deadline for async completions: once submissions are flowing,
+/// one is expected to complete within this many seconds of the last.
+constexpr double kReaperDeadlineSeconds = 30.0;
 
 /// Raw-descriptor target: one buffered fd (reads, unaligned tails,
 /// overwrites) plus an optional O_DIRECT fd for aligned bulk submissions.
@@ -303,6 +308,10 @@ class ThreadPoolEngine final : public AsyncEngine {
       }
       const int64_t r =
           job.target->pwrite(job.data, job.len, job.offset, job.direct);
+      // Each completion is one heartbeat: a wedged submission (hung disk,
+      // deadlocked target) surfaces as a watchdog miss instead of a silent
+      // stall behind the ring's backpressure.
+      telemetry::watchdog::beat("vfs.async.reaper", kReaperDeadlineSeconds);
       {
         MutexLock lock(mu_);
         cq_.push_back(Cqe{job.id, r});

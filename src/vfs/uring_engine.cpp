@@ -28,6 +28,7 @@
 #include <map>
 #include <utility>
 
+#include "telemetry/watchdog.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -276,6 +277,9 @@ class UringEngine final : public AsyncEngine {
       }
       cq_.push_back(Cqe{id, res});
       m_.completions.add(1);
+      // Same heartbeat contract as the thread-pool engine: harvested
+      // completions keep the async watchdog fed.
+      telemetry::watchdog::beat("vfs.async.reaper", 30.0);
       if (submitted_ > 0) --submitted_;
     }
     store_release(cq_head_, head);

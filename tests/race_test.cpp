@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <numeric>
 #include <string>
@@ -374,6 +375,51 @@ TEST(RaceTest, CompletionRingHammer) {
   for (int t = 0; t < kThreads; ++t)
     EXPECT_EQ(target.at(static_cast<size_t>(t) * kRounds * kChunk),
               static_cast<unsigned char>(t + 1));
+}
+
+/// Four threads write flight-recorder events (spans and raw records) while
+/// a dumper repeatedly serializes every ring and tracing stays off: the
+/// all-atomic rings promise that writers never block and that a reader
+/// overlapping a wrapping writer reads torn-but-individually-consistent
+/// words.  TSan holds the relaxed-atomic design to that.
+TEST(RaceTest, FlightRingHammer) {
+  namespace flight = telemetry::flight;
+  const std::string path =
+      testing::TempDir() + "/race_flight_hammer.json";
+  flight::set_enabled(true);
+  [[maybe_unused]] const std::uint64_t before = flight::events_recorded();
+
+  std::atomic<bool> done{false};
+  roc::Thread dumper([&] {
+    while (!done.load(std::memory_order_acquire))
+      (void)flight::dump_now("hammer", path.c_str());
+  });
+
+  std::vector<roc::Thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      flight::set_thread_name(("flight " + std::to_string(t)).c_str());
+      for (int i = 0; i < kRounds; ++i) {
+        // One begin/end pair per span plus one raw instant: 3 events.
+        telemetry::Span span("race", "flight.span");
+        flight::record(flight::EventKind::kInstant, "race", "flight.tick",
+                       telemetry::now(), 0,
+                       std::to_string(i).c_str());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  done.store(true, std::memory_order_release);
+  dumper.join();
+
+  flight::set_enabled(false);
+#if defined(ROCPIO_TELEMETRY_DISABLED)
+  EXPECT_EQ(flight::events_recorded(), 0u);
+#else
+  EXPECT_GE(flight::events_recorded() - before, 4u * 3u * kRounds);
+  EXPECT_TRUE(flight::dump_now("final", path.c_str()));
+#endif
+  std::remove(path.c_str());
 }
 
 TEST(RaceTest, LoggerHammer) {

@@ -26,11 +26,15 @@
 #include "sim/sim_fs.h"
 #include "sim/simulation.h"
 #include "telemetry/clock.h"
+#include "telemetry/flight.h"
 #include "telemetry/metrics.h"
 #include "telemetry/timeline.h"
 #include "telemetry/trace.h"
+#include "telemetry/watchdog.h"
+#include "util/error.h"
 #include "util/log.h"
 #include "util/log_capture.h"
+#include "util/thread.h"
 
 namespace roc::telemetry {
 namespace {
@@ -284,7 +288,7 @@ TEST(MetricsRegistry, SnapshotResetAndText) {
 
 TEST(MetricsRegistry, ToJsonIsStrictlyValid) {
   MetricsRegistry reg;
-  reg.counter("a \"quoted\"\\name").add(7);
+  reg.counter("a \"quoted\"\\name").add(7);  // LINT-ALLOW(metric-name)
   reg.gauge("g").set(-5);
   reg.histogram("h.seconds", {0.5, 1.5}).observe(2.0);
   const std::string json = reg.to_json();
@@ -413,8 +417,6 @@ TEST(TraceTest, WriterProducesLoadableFile) {
   std::remove(path.c_str());
 }
 
-// --- timeline ---------------------------------------------------------------
-
 TraceEvent span_event(const char* cat, const char* name, std::string detail,
                       double ts, double dur, int tid) {
   TraceEvent e;
@@ -426,6 +428,131 @@ TraceEvent span_event(const char* cat, const char* name, std::string detail,
   e.tid = tid;
   return e;
 }
+
+TEST(TraceTest, FlowEventsLinkCrossThreadParentChild) {
+  // Parent span on tid 1; one child on tid 2 (cross-thread: needs an
+  // arrow), one child on tid 1 (same-thread nesting: must NOT get one).
+  Trace t;
+  TraceEvent parent = span_event("client", "snapshot.perceived", "s", 0.0,
+                                 4.0, 1);
+  parent.trace_id = 7;
+  parent.span_id = 100;
+  TraceEvent remote = span_event("server", "snapshot.background", "s", 1.0,
+                                 2.0, 2);
+  remote.trace_id = 7;
+  remote.span_id = 101;
+  remote.parent_id = 100;
+  TraceEvent local = span_event("client", "marshal", "", 0.5, 0.5, 1);
+  local.trace_id = 7;
+  local.span_id = 102;
+  local.parent_id = 100;
+  t.events.push_back(parent);
+  t.events.push_back(remote);
+  t.events.push_back(local);
+
+  std::ostringstream os;
+  write_chrome_trace(os, {{"flow", t}});
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+
+  const auto count = [&json](const std::string& needle) {
+    int n = 0;
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + 1))
+      ++n;
+    return n;
+  };
+  // Exactly one s/f pair, carrying the child's span id, at the right
+  // threads, binding to the enclosing slice.
+  EXPECT_EQ(count("\"ph\":\"s\""), 1);
+  EXPECT_EQ(count("\"ph\":\"f\""), 1);
+  EXPECT_NE(json.find("{\"ph\":\"s\",\"id\":101,\"pid\":1,\"tid\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"ph\":\"f\",\"bp\":\"e\",\"id\":101,\"pid\":1,"
+                      "\"tid\":2"),
+            std::string::npos);
+  EXPECT_EQ(count("\"cat\":\"flow\""), 2);
+  // The causal ids ride on the spans' args.
+  EXPECT_NE(json.find("\"trace_id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":101"), std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\":100"), std::string::npos);
+}
+
+TEST(TraceTest, FlowStartIsClampedIntoTheParentWindow) {
+  // A deferred child that starts AFTER its parent span closed: the flow
+  // start must be clamped to the parent's end so viewers accept the pair.
+  Trace t;
+  TraceEvent parent = span_event("client", "snapshot.perceived", "s", 0.0,
+                                 1.0, 1);
+  parent.trace_id = 9;
+  parent.span_id = 200;
+  TraceEvent child = span_event("server", "snapshot.background", "s", 5.0,
+                                1.0, 2);
+  child.trace_id = 9;
+  child.span_id = 201;
+  child.parent_id = 200;
+  t.events.push_back(parent);
+  t.events.push_back(child);
+
+  std::ostringstream os;
+  write_chrome_trace(os, {{"clamp", t}});
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  // s at the parent's end (1.0 s = 1e6 us), f at the child's start.
+  EXPECT_NE(json.find("{\"ph\":\"s\",\"id\":201,\"pid\":1,\"tid\":1,"
+                      "\"ts\":1e+06"),
+            std::string::npos)
+      << json;
+}
+
+/// Two identical sim-clock runs, with reset_trace_identity_for_replay()
+/// between them, must serialize to bit-identical Chrome traces: thread
+/// ids, trace/span ids and (virtual) timestamps all restart.
+TEST(TraceTest, SimReplaysSerializeBitIdentically) {
+#if defined(ROCPIO_TELEMETRY_DISABLED)
+  GTEST_SKIP() << "trace macros compiled out (ROCPIO_TELEMETRY=OFF)";
+#else
+  const auto one_replay = [] {
+    reset_trace_identity_for_replay();
+    ScopedTracing tracing;
+    sim::Platform p;
+    p.node.cpus = 2;
+    sim::Simulation sim(p);
+    auto fs = std::make_shared<sim::SimFileSystem>(sim);
+    auto world = std::make_shared<sim::SimWorld>(sim, 1);
+    sim.add_process([world, fs](sim::ProcContext& ctx) {
+      auto comm = world->attach();
+      sim::SimEnv env(ctx.sim());
+      roccom::Roccom com;
+      auto& w = com.create_window("fluid");
+      auto b = mesh::MeshBlock::structured(0, {8, 8, 8});
+      mesh::add_fluid_schema(b);
+      w.register_pane(b.id(), &b);
+
+      rochdf::Options o;
+      o.threaded = true;
+      rochdf::Rochdf io(*comm, env, *fs, o);
+      io.write_attribute(com, roccom::IoRequest{"fluid", "all", "rp", 0.0});
+      ctx.compute(5.0);
+      io.sync();
+    });
+    sim.run();
+    std::ostringstream os;
+    write_chrome_trace(os, {{"replay", collect_trace()}});
+    return os.str();
+  };
+
+  const std::string first = one_replay();
+  const std::string second = one_replay();
+  EXPECT_TRUE(JsonChecker::valid(first)) << first;
+  // Real causal content, not two empty runs.
+  EXPECT_NE(first.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(first.find("\"trace_id\""), std::string::npos);
+  EXPECT_EQ(first, second);
+#endif
+}
+
+// --- timeline ---------------------------------------------------------------
 
 TEST(Timeline, SyntheticArithmetic) {
   Trace t;
@@ -527,6 +654,197 @@ TEST(Timeline, TRochdfOnSimSatisfiesTheFig3Identity) {
   EXPECT_NEAR(s.perceived_s + s.hidden_s, s.wall_s, 0.05 * s.wall_s);
 #endif
 }
+
+// --- flight recorder --------------------------------------------------------
+
+#if !defined(ROCPIO_TELEMETRY_DISABLED)
+
+/// Enables the flight recorder for a scope; restores off + no dump path.
+struct ScopedFlight {
+  explicit ScopedFlight(const std::string& dump_path = {}) {
+    flight::set_dump_path(dump_path.empty() ? nullptr : dump_path.c_str());
+    flight::set_enabled(true);
+  }
+  ~ScopedFlight() {
+    flight::set_enabled(false);
+    flight::set_dump_path(nullptr);
+  }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(FlightRecorder, DumpIsSelfContainedValidJson) {
+  const std::string path = testing::TempDir() + "/flight_dump.json";
+  ScopedFlight flight_on;
+  flight::set_thread_name("dump test");
+  {
+    // Spans feed the recorder even with tracing itself disabled.
+    ASSERT_FALSE(trace_enabled());
+    Span s("test", "flight.span", "payload");
+  }
+  flight::record(flight::EventKind::kInstant, "test", "flight.instant",
+                 now(), 0, "detail \"quoted\"\\");
+  ASSERT_TRUE(flight::dump_now("on demand", path.c_str()));
+
+  const std::string json = slurp(path);
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("\"flight_recorder\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"on demand\""), std::string::npos);
+  EXPECT_NE(json.find("\"dump test\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_begin\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_end\""), std::string::npos);
+  EXPECT_NE(json.find("\"flight.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"flight.instant\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, RingOverflowKeepsTheNewestEvents) {
+  const std::string path = testing::TempDir() + "/flight_overflow.json";
+  ScopedFlight flight_on;
+  const std::uint64_t before = flight::events_recorded();
+  for (std::size_t i = 0; i < flight::kFlightRingCapacity + 10; ++i) {
+    flight::record(flight::EventKind::kInstant, "test", "overflow", now(), 0,
+                   std::to_string(i).c_str());
+  }
+  EXPECT_EQ(flight::events_recorded() - before,
+            flight::kFlightRingCapacity + 10);
+  ASSERT_TRUE(flight::dump_now("overflow", path.c_str()));
+  const std::string json = slurp(path);
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  // The newest event survived; this thread reports dropped events.
+  const std::string newest = std::to_string(flight::kFlightRingCapacity + 9);
+  EXPECT_NE(json.find("\"detail\":\"" + newest + "\""), std::string::npos);
+  EXPECT_EQ(json.find("\"dropped\":0,\"events\":[{\"kind\":\"instant\","
+                      "\"cat\":\"test\",\"name\":\"overflow\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, RequireFailureDumpsWhenPathConfigured) {
+  const std::string path = testing::TempDir() + "/flight_require.json";
+  std::remove(path.c_str());
+  ScopedFlight flight_on(path);
+  EXPECT_THROW(require(false, "planted telemetry-test failure"),
+               InvalidArgument);
+  const std::string json = slurp(path);
+  ASSERT_FALSE(json.empty()) << "require failure did not dump to " << path;
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("\"reason\":\"require failure\""), std::string::npos);
+  EXPECT_NE(json.find("planted telemetry-test failure"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, RequireFailureWithoutPathDoesNotDump) {
+  ScopedFlight flight_on;  // enabled, but no dump path configured
+  const std::uint64_t before = flight::events_recorded();
+  EXPECT_THROW(require(false, "quiet failure"), InvalidArgument);
+  // The failure still lands in the ring for a later crash dump...
+  EXPECT_GT(flight::events_recorded(), before);
+  // ...but no rocpio-flight.json appears in the working directory (the
+  // routine error-path case must not litter).  dump_now was not called, so
+  // nothing to clean up here -- the assertion is the absence of a throw-
+  // time side effect, covered by the configured-path test above.
+}
+
+TEST(FlightRecorder, DisabledRecordsNothing) {
+  ASSERT_FALSE(flight::enabled());
+  const std::uint64_t before = flight::events_recorded();
+  flight::record(flight::EventKind::kInstant, "test", "off", now(), 0,
+                 nullptr);
+  { Span s("test", "off"); }
+  EXPECT_EQ(flight::events_recorded(), before);
+}
+
+// --- watchdog ---------------------------------------------------------------
+
+TEST(Watchdog, MissedHeartbeatDumpsEveryThreadOnce) {
+  watchdog::reset_for_testing();
+  const std::string path = testing::TempDir() + "/flight_watchdog.json";
+  std::remove(path.c_str());
+  ScopedFlight flight_on(path);
+  ScopedLogCapture capture(LogLevel::kDebug);  // keep stderr quiet
+  FixedClock fixed(100.0);
+  ScopedClock scoped(&fixed);
+
+  // A second thread leaves its last words in the recorder; the stall dump
+  // must carry them even though the thread is long gone.
+  roc::Thread other([] {
+    flight::set_thread_name("bystander thread");
+    flight::record(flight::EventKind::kInstant, "test", "bystander.mark",
+                   now(), 0, nullptr);
+  });
+  other.join();
+
+  const std::uint64_t missed_before =
+      global().counter("telemetry.watchdog.missed").value();
+  watchdog::beat("test.stalled_worker", 5.0);
+  EXPECT_EQ(watchdog::poll(), 0);  // fresh beat: not overdue
+
+  fixed.t_ = 110.0;  // 10 s since the beat, deadline 5 s
+  EXPECT_EQ(watchdog::poll(), 1);
+  EXPECT_EQ(global().counter("telemetry.watchdog.missed").value(),
+            missed_before + 1);
+  EXPECT_DOUBLE_EQ(
+      global().gauge("telemetry.watchdog.test.stalled_worker.age_seconds")
+          .value(),
+      10);
+  EXPECT_DOUBLE_EQ(
+      global()
+          .gauge("telemetry.watchdog.test.stalled_worker.deadline_seconds")
+          .value(),
+      5);
+
+  const std::string json = slurp(path);
+  ASSERT_FALSE(json.empty()) << "watchdog stall did not dump to " << path;
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("watchdog stall: test.stalled_worker"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"watchdog\""), std::string::npos);
+  // Every thread's last events are in the dump, not just the poller's.
+  EXPECT_NE(json.find("\"bystander thread\""), std::string::npos);
+  EXPECT_NE(json.find("\"bystander.mark\""), std::string::npos);
+  EXPECT_TRUE(capture.contains("watchdog"));
+
+  // One alarm per stall: a second poll stays overdue but fires nothing.
+  std::remove(path.c_str());
+  EXPECT_EQ(watchdog::poll(), 1);
+  EXPECT_EQ(global().counter("telemetry.watchdog.missed").value(),
+            missed_before + 1);
+  EXPECT_TRUE(slurp(path).empty());
+
+  // Recovery rearms the alarm.
+  watchdog::beat("test.stalled_worker", 5.0);
+  EXPECT_EQ(watchdog::poll(), 0);
+  fixed.t_ = 130.0;
+  EXPECT_EQ(watchdog::poll(), 1);
+  EXPECT_EQ(global().counter("telemetry.watchdog.missed").value(),
+            missed_before + 2);
+  std::remove(path.c_str());
+  watchdog::reset_for_testing();
+}
+
+TEST(Watchdog, RetiredHeartbeatIsNotPolled) {
+  watchdog::reset_for_testing();
+  ScopedLogCapture capture(LogLevel::kDebug);
+  FixedClock fixed(100.0);
+  ScopedClock scoped(&fixed);
+  watchdog::beat("test.retiring_worker", 1.0);
+  EXPECT_EQ(watchdog::heartbeat_count(), 1u);
+  watchdog::retire("test.retiring_worker");
+  fixed.t_ = 200.0;
+  EXPECT_EQ(watchdog::poll(), 0);  // retired: a clean exit, not a stall
+  watchdog::beat("test.retiring_worker", 1.0);  // re-registering revives it
+  fixed.t_ = 300.0;
+  EXPECT_EQ(watchdog::poll(), 1);
+  watchdog::reset_for_testing();
+}
+
+#endif  // !ROCPIO_TELEMETRY_DISABLED
 
 // --- log satellites ---------------------------------------------------------
 

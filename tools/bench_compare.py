@@ -19,9 +19,17 @@ Two comparison modes, chosen per file pair:
             and can be gated directly, respecting each metric's
             direction (MB/s up is good, seconds down is good).
 
+With `--history HISTORY.jsonl` the candidate is additionally gated against
+the *trajectory*: the median of each key over the last `--history-window`
+recorded runs (one JSON object per line, appended by this tool).  The
+latest committed snapshot can be a lucky outlier in either direction; the
+rolling median is not.  A passing run is appended to the history file so
+committing it advances the trajectory with the PR.
+
 Usage:
   tools/bench_compare.py BASELINE.json CANDIDATE.json
       [--threshold 0.15] [--mode auto|pairs|absolute]
+      [--history BENCH_history.jsonl] [--history-window N]
 
 Exit status: 0 within threshold, 1 regression, 2 usage error.
 """
@@ -32,6 +40,7 @@ import argparse
 import json
 import statistics
 import sys
+from collections import defaultdict
 
 # (legacy benchmark, optimized benchmark) -- compared per size suffix.
 # The optimized side must stay within --threshold of its baseline edge.
@@ -167,6 +176,42 @@ def compare_absolute(base, cand, base_units, threshold):
     return 1 if failures else 0
 
 
+def load_history(path, window):
+    """Last `window` runs from a JSONL history file ([] when absent)."""
+    entries = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    print(f"bench_compare: {path}:{lineno}: {e}",
+                          file=sys.stderr)
+                    sys.exit(2)
+    except OSError:
+        return []
+    return entries[-window:]
+
+
+def trajectory(entries):
+    """Per-key median over the history entries (plus merged units)."""
+    acc, units = defaultdict(list), {}
+    for e in entries:
+        for k, v in e.get("values", {}).items():
+            acc[k].append(float(v))
+        units.update(e.get("units", {}))
+    return {k: statistics.median(v) for k, v in acc.items()}, units
+
+
+def append_history(path, kind, values, units):
+    entry = {"kind": kind, "values": values, "units": units}
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
@@ -177,10 +222,16 @@ def main(argv=None):
                     default="auto",
                     help="auto: pairs for Google Benchmark files, "
                          "absolute for emitter files")
+    ap.add_argument("--history", metavar="JSONL",
+                    help="also gate against the median of the last "
+                         "--history-window runs recorded in this file, and "
+                         "append the candidate on success")
+    ap.add_argument("--history-window", type=int, default=5,
+                    help="trajectory window (default 5 runs)")
     args = ap.parse_args(argv)
 
     base, base_units, base_kind = load(args.baseline)
-    cand, _cand_units, cand_kind = load(args.candidate)
+    cand, cand_units, cand_kind = load(args.candidate)
     if base_kind != cand_kind:
         print(f"bench_compare: schema mismatch ({base_kind} vs {cand_kind})",
               file=sys.stderr)
@@ -189,12 +240,33 @@ def main(argv=None):
     mode = args.mode
     if mode == "auto":
         mode = "pairs" if base_kind == "google-benchmark" else "absolute"
-    print(f"bench_compare: {args.candidate} vs {args.baseline} "
-          f"({mode}, threshold {args.threshold:.0%})")
-    if mode == "pairs":
-        rc = compare_pairs(base, cand, args.threshold, base_kind)
-    else:
-        rc = compare_absolute(base, cand, base_units, args.threshold)
+
+    def gate(ref, ref_units, label):
+        print(f"bench_compare: {args.candidate} vs {label} "
+              f"({mode}, threshold {args.threshold:.0%})")
+        if mode == "pairs":
+            return compare_pairs(ref, cand, args.threshold, base_kind)
+        return compare_absolute(ref, cand, ref_units, args.threshold)
+
+    rc = gate(base, base_units, args.baseline)
+
+    if args.history:
+        entries = load_history(args.history, args.history_window)
+        if entries:
+            traj, traj_units = trajectory(entries)
+            traj_rc = gate(traj, traj_units,
+                           f"{args.history} (median of last {len(entries)})")
+            # "Nothing compared" against a sparse history is not an error
+            # as long as the snapshot gate compared something.
+            if traj_rc == 1:
+                rc = max(rc, traj_rc)
+        else:
+            print(f"bench_compare: {args.history}: no history yet")
+        if rc == 0:
+            append_history(args.history, cand_kind, cand, cand_units)
+            print(f"bench_compare: appended run to {args.history} "
+                  f"(commit it to advance the trajectory)")
+
     print("bench_compare: " +
           ("ok" if rc == 0 else
            "REGRESSION beyond threshold" if rc == 1 else "nothing compared"))

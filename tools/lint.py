@@ -43,6 +43,16 @@ Enforces repo-wide correctness invariants that the compiler cannot:
                    flow through the vfs layer so the async backend,
                    telemetry spans and the sim substrate see it.  Reads
                    stay legal (tools legitimately read /proc etc.).
+  metric-name      Every metric/span name handed to the telemetry emit
+                   helpers (registry counter/gauge/histogram, the
+                   ROC_TRACE_* macros' category+name, watchdog::beat)
+                   must be a single string literal matching the
+                   lowercase dotted grammar
+                   `[a-z][a-z0-9_]*(.[a-z][a-z0-9_]*)*` -- ad-hoc or
+                   computed names fragment dashboards and break
+                   tools/trace_report.py's grouping.  Dynamic names
+                   need a `LINT-ALLOW(metric-name): <reason>` marker on
+                   the flagged line or the line directly above.
   build-artifacts  No build artifacts tracked in git (build*/ trees,
                    object files, CMake/CTest droppings).
 
@@ -434,6 +444,83 @@ def check_raw_io(root: str, path: str, text: str, stripped: str):
             f"trace spans and the sim substrate see the bytes")
 
 
+# --- rule: metric-name ------------------------------------------------------
+
+# Emit sites whose name argument(s) are checked: registry helpers (first
+# arg), trace macros (category and name), watchdog heartbeats (first arg).
+METRIC_EMIT_RE = re.compile(
+    r"(?:(?:\.|->)\s*(?P<reg>counter|gauge|histogram)"
+    r"|\b(?P<trace>ROC_TRACE_(?:SPAN_D|SPAN|INSTANT_D|INSTANT))"
+    r"|\bwatchdog\s*::\s*(?P<beat>beat))\s*\(")
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)*$")
+STRING_LITERAL_RE = re.compile(r'^"((?:[^"\\]|\\.)*)"$', re.S)
+
+# The macro definitions themselves pass their parameters through.
+METRIC_NAME_ALLOWLIST_FILES = {
+    os.path.join("src", "telemetry", "trace.h"),
+}
+
+
+def call_args(stripped: str, text: str, open_paren: int, max_args: int):
+    """First `max_args` top-level argument slices of the call whose `(` is
+    at `open_paren`, taken from the RAW text (string contents are blanked
+    in `stripped`, but its commas/parens are authoritative)."""
+    args, depth = [], 0
+    start = open_paren + 1
+    i, n = open_paren, len(stripped)
+    while i < n:
+        c = stripped[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append(text[start:i].strip())
+                return args[:max_args]
+        elif c == "," and depth == 1:
+            args.append(text[start:i].strip())
+            start = i + 1
+            if len(args) >= max_args:
+                return args
+        i += 1
+    return []
+
+
+def check_metric_name(root: str, path: str, text: str, stripped: str):
+    rel = relpath(root, path)
+    if rel in METRIC_NAME_ALLOWLIST_FILES:
+        return
+    raw_lines = text.splitlines()
+    for m in METRIC_EMIT_RE.finditer(stripped):
+        lineno = stripped.count("\n", 0, m.start()) + 1
+        raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+        if ALLOW_MARKER in raw or ALLOW_MARKER in prev:
+            continue
+        site = m.group("reg") or m.group("trace") or "watchdog::beat"
+        nargs = 2 if m.group("trace") else 1
+        args = call_args(stripped, text, m.end() - 1, nargs)
+        if len(args) < nargs:
+            # Unparseable (preprocessor definition, split across files).
+            continue
+        for arg in args:
+            lit = STRING_LITERAL_RE.match(arg)
+            if lit is None:
+                yield Violation(
+                    "metric-name", rel, lineno,
+                    f"{site}() name is not a single string literal -- "
+                    f"metric/span names must be compile-time constants so "
+                    f"dashboards and trace_report.py can group on them; "
+                    f"justify a dynamic name with "
+                    f"`// LINT-ALLOW(metric-name): <reason>`")
+            elif not METRIC_NAME_RE.match(lit.group(1)):
+                yield Violation(
+                    "metric-name", rel, lineno,
+                    f"{site}() name {lit.group(1)!r} -- must be a lowercase "
+                    f"dotted identifier "
+                    f"([a-z][a-z0-9_]*(.[a-z][a-z0-9_]*)*)")
+
+
 # --- rule: build-artifacts --------------------------------------------------
 
 def check_build_artifacts(root: str):
@@ -465,6 +552,7 @@ FILE_RULES = {
     "pragma-once": check_pragma_once,
     "view-member": check_view_member,
     "raw-io": check_raw_io,
+    "metric-name": check_metric_name,
 }
 REPO_RULES = {
     "build-artifacts": check_build_artifacts,

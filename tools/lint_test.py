@@ -315,6 +315,74 @@ class TestRawIo(LintTestCase):
         self.assertEqual(self.run_rules(["raw-io"]), [])
 
 
+class TestMetricName(LintTestCase):
+    def test_flags_bad_names_at_every_emit_site(self):
+        self.write("src/a.cpp", """
+            Counter& c = reg.counter("Server.Blocks");
+            Gauge& g = metrics_->gauge("server..depth");
+            Histogram& h = reg.histogram("server.write-seconds");
+            void f() {
+              ROC_TRACE_SPAN("Client", "ship");
+              ROC_TRACE_SPAN_D("client", "Ship.Background", detail);
+              telemetry::watchdog::beat("Server.Writer", 30.0);
+            }
+        """)
+        v = self.run_rules(["metric-name"])
+        self.assertEqual(self.rules_hit(v), {"metric-name"})
+        self.assertEqual(len(v), 6)
+
+    def test_lowercase_dotted_literals_are_clean(self):
+        self.write("src/a.cpp", """
+            Counter& c = reg.counter("server.blocks_received");
+            Gauge& g = metrics_->gauge("q");
+            Histogram& h = reg.histogram("server.write_seconds", {1.0});
+            void f() {
+              ROC_TRACE_SPAN("client", "ship.background");
+              ROC_TRACE_SPAN_D("server", "snapshot.background", item.base);
+              ROC_TRACE_INSTANT("server", "spill");
+              telemetry::watchdog::beat("vfs.async.reaper", 30.0);
+            }
+        """)
+        self.assertEqual(self.run_rules(["metric-name"]), [])
+
+    def test_flags_computed_names(self):
+        self.write("src/a.cpp",
+                   'Gauge& g = reg.gauge(prefix + ".age_seconds");\n')
+        v = self.run_rules(["metric-name"])
+        self.assertEqual(len(v), 1)
+        self.assertIn("not a single string literal", v[0].message)
+
+    def test_allow_marker_on_same_or_previous_line(self):
+        self.write("src/a.cpp", """
+            Gauge& g = reg.gauge(prefix);  // LINT-ALLOW(metric-name): dyn
+            // LINT-ALLOW(metric-name): assembled from a checked id
+            Gauge& h = reg.gauge(prefix + ".deadline_seconds");
+        """)
+        self.assertEqual(self.run_rules(["metric-name"]), [])
+
+    def test_multiline_call_is_parsed(self):
+        self.write("src/a.cpp", """
+            m_async_queue_depth_peak_(
+                metrics_.gauge(
+                    "Server.Async")),
+        """)
+        self.assertEqual(len(self.run_rules(["metric-name"])), 1)
+
+    def test_macro_definition_header_is_allowlisted(self):
+        self.write("src/telemetry/trace.h", """
+            #pragma once
+            #define ROC_TRACE_SPAN(category, name) ((void)0)
+        """)
+        self.assertEqual(self.run_rules(["metric-name"]), [])
+
+    def test_ignores_comments_and_strings(self):
+        self.write("src/b.cpp", """
+            // e.g. reg.counter("Bad.Name") would be rejected
+            const char* s = "reg.gauge(Ugly)";
+        """)
+        self.assertEqual(self.run_rules(["metric-name"]), [])
+
+
 class TestBuildArtifacts(LintTestCase):
     def git(self, *args):
         subprocess.run(
