@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <iterator>
 
 #include "check/explorer.h"
@@ -93,11 +95,14 @@ void Session::check_lock_order_locked(Tid t, const void* m, const char* name,
   stack.push_back(std::string(name != nullptr ? name : "?") +
                   " acquiring at " + site.str());
 
+  const std::string to_name = name != nullptr ? name : "?";
   for (const HeldLock& h : ts.held) {
     if (h.m == m) continue;  // recursive acquisition is the lockdebug
                              // checker's department
     auto [it, fresh] = edges_[h.m].try_emplace(m);
     if (fresh) it->second.stack = stack;
+    if (h.name != to_name)  // distinct objects sharing a name: not an order
+      named_edges_.try_emplace({h.name, to_name}, stack);
 
     // New edge h.m -> m: a path m ->* h.m would close a cycle.
     std::vector<const void*> path;  // locks visited m ... h.m
@@ -337,6 +342,71 @@ std::vector<Finding> Session::findings() const {
 bool Session::has_findings() const {
   std::lock_guard<std::mutex> g(mu_);  // LINT-ALLOW(raw-sync)
   return !findings_.empty();
+}
+
+namespace {
+
+void append_json_string(const std::string& s, std::string* out) {
+  *out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+void write_lock_order_json(const std::vector<LockOrderEdge>& edges,
+                           std::string* out) {
+  // Appended piecewise for the same GCC 12 -Wrestrict reason as report().
+  *out += "{\n";
+  *out += "  \"version\": 1,\n";
+  *out += "  \"kind\": \"runtime-lock-order-graph\",\n";
+  *out += "  \"edges\": [";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    *out += i == 0 ? "\n" : ",\n";
+    *out += "    {\"from\": ";
+    append_json_string(edges[i].from, out);
+    *out += ", \"to\": ";
+    append_json_string(edges[i].to, out);
+    *out += ", \"stack\": [";
+    for (size_t j = 0; j < edges[i].stack.size(); ++j) {
+      if (j != 0) *out += ", ";
+      append_json_string(edges[i].stack[j], out);
+    }
+    *out += "]}";
+  }
+  *out += "\n  ]\n}\n";
+}
+
+std::vector<LockOrderEdge> Session::lock_order_edges() const {
+  std::lock_guard<std::mutex> g(mu_);  // LINT-ALLOW(raw-sync)
+  std::vector<LockOrderEdge> out;
+  out.reserve(named_edges_.size());
+  for (const auto& [key, stack] : named_edges_)
+    out.push_back(LockOrderEdge{key.first, key.second, stack});
+  return out;  // map iteration order is already (from, to)-sorted
+}
+
+bool Session::dump_lock_order_json(const std::string& path) const {
+  std::string doc;
+  write_lock_order_json(lock_order_edges(), &doc);
+  std::ofstream f(path);
+  f << doc;
+  return static_cast<bool>(f);
 }
 
 std::string Session::report() const {

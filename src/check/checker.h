@@ -31,6 +31,7 @@
 #include <mutex>  // LINT-ALLOW(raw-sync): the checker cannot instrument itself
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/vector_clock.h"
@@ -57,6 +58,22 @@ struct Finding {
   std::string detail;
 };
 
+/// One observed lock-order edge, keyed by runtime lock NAMES (not object
+/// addresses): `from` was held while `to` was acquired, with the
+/// acquisition stack that first created the edge.  Name-keyed edges
+/// survive lock destruction and are comparable across seeds and with the
+/// static graph rocanalyze emits (`--lock-graph-out`).
+struct LockOrderEdge {
+  std::string from;
+  std::string to;
+  std::vector<std::string> stack;
+};
+
+/// Serializes edges as the runtime-lock-order-graph JSON document (the
+/// format `tools/check_lock_subset.py` consumes).
+void write_lock_order_json(const std::vector<LockOrderEdge>& edges,
+                           std::string* out);
+
 class Session final : public Hooks {
  public:
   Session();
@@ -78,6 +95,14 @@ class Session final : public Hooks {
   [[nodiscard]] bool has_findings() const;
   /// Deterministic plain-text report of every finding ("" when clean).
   [[nodiscard]] std::string report() const;
+
+  /// Every lock-order edge observed this session, sorted by (from, to).
+  /// Unlike the address-keyed cycle-detection graph, these accumulate for
+  /// the session's whole lifetime: destroying a lock erases its addresses
+  /// from the live graph but never un-observes an ordering.
+  [[nodiscard]] std::vector<LockOrderEdge> lock_order_edges() const;
+  /// Writes lock_order_edges() as JSON to `path`; false on I/O failure.
+  bool dump_lock_order_json(const std::string& path) const;
 
   // --- Hooks ---------------------------------------------------------------
   void lock_acquire(const void* m, const char* name, const char* file,
@@ -147,6 +172,11 @@ class Session final : public Hooks {
   std::map<const void*, Cell> cells_;
   std::map<const void*, std::map<const void*, Edge>> edges_;
   std::map<const void*, std::string> lock_names_;
+  /// Name-keyed shadow of edges_: (held name, acquired name) -> first
+  /// acquisition stack.  NOT pruned by lock_destroy (see
+  /// lock_order_edges()).
+  std::map<std::pair<std::string, std::string>, std::vector<std::string>>
+      named_edges_;
   std::set<std::string> seen_keys_;
   std::vector<Finding> findings_;
 };

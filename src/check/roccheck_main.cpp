@@ -2,7 +2,7 @@
 /// \brief Seed-sweep driver for the concurrency checker.
 ///
 ///   roccheck --scenario NAME --seeds N [--seed BASE] [--out DIR]
-///            [--expect-race] [--preempt P]
+///            [--expect-race] [--preempt P] [--lock-graph-out PATH]
 ///
 /// Runs NAME under seeds BASE..BASE+N-1, one fresh Session + Explorer per
 /// seed.  Any finding (or scenario failure) prints the seed that produced
@@ -17,8 +17,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "check/checker.h"
@@ -32,14 +34,40 @@ struct Args {
   uint64_t seeds = 1;
   uint64_t base_seed = 1;
   std::string out_dir;
+  std::string lock_graph_out;
   bool expect_race = false;
   double preempt = 0.125;
 };
 
+/// Lock-order edges merged across every seed of the sweep, keyed by
+/// runtime lock names (first witness stack wins).  Written as the
+/// runtime-lock-order-graph JSON that the rocanalyze subset check
+/// (tools/check_lock_subset.py) compares against the static graph.
+std::map<std::pair<std::string, std::string>,
+         std::vector<std::string>> g_merged_edges;
+
+void merge_edges(const roc::check::Session& session) {
+  for (auto& e : session.lock_order_edges())
+    g_merged_edges.try_emplace({e.from, e.to}, std::move(e.stack));
+}
+
+bool write_merged_graph(const std::string& path) {
+  std::vector<roc::check::LockOrderEdge> edges;
+  edges.reserve(g_merged_edges.size());
+  for (const auto& [key, stack] : g_merged_edges)
+    edges.push_back(roc::check::LockOrderEdge{key.first, key.second, stack});
+  std::string doc;
+  roc::check::write_lock_order_json(edges, &doc);
+  std::ofstream f(path);
+  f << doc;
+  return static_cast<bool>(f);
+}
+
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --scenario NAME --seeds N [--seed BASE] [--out DIR]"
-               " [--expect-race] [--preempt P]\n  scenarios:";
+               " [--expect-race] [--preempt P] [--lock-graph-out PATH]"
+               "\n  scenarios:";
   for (const auto& n : roc::check::scenario_names()) std::cerr << " " << n;
   std::cerr << "\n";
   std::exit(2);
@@ -61,6 +89,8 @@ Args parse(int argc, char** argv) {
       a.base_seed = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--out") {
       a.out_dir = value();
+    } else if (arg == "--lock-graph-out") {
+      a.lock_graph_out = value();
     } else if (arg == "--expect-race") {
       a.expect_race = true;
     } else if (arg == "--preempt") {
@@ -90,6 +120,7 @@ RunOutput run_one(const Args& a, uint64_t seed) {
   RunOutput out;
   out.error = roc::check::run_scenario(a.scenario, session, explorer).error;
   out.report = session.report();
+  if (!a.lock_graph_out.empty()) merge_edges(session);
   out.trace = explorer.trace_json();
   for (const auto& f : session.findings()) {
     if (f.kind == roc::check::Finding::Kind::kRace) out.found_race = true;
@@ -110,6 +141,21 @@ void dump(const Args& a, uint64_t seed, const RunOutput& out) {
 
 }  // namespace
 
+/// Flushes the merged runtime graph (when requested).  Called on every
+/// main() exit path so partial sweeps still leave an inspectable graph.
+int finish(const Args& a, int rc) {
+  if (!a.lock_graph_out.empty()) {
+    if (!write_merged_graph(a.lock_graph_out)) {
+      std::cerr << "roccheck: cannot write " << a.lock_graph_out << "\n";
+      return rc == 0 ? 2 : rc;
+    }
+    std::cout << "roccheck: runtime lock-order graph ("
+              << g_merged_edges.size() << " edges) written to "
+              << a.lock_graph_out << "\n";
+  }
+  return rc;
+}
+
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
 
@@ -121,7 +167,7 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       std::cerr << "roccheck: scenario=" << a.scenario << " seed=" << seed
                 << " crashed: " << e.what() << "\n";
-      return 2;
+      return finish(a, 2);
     }
 
     const bool findings = !out.report.empty();
@@ -132,7 +178,7 @@ int main(int argc, char** argv) {
                 << out.report
                 << "replay: roccheck --scenario " << a.scenario << " --seed "
                 << seed << " --seeds 1 --preempt " << a.preempt << "\n";
-      return 1;
+      return finish(a, 1);
     }
 
     if (findings && !a.expect_race) {
@@ -141,7 +187,7 @@ int main(int argc, char** argv) {
                 << out.report << "replay: roccheck --scenario " << a.scenario
                 << " --seed " << seed << " --seeds 1 --preempt " << a.preempt
                 << "\n";
-      return 1;
+      return finish(a, 1);
     }
 
     if (findings && a.expect_race && out.found_race) {
@@ -151,13 +197,13 @@ int main(int argc, char** argv) {
       if (replay.report != out.report || replay.trace != out.trace) {
         std::cerr << "roccheck: scenario=" << a.scenario << " seed=" << seed
                   << " REPLAY DIVERGED (nondeterministic schedule)\n";
-        return 1;
+        return finish(a, 1);
       }
       std::cout << "roccheck: scenario=" << a.scenario << " seed=" << seed
                 << " caught the planted race after " << (i + 1)
                 << " seed(s); replay deterministic\n"
                 << out.report;
-      return 0;
+      return finish(a, 0);
     }
   }
 
@@ -165,9 +211,9 @@ int main(int argc, char** argv) {
     std::cerr << "roccheck: scenario=" << a.scenario << ": NO seed in ["
               << a.base_seed << ", " << (a.base_seed + a.seeds)
               << ") found the planted race\n";
-    return 1;
+    return finish(a, 1);
   }
   std::cout << "roccheck: scenario=" << a.scenario << ": " << a.seeds
             << " seed(s) clean (base " << a.base_seed << ")\n";
-  return 0;
+  return finish(a, 0);
 }

@@ -42,11 +42,17 @@ class ROC_CAPABILITY("gate") Gate {
  public:
   virtual ~Gate() { ROC_CHECKHOOK_(lock_destroy(this)); }
 
+  /// Names the gate for the checker's lock-order graph and for rocanalyze
+  /// (whose static graph nodes carry the same runtime names).  `name` must
+  /// outlive the gate; call once, right after construction.
+  void set_name(const char* name) { name_ = name; }
+  [[nodiscard]] const char* name() const { return name_; }
+
   void lock(std::source_location loc = std::source_location::current())
       ROC_ACQUIRE() ROC_NO_THREAD_SAFETY_ANALYSIS {
     ROC_CHECK_PREEMPT("gate.lock");
     do_lock();
-    ROC_CHECKHOOK_(lock_acquire(this, "gate", loc.file_name(), loc.line()));
+    ROC_CHECKHOOK_(lock_acquire(this, name_, loc.file_name(), loc.line()));
     (void)loc;
   }
 
@@ -61,7 +67,7 @@ class ROC_CAPABILITY("gate") Gate {
       ROC_REQUIRES(this) ROC_NO_THREAD_SAFETY_ANALYSIS {
     ROC_CHECKHOOK_(wait_begin(this));
     do_wait();
-    ROC_CHECKHOOK_(wait_end(this, "gate", loc.file_name(), loc.line()));
+    ROC_CHECKHOOK_(wait_end(this, name_, loc.file_name(), loc.line()));
     (void)loc;
   }
 
@@ -73,6 +79,9 @@ class ROC_CAPABILITY("gate") Gate {
   virtual void do_unlock() = 0;
   virtual void do_wait() = 0;
   virtual void do_notify_all() = 0;
+
+ private:
+  const char* name_ = "gate";
 };
 
 /// RAII lock for a Gate.

@@ -174,11 +174,18 @@ void start(double interval_s) {
   p.running = true;
   p.thread = roc::Thread([interval_s] {
     Poller& pp = poller();
-    MutexLock poll_lock(pp.mu);
-    while (!pp.stop_requested) {
-      if (pp.cv.wait_for(pp.mu, interval_s)) continue;  // woken: re-check
-      if (pp.stop_requested) break;
-      poll();
+    while (true) {
+      bool tick = false;
+      {
+        MutexLock poll_lock(pp.mu);
+        if (pp.stop_requested) break;
+        // Timed out (not woken): a poll interval elapsed.
+        if (!pp.cv.wait_for(pp.mu, interval_s) && !pp.stop_requested)
+          tick = true;
+      }
+      // poll() logs and may dump the flight recorder; both block on I/O,
+      // so the poller mutex must not be held across it.
+      if (tick) poll();
     }
   });
 }

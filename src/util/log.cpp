@@ -51,6 +51,9 @@ void log_line(LogLevel level, const std::string& msg) {
     if (g_sink) {
       g_sink(level, msg);
     } else {
+      // Serialized stderr emission IS the logger's contract; g_mutex
+      // exists to keep lines whole and no other lock nests inside it.
+      // ROCANALYZE-ALLOW(r6-blocking-under-lock): why: see above.
       std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
     }
   }

@@ -98,6 +98,9 @@ class UringEngine final : public AsyncEngine {
     if (fd < 0) {
       // Not fd-backed (never the case in production pairings): complete
       // inline so the ring API still holds.
+      // The ring mutex serializes this sync fallback by design; the
+      // target is a memory-backed file, so the write is a memcpy.
+      // ROCANALYZE-ALLOW(r6-blocking-under-lock): why: see above.
       const int64_t r =
           sqe.target->pwrite(sqe.data, sqe.len, sqe.offset, sqe.direct);
       cq_.push_back(Cqe{sqe.id, r});
@@ -263,9 +266,12 @@ class UringEngine final : public AsyncEngine {
         Pending& p = it->second;
         if (res >= 0 && static_cast<size_t>(res) < p.len) {
           // Short kernel write (signal, ENOSPC boundary): finish the
-          // remainder synchronously so callers see all-or-errno.
+          // remainder synchronously so callers see all-or-errno.  It must
+          // land before the cqe is published, and harvest already owns
+          // the ring mutex; short writes are a rare edge.
           const size_t done = static_cast<size_t>(res);
           const int64_t rest =
+              // ROCANALYZE-ALLOW(r6-blocking-under-lock): why: see above.
               p.target->pwrite(p.data + done, p.len - done,
                                p.offset + done, p.direct);
           res = rest == static_cast<int64_t>(p.len - done)

@@ -244,6 +244,83 @@ TEST(LockOrder, ConsistentNestingIsClean) {
   EXPECT_FALSE(s.has_findings()) << s.report();
 }
 
+TEST(LockOrder, NamedEdgesSurviveLockDestruction) {
+  // The cycle-detection graph is address-keyed and pruned when a lock
+  // dies; the exported name-keyed edges must NOT be — an observed
+  // ordering stays observed (that is what the static-subset check
+  // compares against).
+  Session s;
+  s.install();
+  {
+    roc::Mutex a("outer"), b("inner");
+    MutexLock l1(a);
+    MutexLock l2(b);
+  }  // both mutexes destroyed here: lock_destroy fires
+  s.uninstall();
+  const auto edges = s.lock_order_edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, "outer");
+  EXPECT_EQ(edges[0].to, "inner");
+  ASSERT_EQ(edges[0].stack.size(), 2u);
+  EXPECT_NE(edges[0].stack[0].find("outer acquired at"), std::string::npos);
+  EXPECT_NE(edges[0].stack[1].find("inner acquiring at"), std::string::npos);
+}
+
+TEST(LockOrder, SameNameDistinctObjectsIsNotAnEdge) {
+  // Two memfile mutexes (one per file) share a runtime name; nesting them
+  // is not a lock-ORDER fact between distinct named locks, and exporting
+  // a self-edge would poison the subset comparison.
+  Session s;
+  s.install();
+  {
+    roc::Mutex a("memfile"), b("memfile");
+    MutexLock l1(a);
+    MutexLock l2(b);
+  }
+  s.uninstall();
+  EXPECT_TRUE(s.lock_order_edges().empty());
+}
+
+TEST(LockOrder, DumpLockOrderJsonRoundTrips) {
+  Session s;
+  s.install();
+  {
+    roc::Mutex a("outer\"quoted"), b("inner");
+    MutexLock l1(a);
+    MutexLock l2(b);
+  }
+  s.uninstall();
+  std::string doc;
+  write_lock_order_json(s.lock_order_edges(), &doc);
+  EXPECT_NE(doc.find("\"kind\": \"runtime-lock-order-graph\""),
+            std::string::npos)
+      << doc;
+  // The quote in the lock name must be escaped, not emitted raw.
+  EXPECT_NE(doc.find("outer\\\"quoted"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"to\": \"inner\""), std::string::npos) << doc;
+}
+
+TEST(LockOrder, WaitReacquisitionCreatesNoEdge) {
+  // wait_end re-acquires with record_order=false: the ordering was
+  // checked when the gate was first locked, and the runtime graph must
+  // not grow edges the static analysis (which subtracts released locks
+  // at wait sites) will never produce.
+  Session s;
+  s.install();
+  int gate = 0, other = 0;
+  s.lock_acquire(&other, "other", "wait_fixture.cpp", 1);
+  s.lock_acquire(&gate, "gate-x", "wait_fixture.cpp", 2);
+  s.wait_begin(&gate);
+  s.wait_end(&gate, "gate-x", "wait_fixture.cpp", 3);
+  s.lock_release(&gate);
+  s.lock_release(&other);
+  s.uninstall();
+  const auto edges = s.lock_order_edges();
+  ASSERT_EQ(edges.size(), 1u);  // only other -> gate-x, once
+  EXPECT_EQ(edges[0].from, "other");
+  EXPECT_EQ(edges[0].to, "gate-x");
+}
+
 // --- seed-driven exploration and replay --------------------------------------
 
 TEST(Explorer, SameSeedReplaysIdentically) {

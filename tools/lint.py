@@ -53,6 +53,12 @@ Enforces repo-wide correctness invariants that the compiler cannot:
                    tools/trace_report.py's grouping.  Dynamic names
                    need a `LINT-ALLOW(metric-name): <reason>` marker on
                    the flagged line or the line directly above.
+  analyzer-allow   Every `ROCANALYZE-ALLOW(rule): ...` suppression marker
+                   must be well-formed and carry a `why:` justification in
+                   its reason text -- suppressions without a recorded
+                   rationale rot into unauditable exemptions (the same
+                   contract rocanalyze --strict enforces for baseline
+                   entries).
   build-artifacts  No build artifacts tracked in git (build*/ trees,
                    object files, CMake/CTest droppings).
 
@@ -521,6 +527,36 @@ def check_metric_name(root: str, path: str, text: str, stripped: str):
                     f"([a-z][a-z0-9_]*(.[a-z][a-z0-9_]*)*)")
 
 
+# --- rule: analyzer-allow ---------------------------------------------------
+
+# A well-formed suppression: `ROCANALYZE-ALLOW(rule-id): why: <reason>`.
+# rocanalyze only needs the `(rule): reason` shape; lint additionally
+# demands the `why:` tag so every suppression in the tree records its
+# justification (the same contract --strict enforces for baseline entries).
+ROCANALYZE_MARKER = "ROCANALYZE-ALLOW"
+ROCANALYZE_ALLOW_RE = re.compile(
+    r"ROCANALYZE-ALLOW\(\s*([\w,\s-]+?)\s*\)\s*:\s*(\S.*)")
+
+
+def check_analyzer_allow(root: str, path: str, text: str, stripped: str):
+    rel = relpath(root, path)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if ROCANALYZE_MARKER not in line:
+            continue
+        m = ROCANALYZE_ALLOW_RE.search(line)
+        if m is None:
+            yield Violation(
+                "analyzer-allow", rel, lineno,
+                "malformed ROCANALYZE-ALLOW marker -- expected "
+                "`ROCANALYZE-ALLOW(rule-id): why: <justification>`")
+        elif "why:" not in m.group(2):
+            yield Violation(
+                "analyzer-allow", rel, lineno,
+                f"ROCANALYZE-ALLOW({m.group(1)}) suppression without a "
+                f"`why:` justification -- record WHY the finding is "
+                f"acceptable, not just that it is")
+
+
 # --- rule: build-artifacts --------------------------------------------------
 
 def check_build_artifacts(root: str):
@@ -553,6 +589,7 @@ FILE_RULES = {
     "view-member": check_view_member,
     "raw-io": check_raw_io,
     "metric-name": check_metric_name,
+    "analyzer-allow": check_analyzer_allow,
 }
 REPO_RULES = {
     "build-artifacts": check_build_artifacts,

@@ -383,6 +383,41 @@ class TestMetricName(LintTestCase):
         self.assertEqual(self.run_rules(["metric-name"]), [])
 
 
+class TestAnalyzerAllow(LintTestCase):
+    def test_flags_suppression_without_why(self):
+        self.write("src/a.cpp", """
+            // ROCANALYZE-ALLOW(r6-blocking-under-lock): logger contract
+            std::fprintf(stderr, "x");
+        """)
+        v = self.run_rules(["analyzer-allow"])
+        self.assertEqual(self.rules_hit(v), {"analyzer-allow"})
+        self.assertEqual(len(v), 1)
+        self.assertIn("why:", v[0].message)
+
+    def test_flags_malformed_marker(self):
+        self.write("src/a.cpp", """
+            // ROCANALYZE-ALLOW r6-blocking-under-lock: forgot the parens
+            std::fprintf(stderr, "x");
+        """)
+        v = self.run_rules(["analyzer-allow"])
+        self.assertEqual(len(v), 1)
+        self.assertIn("malformed", v[0].message)
+
+    def test_justified_suppression_is_clean(self):
+        self.write("src/a.cpp", """
+            // ROCANALYZE-ALLOW(r6-blocking-under-lock): why: serialized
+            // stderr emission is the logger's contract.
+            std::fprintf(stderr, "x");
+            // ROCANALYZE-ALLOW(all): why: fixture exercises every rule.
+            int y;
+        """)
+        self.assertEqual(self.run_rules(["analyzer-allow"]), [])
+
+    def test_files_without_markers_are_clean(self):
+        self.write("src/a.cpp", "int x;\n")
+        self.assertEqual(self.run_rules(["analyzer-allow"]), [])
+
+
 class TestBuildArtifacts(LintTestCase):
     def git(self, *args):
         subprocess.run(

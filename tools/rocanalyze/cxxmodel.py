@@ -65,6 +65,35 @@ class ReturnView:
     local: str  # the function-local owner the returned view borrows from
 
 
+@dataclass(frozen=True, order=True)
+class LockRef:
+    """Static identity of a lockable object: the owning class (or
+    `<file>:rel` pseudo-class for namespace-level mutexes) plus the member
+    leaf name.  Resolved to a graph node name (the runtime lock name when
+    harvestable, else `Class::leaf`) by callgraph.Program."""
+    cls: str
+    leaf: str
+
+
+@dataclass
+class Call:
+    """One call site inside a method body (interprocedural R5-R7 input)."""
+    callee: str      # leaf name of the invoked function/method
+    recv: str        # normalized receiver expression ("" = this / free)
+    recv_class: str  # best-effort receiver class ("" = unknown)
+    line: int
+    held: tuple      # (LockRef, ...) capabilities held at the call
+    args: str = ""   # argument text (stripped), for wait()/sink analysis
+
+
+@dataclass
+class Acquire:
+    """One lock acquisition (RAII or explicit .lock()) inside a method."""
+    ref: LockRef
+    line: int
+    held: tuple      # (LockRef, ...) held just before this acquisition
+
+
 @dataclass
 class Method:
     name: str
@@ -76,6 +105,9 @@ class Method:
     accesses: list = dc_field(default_factory=list)  # [Access]
     hooks: list = dc_field(default_factory=list)     # [Hook]
     return_views: list = dc_field(default_factory=list)  # [ReturnView]
+    calls: list = dc_field(default_factory=list)     # [Call]
+    acquires: list = dc_field(default_factory=list)  # [Acquire]
+    views: set = dc_field(default_factory=set)  # view-typed locals/params
 
 
 @dataclass
@@ -90,6 +122,9 @@ class Field:
     is_mutex: bool = False
     is_view: bool = False
     is_owner: bool = False
+    runtime_name: str = ""  # the checker-visible lock name, harvested from
+    #                         the declaration initializer (`Mutex m{"x"}`)
+    #                         or a `set_name("x")` call site
 
 
 @dataclass
@@ -133,6 +168,8 @@ class FileModel:
     classes: list = dc_field(default_factory=list)
     sites: list = dc_field(default_factory=list)
     allows: dict = dc_field(default_factory=dict)  # line -> set(rule ids)
+    set_names: dict = dc_field(default_factory=dict)  # recv leaf ->
+    #                       runtime name from `x->set_name("...")` sites
 
     def allowed(self, line, rule):
         """True when `line` (or the two lines above it) carries an
@@ -240,6 +277,51 @@ def collect_allows(text):
     return allows
 
 
+SMART_PTR_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(?:unique_ptr|shared_ptr)\s*<\s*"
+    r"(?:[\w]+\s*::\s*)*(\w+)")
+
+
+def class_of_type(type_str):
+    """Best-effort class leaf of a declared type: `const Store*` -> Store,
+    `std::unique_ptr<comm::Gate>` -> Gate, `roc::Mutex` -> Mutex."""
+    m = SMART_PTR_RE.search(type_str)
+    if m:
+        return m.group(1)
+    t = re.sub(r"\bconst\b|\bmutable\b|\bstruct\b|\bclass\b|[&*]", " ",
+               type_str)
+    t = t.split("<")[0]
+    ids = re.findall(r"\w+", t)
+    return ids[-1] if ids else ""
+
+
+def _cls_key(ci):
+    """Program-wide key for a ClassInfo: the class name, or a per-file key
+    for the `<file>` pseudo-class (namespace-level state is file-local)."""
+    return ci.name if ci.name != "<file>" else "<file>:" + ci.file
+
+
+SET_NAME_RE = re.compile(r"(\w+)\s*(?:->|\.)\s*set_name\s*\(\s*\"([^\"]+)\"")
+RUNTIME_NAME_RE_TMPL = r"%s\s*[{(=]\s*[^\"\n]*\"([^\"]+)\""
+
+
+def harvest_runtime_name(f, orig_lines):
+    """Reads the lock name out of the declaration initializer in the
+    ORIGINAL text (`Mutex mu_{"memfile"};`) -- the stripped text the parser
+    works on has string contents blanked."""
+    if not (f.is_mutex or "Gate" in f.type_str):
+        return
+    # Access labels glue to the first declaration of a section, and
+    # declarations wrap, so the reported line can sit a line or two before
+    # the initializer -- scan a short window.
+    pat = re.compile(RUNTIME_NAME_RE_TMPL % re.escape(f.name))
+    for ln in range(max(1, f.line), min(len(orig_lines), f.line + 3) + 1):
+        m = pat.search(orig_lines[ln - 1])
+        if m:
+            f.runtime_name = m.group(1)
+            return
+
+
 # ---------------------------------------------------------------------------
 # Scope tree
 # ---------------------------------------------------------------------------
@@ -259,7 +341,8 @@ class Scope:
 
 
 CLASS_HEAD_RE = re.compile(
-    r"\b(class|struct)\s+(?:ROC_\w+\s*(?:\([^)]*\)\s*)?)*(\w+)\s*"
+    r"\b(class|struct)\s+(?:ROC_\w+\s*(?:\([^)]*\)\s*)?)*"
+    r"((?:\w+\s*::\s*)*\w+)\s*"
     r"(?:final\s*)?(?::[^{;]*)?$")
 ENUM_HEAD_RE = re.compile(r"\benum\b")
 
@@ -305,8 +388,11 @@ def classify_scope(header):
         return "other", ""
     m = CLASS_HEAD_RE.search(h)
     if m:
-        return "class", m.group(2)
-    m = re.match(r"namespace(\s+\w+)?\s*$", h)
+        # `struct MemFileSystem::Store` declares Store, not MemFileSystem.
+        return "class", re.sub(r"\s", "", m.group(2)).split("::")[-1]
+    # .search, not .match: the header of the first scope in a file carries
+    # the preceding preprocessor lines (`#include ... namespace roc`).
+    m = re.search(r"(?:^|\s)namespace(\s+\w+)?\s*$", h)
     if m:
         return "namespace", (m.group(1) or "").strip()
     if h.startswith("extern "):
@@ -370,6 +456,90 @@ LOCK_RAII_RE = re.compile(
     r"\b(?:comm\s*::\s*)?GateLock\s+\w+\s*[({]([^;)}]*)[)}]")
 LOCK_CALL_RE = re.compile(r"([\w.>\[\]()_-]+?)\s*(->|\.)\s*lock\s*\(")
 UNLOCK_CALL_RE = re.compile(r"([\w.>\[\]()_-]+?)\s*(->|\.)\s*unlock\s*\(")
+
+CPP_KEYWORDS = frozenset({
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "new",
+    "delete", "throw", "else", "do", "case", "default", "break", "continue",
+    "goto", "static_assert", "alignof", "decltype", "static_cast",
+    "dynamic_cast", "const_cast", "reinterpret_cast", "assert", "defined",
+    "noexcept", "typeid", "using", "template", "operator", "co_await",
+    "co_return", "co_yield", "alignas", "void", "int", "bool", "auto"})
+
+MEMBER_CALL_RE = re.compile(
+    r"([\w\]\[()._>-]*[\w)\]])\s*(->|\.)\s*(\w+)\s*\(")
+FREE_CALL_RE = re.compile(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(")
+GLOBAL_CALL_RE = re.compile(r"(?<![\w>)])::\s*(\w+)\s*\(")
+# `ns::fn(...)` / `Class::fn(...)`: neither MEMBER_CALL_RE (no -> or .)
+# nor FREE_CALL_RE (lookbehind rejects ':') sees these.
+QUALIFIED_CALL_RE = re.compile(
+    r"(?<![\w:])((?:\w+\s*::\s*)+)(\w+)\s*\(")
+LOG_MACRO_RE = re.compile(r"\bROC_(?:LOG|DEBUG|INFO|WARN|ERROR|FATAL)\b")
+
+LOCAL_DECL_RE = re.compile(
+    r"(?:^|[;{}(]\s*)(?:const\s+)?"
+    r"((?:\w+\s*::\s*)*[A-Za-z_]\w*(?:\s*<[^<>;]*>)?)"
+    r"\s*[*&]?\s+(\w+)\s*(?=[=;({])")
+AUTO_DECL_RE = re.compile(r"\bauto\s*[*&]?\s*[*&]?\s+(\w+)\s*=\s*([^;]{1,120})")
+RANGE_FOR_RE = re.compile(
+    r"for\s*\(\s*(?:const\s+)?([\w:<>,\s]*?[\w>]|auto)\s*[*&]{0,2}\s*"
+    r"(\w+)\s*:\s*([^);{]+)")
+HOOK_CALL_RE = re.compile(r"\bROC_CHECKHOOK_\s*\(")
+# Lambda introducer followed by its body brace.  The capture-list bracket
+# must not be a subscript: aggregate inits (`= {`) and array decls never
+# match because only lambda syntax puts `{` (after optional params /
+# specifiers / trailing return) directly after `]`.
+LAMBDA_INTRO_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*\)\s*)?(?:mutable\b\s*)?"
+    r"(?:noexcept\b\s*(?:\([^()]*\)\s*)?)?(?:->\s*[^{;]+?)?\s*\{")
+
+
+def lambda_spans(body):
+    """(open_brace, close_brace) offsets of every lambda body in `body`.
+
+    Lambda bodies get a fresh capability context (like Clang TSA, which
+    analyzes them as separate functions): a lambda handed to roc::Thread
+    or AsyncEngine::submit runs later on another thread, so locks held at
+    the construction site are NOT held inside it.  The trade-off -- an
+    immediately-invoked or synchronous-callback lambda under-approximates
+    -- is the same one -Wthread-safety makes."""
+    spans = []
+    for lm in LAMBDA_INTRO_RE.finditer(body):
+        o = lm.end() - 1
+        depth = 0
+        for i in range(o, len(body)):
+            c = body[i]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    spans.append((o, i))
+                    break
+    return spans
+
+
+def blank_hook_calls(body):
+    """Returns `body` with the arguments of every ROC_CHECKHOOK_(...) span
+    blanked (length-preserving).  The hooks are conditional checker
+    instrumentation, not product control flow; following them would glue
+    every hooked operation to the checker Session internals."""
+    if "ROC_CHECKHOOK_" not in body:
+        return body
+    chars = list(body)
+    for hm in HOOK_CALL_RE.finditer(body):
+        depth, i = 0, hm.end() - 1
+        while i < len(chars):
+            if chars[i] == "(":
+                depth += 1
+            elif chars[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        for j in range(hm.end(), min(i, len(chars))):
+            if not chars[j].isspace():
+                chars[j] = " "
+    return "".join(chars)
 
 WRITE_AFTER_RE = re.compile(
     r"^\s*(=[^=]|\+=|-=|\*=|/=|\|=|&=|\^=|>>=|<<=|\+\+|--|"
@@ -481,6 +651,7 @@ class LexicalEngine:
         for pf in parsed:
             analyze_functions(pf, global_fields)
         models = [pf.fm for pf in parsed]
+        apply_set_names(models)
         structs = build_struct_index(models, self.root)
         return models, structs
 
@@ -499,10 +670,24 @@ def merge_class_fields(parsed):
     return global_fields
 
 
+def apply_set_names(models):
+    """Attaches runtime names harvested from `x->set_name("...")` call
+    sites to the matching lockable fields.  Field objects are shared across
+    the merged per-class views, so one assignment is visible everywhere."""
+    for fm in models:
+        for leaf, rt in fm.set_names.items():
+            for ci in fm.classes:
+                f = ci.fields.get(leaf)
+                if f is not None and not f.runtime_name \
+                        and (f.is_mutex or "Gate" in f.type_str):
+                    f.runtime_name = rt
+
+
 def parse_file(path, rel, text):
     """Single-file convenience wrapper (no cross-file merge)."""
     pf = parse_structure(path, rel, text)
     analyze_functions(pf, merge_class_fields([pf]))
+    apply_set_names([pf.fm])
     return pf.fm
 
 
@@ -511,6 +696,11 @@ def parse_structure(path, rel, text):
     fm = FileModel(path=path, rel=rel)
     fm.allows = collect_allows(text)
     tree = build_scope_tree(stripped)
+    # Original lines: runtime lock names live in string literals, which the
+    # stripped text blanks.
+    orig_lines = text.splitlines()
+    for sm in SET_NAME_RE.finditer(text):
+        fm.set_names.setdefault(sm.group(1), sm.group(2))
 
     # File-scope pseudo-class: namespace-level variables + free functions
     # (the log.cpp `g_mutex`/`g_sink` pattern).
@@ -524,18 +714,19 @@ def parse_structure(path, rel, text):
                                line=line_of(stripped, child.start))
                 fm.classes.append(ci)
                 class_of[id(child)] = ci
-                harvest_class(ci, child, stripped, rel)
+                harvest_class(ci, child, stripped, rel, orig_lines)
                 walk(child)
             elif child.kind == "function":
                 pass  # phase 2; local classes inside bodies are ignored
             else:
                 if child.kind == "namespace" and scope.kind in ("root",
                                                                 "namespace"):
-                    harvest_namespace_vars(pseudo, child, stripped, rel)
+                    harvest_namespace_vars(pseudo, child, stripped, rel,
+                                           orig_lines)
                 walk(child)
 
     walk(tree)
-    harvest_namespace_vars(pseudo, tree, stripped, rel)
+    harvest_namespace_vars(pseudo, tree, stripped, rel, orig_lines)
     collect_sites(fm, stripped)
     return ParsedFile(fm, tree, stripped, pseudo, class_of)
 
@@ -558,7 +749,7 @@ def analyze_functions(pf, global_fields):
             elif child.kind == "function":
                 owner = owner_class(child, cls_stack, fm, pseudo,
                                     global_fields)
-                harvest_method(owner, child, stripped)
+                harvest_method(owner, child, stripped, global_fields)
                 # Do not recurse: harvest_method consumes nested scopes.
             else:
                 walk(child, cls_stack)
@@ -598,6 +789,12 @@ def class_level_statements(scope, stripped):
     i = pos
     while i < scope.end:
         if ci < len(children) and i == children[ci].start:
+            if children[ci].kind == "other" and "".join(buf).strip():
+                # Brace initializer (`Mutex mu_{"name"}`): the braces are
+                # part of the pending declaration, not a nested scope.
+                i = children[ci].end + 1
+                ci += 1
+                continue
             buf = []  # the pending header text belongs to the child scope
             i = children[ci].end + 1
             buf_start = i
@@ -610,35 +807,89 @@ def class_level_statements(scope, stripped):
                 out.append((stmt, line_of(stripped, buf_start)))
             buf = []
             buf_start = i + 1
-        else:
-            if not buf and not c.isspace():
+        elif buf or not c.isspace():
+            # Leading whitespace stays out of the buffer so buf_start (the
+            # statement's reported line) lands on its first token.
+            if not buf:
                 buf_start = i
             buf.append(c)
         i += 1
     return out
 
 
-def harvest_class(ci, scope, stripped, rel):
+def harvest_class(ci, scope, stripped, rel, orig_lines=()):
     for stmt, line in class_level_statements(scope, stripped):
         f = parse_field_decl(stmt, line)
         if f and f.name not in ci.fields:
             f.decl_file = rel
+            harvest_runtime_name(f, orig_lines)
             ci.fields[f.name] = f
     # Inline methods are child function scopes; analyze_functions
     # dispatches them via harvest_method with this class on the stack.
 
 
-def harvest_namespace_vars(pseudo, scope, stripped, rel):
+def harvest_namespace_vars(pseudo, scope, stripped, rel, orig_lines=()):
     for stmt, line in class_level_statements(scope, stripped):
         f = parse_field_decl(stmt, line)
         # Only track namespace-level state relevant to locking: mutexes and
         # explicitly guarded variables (keeps globals noise out).
         if f and (f.is_mutex or f.guarded_by) and f.name not in pseudo.fields:
             f.decl_file = rel
+            harvest_runtime_name(f, orig_lines)
             pseudo.fields[f.name] = f
 
 
-def harvest_method(ci, scope, stripped):
+def _balanced(text, open_paren):
+    """Text inside the paren group opening at `open_paren`."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i]
+    return text[open_paren + 1:]
+
+
+def _split_top(args):
+    """Splits an argument/parameter list on top-level commas."""
+    out, depth, buf = [], 0, []
+    for c in args:
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        if c == "," and depth == 0:
+            out.append("".join(buf))
+            buf = []
+        else:
+            buf.append(c)
+    if "".join(buf).strip():
+        out.append("".join(buf))
+    return out
+
+
+def parse_param_types(header):
+    """name -> class leaf for each parameter in a function scope header."""
+    for pm in re.finditer(r"\(", header):
+        before = header[:pm.start()].rstrip()
+        qm = re.search(r"((?:\w+\s*::\s*)*~?\w+)$", before)
+        if not qm or qm.group(1) in ("if", "for", "while", "switch",
+                                     "catch", "return", "sizeof"):
+            continue
+        out = {}
+        for part in _split_top(_balanced(header, pm.start())):
+            dm = re.match(r"^(.*?[\w>])\s*([*&\s][*&\s]*)(\w+)\s*(=.*)?$",
+                          part.strip(), re.S)
+            if dm:
+                out[dm.group(3)] = class_of_type(
+                    dm.group(1) + dm.group(2).replace(" ", ""))
+        return out
+    return {}
+
+
+def harvest_method(ci, scope, stripped, cross_fields=None):
     name = scope.name.rsplit("::", 1)[-1]
     m = Method(name=name, line=line_of(stripped, scope.start))
     m.is_ctor = (name == ci.name)
@@ -648,11 +899,11 @@ def harvest_method(ci, scope, stripped):
     for rm in REQUIRES_RE.finditer(scope.header):
         reqs.extend(normalize_cap(a) for a in rm.group(1).split(","))
     m.requires = tuple(reqs)
-    analyze_body(ci, m, scope, stripped)
+    analyze_body(ci, m, scope, stripped, cross_fields or {})
     ci.methods.append(m)
 
 
-def analyze_body(ci, m, scope, stripped):
+def analyze_body(ci, m, scope, stripped, cross_fields=None):
     """Single pass over the method body tracking held capabilities and
     recording member accesses / checker hooks / returned views."""
     body = stripped[scope.start:scope.end + 1]
@@ -673,11 +924,26 @@ def analyze_body(ci, m, scope, stripped):
                        None))
     events.sort(key=lambda e: e[0])
 
+    # Each lambda body is a fresh capability context (see lambda_spans):
+    # events outside the innermost lambda enclosing an offset do not apply
+    # there, and vice versa.
+    lam_spans = lambda_spans(body)
+
+    def lam_of(off):
+        best = -1
+        for idx, (s, e) in enumerate(lam_spans):
+            if s < off <= e and (best < 0 or s > lam_spans[best][0]):
+                best = idx
+        return best
+
     def held_at(off):
-        held = set(m.requires)
+        ctx = lam_of(off)
+        held = set(m.requires) if ctx < 0 else set()
         for eoff, kind, cap, send in events:
             if eoff >= off:
                 break
+            if lam_of(eoff) != ctx:
+                continue
             if kind == "raii":
                 if send is None or off < send:
                     held.add(cap)
@@ -734,6 +1000,152 @@ def analyze_body(ci, m, scope, stripped):
                     ReturnView(line=line_of(stripped, base + rm.start()),
                                local=lo))
                 break
+
+    # --- Interprocedural inputs (R5-R7) ------------------------------------
+
+    # Local/parameter class tracking, so `s->mutex` resolves to Store::mutex
+    # rather than colliding with every other field spelled `mutex`.
+    cross_fields = cross_fields or {}
+    param_types = parse_param_types(scope.header)
+    local_types = dict(param_types)
+    local_type_strs = {}
+    for dm in LOCAL_DECL_RE.finditer(body):
+        t, nm = dm.group(1), dm.group(2)
+        if t in CPP_KEYWORDS or nm in local_types:
+            continue
+        local_types[nm] = class_of_type(t)
+        local_type_strs[nm] = t
+
+    def expr_class(expr):
+        e = normalize_cap(expr.strip().rstrip(";"))
+        e = re.sub(r"(?:->|\.)get\(\)$", "", e)
+        e = e.strip("()*& ")
+        if e in local_types:
+            return local_types[e]
+        f = ci.fields.get(e)
+        if f is not None:
+            return class_of_type(f.type_str)
+        return ""
+
+    def type_str_of(expr):
+        """Declared type string of a simple expression (`x`, `a.b`)."""
+        e = normalize_cap(expr.strip())
+        leaf = cap_leaf(e)
+        if e == leaf:
+            if leaf in local_type_strs:
+                return local_type_strs[leaf]
+            f = ci.fields.get(leaf)
+            return f.type_str if f else ""
+        prefix = re.sub(r"(?:->|\.)$", "", e[: len(e) - len(leaf)])
+        owner = expr_class(prefix)
+        f = cross_fields.get(owner, {}).get(leaf)
+        if f is None and owner == ci.name:
+            f = ci.fields.get(leaf)
+        return f.type_str if f else ""
+
+    def elem_class(expr):
+        """Element class of a container-typed expression (first template
+        argument, smart pointers unwrapped)."""
+        ts = type_str_of(expr)
+        tm = re.search(r"<(.+)>", ts)
+        if not tm:
+            return ""
+        parts = _split_top(tm.group(1))
+        return class_of_type(parts[-1]) if parts else ""
+
+    for am2 in AUTO_DECL_RE.finditer(body):
+        nm, rhs = am2.group(1), am2.group(2)
+        ty = expr_class(rhs)
+        if ty and nm not in local_types:
+            local_types[nm] = ty
+    for rf in RANGE_FOR_RE.finditer(body):
+        ty, nm, cont = rf.group(1).strip(), rf.group(2), rf.group(3)
+        if nm in local_types:
+            continue
+        if ty and ty != "auto" and ty not in CPP_KEYWORDS:
+            local_types[nm] = class_of_type(ty)
+            continue
+        ec = elem_class(cont)
+        if ec:
+            local_types[nm] = ec
+
+    def lock_ref(expr):
+        norm = normalize_cap(expr)
+        leaf = cap_leaf(norm)
+        if norm != leaf:
+            prefix = re.sub(r"(?:->|\.)$", "",
+                            norm[: len(norm) - len(leaf)])
+            return LockRef(expr_class(prefix), leaf)
+        if leaf in ci.fields:
+            return LockRef(_cls_key(ci), leaf)
+        return LockRef("", leaf)
+
+    def refs_of(held):
+        return tuple(sorted(lock_ref(h) for h in held))
+
+    for eoff, kind, cap, _send in events:
+        if kind in ("raii", "lock"):
+            m.acquires.append(Acquire(ref=lock_ref(cap),
+                                      line=line_of(stripped, base + eoff),
+                                      held=refs_of(held_at(eoff))))
+
+    def add_call(off, callee, recv, recv_class=None):
+        recv_n = normalize_cap(recv) if recv and recv != "::" else recv
+        if recv_class is None:
+            recv_class = expr_class(recv_n) if recv_n and recv_n != "::" \
+                else ""
+        paren = body.find("(", off)
+        args = _call_args(body, paren) if 0 <= paren <= off + 80 else ""
+        m.calls.append(Call(callee=callee, recv=recv_n or "",
+                            recv_class=recv_class,
+                            line=line_of(stripped, base + off),
+                            held=refs_of(held_at(off)),
+                            args=" ".join(args.split())[:200]))
+
+    call_body = blank_hook_calls(body)
+    for cm in MEMBER_CALL_RE.finditer(call_body):
+        callee = cm.group(3)
+        if callee in ("lock", "unlock"):
+            continue  # modeled as lock events above
+        add_call(cm.start(3), callee, cm.group(1))
+    for cm in FREE_CALL_RE.finditer(call_body):
+        callee = cm.group(1)
+        if callee in CPP_KEYWORDS or callee in local_types:
+            continue
+        if re.fullmatch(r"[A-Z][A-Z0-9_]*", callee):
+            continue  # macro invocation
+        add_call(cm.start(), callee, "")
+    for cm in GLOBAL_CALL_RE.finditer(call_body):
+        add_call(cm.start(1), cm.group(1), "::", recv_class="<global>")
+    for cm in QUALIFIED_CALL_RE.finditer(call_body):
+        qual, callee = cm.group(1), cm.group(2)
+        segs = re.findall(r"\w+", qual)
+        if callee in CPP_KEYWORDS \
+                or re.fullmatch(r"[A-Z][A-Z0-9_]*", callee):
+            continue
+        if "std" in segs:
+            # `std::fwrite` / `std::this_thread::sleep_for`: opaque to the
+            # call graph, but root_info classifies the blocking ones.
+            if len(segs) == 1 or segs[-1] == "this_thread":
+                add_call(cm.start(2), callee, qual.replace(" ", ""),
+                         recv_class="std")
+            continue
+        add_call(cm.start(2), callee, qual.replace(" ", ""),
+                 recv_class=segs[-1])
+    # Log statements expand to a locked+buffered emit in util/log.cpp; model
+    # them as a call so R6 sees logging under a lock.  Only lock-held uses
+    # matter (keeps the model small).
+    for cm in LOG_MACRO_RE.finditer(call_body):
+        if held_at(cm.start()):
+            add_call(cm.start(), "log_line", "")
+
+    # View-typed locals and parameters (R7).
+    for vm in re.finditer(r"\b(?:" + view_alt + r")\s*[*&]?\s+(\w+)\s*[=({;]",
+                          body):
+        m.views.add(vm.group(1))
+    for pname, pcls in param_types.items():
+        if pcls in ("ConstBuffer", "WireBlockView", "string_view"):
+            m.views.add(pname)
 
 
 def _enclosing_scope_end(body, off):

@@ -1,0 +1,33 @@
+// rocanalyze fixture: R5 static lock-order cycle.  Never compiled;
+// rocanalyze_test.py asserts r5-lock-cycle fires (and nothing else).
+// The two methods acquire the same pair of mutexes in opposite orders --
+// a deadlock under the right schedule even though neither path blocks,
+// writes shared state, or ever ran under the runtime checker.
+namespace roc {
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+}  // namespace roc
+
+class LedgerPair {
+ public:
+  void transfer_forward() {
+    roc::MutexLock src(mu_source_);
+    roc::MutexLock dst(mu_dest_);  // edge mu_source_ -> mu_dest_
+  }
+
+  void transfer_reverse() {
+    roc::MutexLock dst(mu_dest_);
+    roc::MutexLock src(mu_source_);  // <- r5-lock-cycle: opposite order
+  }
+
+ private:
+  roc::Mutex mu_source_;
+  roc::Mutex mu_dest_;
+};

@@ -1,0 +1,36 @@
+// rocanalyze fixture: R6 blocking-under-lock through a transitive call
+// chain.  Never compiled; rocanalyze_test.py asserts r6-blocking-under-lock
+// fires (and nothing else).  commit() holds mu_ across append_record(),
+// which reaches std::fwrite two frames down -- the finding must land on
+// the lock-holding frame (commit), not be repeated by the callees.
+namespace roc {
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+}  // namespace roc
+
+class JournalSink {
+ public:
+  void commit(const char* rec, unsigned long n) {
+    roc::MutexLock lock(mu_);
+    append_record(rec, n);  // <- r6-blocking-under-lock: chain to fwrite
+  }
+
+ private:
+  void append_record(const char* rec, unsigned long n) {
+    flush_bytes(rec, n);
+  }
+
+  void flush_bytes(const char* rec, unsigned long n) {
+    std::fwrite(rec, 1, n, journal_);
+  }
+
+  roc::Mutex mu_;
+  FILE* journal_ = nullptr;
+};

@@ -1,0 +1,28 @@
+// rocanalyze fixture: R7 borrowing view handed to an async submission
+// with no pin.  Never compiled; rocanalyze_test.py asserts
+// r7-view-suspension fires (and nothing else).  The ConstBuffer borrows
+// `data`, and submit() queues it for a consumer that runs after stage()
+// returns -- nothing keeps the bytes alive across the suspension.
+class ConstBuffer {
+ public:
+  ConstBuffer(const char* data, unsigned long len);
+};
+
+class AsyncEngine {
+ public:
+  void enqueue_write(ConstBuffer view, unsigned long offset);
+  void submit(ConstBuffer view, unsigned long offset);
+};
+
+class StageWriter {
+ public:
+  void stage(const char* data, unsigned long len) {
+    ConstBuffer view(data, len);
+    engine_->submit(view, cursor_);  // <- r7-view-suspension: no pin
+    cursor_ += len;
+  }
+
+ private:
+  AsyncEngine* engine_ = nullptr;
+  unsigned long cursor_ = 0;
+};

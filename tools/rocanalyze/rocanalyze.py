@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """rocanalyze: whole-repo semantic analysis of rocpio-specific invariants.
 
-Four rule families (see rules.py for the full catalogue):
+Seven rule families (see rules.py for the full catalogue):
 
   R1 buffer-lifetime      stored/returned borrowing views (ConstBuffer,
                           WireBlockView, std::string_view) must have a
@@ -18,6 +18,16 @@ Four rule families (see rules.py for the full catalogue):
   R4 wire-format hygiene  no memcpy/reinterpret_cast serialization of
                           non-trivially-copyable or padded structs outside
                           util/serialize.h.
+  R5 static lock order    whole-program lock acquisition graph (call graph
+                          + lock-set dataflow) must be acyclic; cycles are
+                          potential deadlocks, found without running the
+                          schedule.  --lock-graph-out exports the graph;
+                          roccheck cross-validates it (static ⊇ dynamic).
+  R6 blocking under lock  no path from a lock-held region to a curated
+                          blocking op (vfs I/O, Comm send/recv, waits,
+                          submit backpressure, join, raw syscalls).
+  R7 view suspension      borrowing views must not cross into async
+                          submissions / thread handoffs unpinned.
 
 Engines:
   * libclang (python clang.cindex over build/compile_commands.json) when
@@ -141,12 +151,18 @@ def main(argv=None):
                     help="auto prefers libclang and degrades to the "
                          "lexical engine; libclang skips (exit 0) when "
                          "unavailable")
-    ap.add_argument("--rules", default="r1,r2,r3,r4",
+    ap.add_argument("--rules", default="r1,r2,r3,r4,r5,r6,r7",
                     help="comma-separated rule ids or family prefixes "
-                         f"(families r1..r4; ids: {', '.join(ALL_RULES)})")
+                         f"(families r1..r7; ids: {', '.join(ALL_RULES)})")
     ap.add_argument("--strict", action="store_true",
-                    help="also fail on stale or unjustified baseline "
-                         "entries")
+                    help="also fail on stale baseline entries and on "
+                         "entries whose justification lacks a `why:` tag")
+    ap.add_argument("--lock-graph-out", default="",
+                    help="write the static lock-order graph as JSON "
+                         "(same edge schema as roccheck --lock-graph-out)")
+    ap.add_argument("--lock-graph-dot", default="",
+                    help="write the static lock-order graph as Graphviz "
+                         "DOT")
     ap.add_argument("--baseline", default=DEFAULT_BASELINE,
                     help="baseline file (default: committed baseline.json)")
     ap.add_argument("--no-baseline", action="store_true",
@@ -208,7 +224,22 @@ def main(argv=None):
                   file=sys.stderr)
             return 2
 
-    findings = run_rules(models, structs, rules=rules)
+    from rules import INTERPROC_RULES
+    analysis = None
+    if (any(r in rules for r in INTERPROC_RULES) or args.lock_graph_out
+            or args.lock_graph_dot):
+        import lockset
+        analysis = lockset.analyze(models)
+
+    findings = run_rules(models, structs, rules=rules, analysis=analysis)
+
+    if args.lock_graph_out:
+        with open(args.lock_graph_out, "w", encoding="utf-8") as fh:
+            json.dump(analysis.graph_json(), fh, indent=2)
+            fh.write("\n")
+    if args.lock_graph_dot:
+        with open(args.lock_graph_dot, "w", encoding="utf-8") as fh:
+            fh.write(analysis.graph_dot())
 
     if args.out:
         payload = {"engine": engine.name, "rules": rules,
@@ -249,7 +280,7 @@ def main(argv=None):
         stale = [fp for fp in baseline
                  if fp not in {f.fingerprint for f in findings}]
         unjustified = [fp for fp, e in baseline.items()
-                       if not e.get("justification", "").strip()]
+                       if "why:" not in e.get("justification", "")]
         for fp in stale:
             e = baseline[fp]
             print(f"rocanalyze: stale baseline entry {fp} "
@@ -260,7 +291,8 @@ def main(argv=None):
             e = baseline[fp]
             print(f"rocanalyze: baseline entry {fp} "
                   f"({e.get('rule', '?')} {e.get('file', '?')}) has no "
-                  f"justification -- explain it or fix the code")
+                  f"`why:` justification -- explain it (justification: "
+                  f"\"why: ...\") or fix the code")
         if stale or unjustified:
             rc = 1
 

@@ -28,6 +28,19 @@ Rule ids (each finding carries one):
                     padded struct outside util/serialize.h.
   r4-cast-serialize reinterpret_cast of raw bytes to a non-trivially-
                     copyable or padded struct outside util/serialize.h.
+
+Interprocedural rules (call graph + lock-set dataflow, see lockset.py):
+
+  r5-lock-cycle     A cycle in the whole-program static lock acquisition
+                    graph -- a potential deadlock, including orders no
+                    runtime seed sweep ever scheduled.
+  r6-blocking-under-lock  A path from a lock-held region to a curated
+                    blocking operation (vfs I/O, Comm send/recv/sendv,
+                    CondVar::wait, Gate waits, AsyncEngine::submit
+                    backpressure, Thread::join, raw syscalls), with the
+                    full call chain.
+  r7-view-suspension  A borrowing view handed to an async submission or
+                    cross-thread handoff without a pinning SharedBuffer.
 """
 
 from __future__ import annotations
@@ -42,7 +55,13 @@ ALL_RULES = (
     "r2-unannotated", "r2-unlocked-access",
     "r3-missing-hook", "r3-unregistered-sibling",
     "r4-memcpy-struct", "r4-cast-serialize",
+    "r5-lock-cycle",
+    "r6-blocking-under-lock",
+    "r7-view-suspension",
 )
+
+INTERPROC_RULES = ("r5-lock-cycle", "r6-blocking-under-lock",
+                   "r7-view-suspension")
 
 # The one sanctioned home of byte-level struct (de)serialization.
 SERIALIZE_ALLOWLIST = ("src/util/serialize.h",)
@@ -78,7 +97,7 @@ class Finding:
                 f"({self.fingerprint})")
 
 
-def run_rules(models, structs, rules=ALL_RULES):
+def run_rules(models, structs, rules=ALL_RULES, analysis=None):
     findings = []
     for fm in models:
         if "r1-stored-view" in rules or "r1-return-view" in rules:
@@ -89,6 +108,16 @@ def run_rules(models, structs, rules=ALL_RULES):
             findings.extend(rule_r3(fm))
         if "r4-memcpy-struct" in rules or "r4-cast-serialize" in rules:
             findings.extend(rule_r4(fm, structs))
+    if any(r in rules for r in INTERPROC_RULES):
+        import lockset  # deferred: keeps R1-R4-only runs import-light
+        if analysis is None:
+            analysis = lockset.analyze(models)
+        if "r5-lock-cycle" in rules:
+            findings.extend(lockset.rule_r5(analysis, Finding))
+        if "r6-blocking-under-lock" in rules:
+            findings.extend(lockset.rule_r6(analysis, Finding))
+        if "r7-view-suspension" in rules:
+            findings.extend(lockset.rule_r7(analysis, Finding))
     findings = [f for f in findings if f.rule in rules]
     # Drop inline-suppressed findings, and duplicates (a class split across
     # header and .cpp is modeled in both files).
