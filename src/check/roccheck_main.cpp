@@ -3,6 +3,7 @@
 ///
 ///   roccheck --scenario NAME --seeds N [--seed BASE] [--out DIR]
 ///            [--expect-race] [--preempt P] [--lock-graph-out PATH]
+///            [--alloc-report-out PATH]
 ///
 /// Runs NAME under seeds BASE..BASE+N-1, one fresh Session + Explorer per
 /// seed.  Any finding (or scenario failure) prints the seed that produced
@@ -23,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/alloc_hook.h"
 #include "check/checker.h"
 #include "check/explorer.h"
 #include "check/scenarios.h"
@@ -35,6 +37,7 @@ struct Args {
   uint64_t base_seed = 1;
   std::string out_dir;
   std::string lock_graph_out;
+  std::string alloc_report_out;
   bool expect_race = false;
   double preempt = 0.125;
 };
@@ -67,6 +70,7 @@ bool write_merged_graph(const std::string& path) {
   std::cerr << "usage: " << argv0
             << " --scenario NAME --seeds N [--seed BASE] [--out DIR]"
                " [--expect-race] [--preempt P] [--lock-graph-out PATH]"
+               " [--alloc-report-out PATH]"
                "\n  scenarios:";
   for (const auto& n : roc::check::scenario_names()) std::cerr << " " << n;
   std::cerr << "\n";
@@ -91,6 +95,8 @@ Args parse(int argc, char** argv) {
       a.out_dir = value();
     } else if (arg == "--lock-graph-out") {
       a.lock_graph_out = value();
+    } else if (arg == "--alloc-report-out") {
+      a.alloc_report_out = value();
     } else if (arg == "--expect-race") {
       a.expect_race = true;
     } else if (arg == "--preempt") {
@@ -141,8 +147,9 @@ void dump(const Args& a, uint64_t seed, const RunOutput& out) {
 
 }  // namespace
 
-/// Flushes the merged runtime graph (when requested).  Called on every
-/// main() exit path so partial sweeps still leave an inspectable graph.
+/// Flushes the merged runtime graph and the interposer's alloc-scope
+/// registry (when requested).  Called on every main() exit path so
+/// partial sweeps still leave inspectable artifacts.
 int finish(const Args& a, int rc) {
   if (!a.lock_graph_out.empty()) {
     if (!write_merged_graph(a.lock_graph_out)) {
@@ -152,6 +159,16 @@ int finish(const Args& a, int rc) {
     std::cout << "roccheck: runtime lock-order graph ("
               << g_merged_edges.size() << " edges) written to "
               << a.lock_graph_out << "\n";
+  }
+  if (!a.alloc_report_out.empty()) {
+    if (!roc::check::write_alloc_report(a.alloc_report_out)) {
+      std::cerr << "roccheck: cannot write " << a.alloc_report_out << "\n";
+      return rc == 0 ? 2 : rc;
+    }
+    std::cout << "roccheck: runtime alloc report ("
+              << roc::check::alloc_registry_snapshot().size()
+              << " scope label(s)) written to " << a.alloc_report_out
+              << "\n";
   }
   return rc;
 }

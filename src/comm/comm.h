@@ -78,16 +78,22 @@ class Comm {
 
   /// Sends an immutable buffer.  Substrates that can (ThreadComm, SimComm)
   /// enqueue a *reference* — no byte copy; safe because SharedBuffers are
-  /// immutable.  The default forwards to the raw (copying) send.
+  /// immutable.  By value because overrides take ownership of the
+  /// reference; the default pins it locally while copying the bytes out.
   virtual void send(int dest, int tag, SharedBuffer buf) {
-    send(dest, tag, buf.data(), buf.size());
+    const SharedBuffer pinned = std::move(buf);
+    send(dest, tag, pinned.data(), pinned.size());
   }
 
   /// Scatter-gather send: ships the chain's segments as one message.  The
   /// chain is gathered into a single SharedBuffer (the one permitted copy)
   /// before transport, so borrowed segments only need to stay valid until
   /// sendv returns — the same buffer-reuse guarantee as the raw send.
-  virtual void sendv(int dest, int tag, const BufferChain& chain) {
+  /// Hot-path root (rocanalyze R8-R10): every marshalled block ships
+  /// through here.  Substrates with a pool override this to gather through
+  /// recycled storage; this default is the pool-less fallback.
+  // ROCANALYZE-ALLOW(r9-copy-discipline): why: pool-less fallback gather; substrates override with pool-recycled storage.
+  ROC_HOT virtual void sendv(int dest, int tag, const BufferChain& chain) {
     send(dest, tag, chain.gather());
   }
 

@@ -34,6 +34,9 @@ class ThreadComm final : public Comm {
   void send(int dest, int tag, const void* data, size_t n) override;
   /// Zero-copy: enqueues a reference to `buf` in the destination mailbox.
   void send(int dest, int tag, SharedBuffer buf) override;
+  /// Gathers through the world's buffer pool so steady-state sends recycle
+  /// message storage instead of allocating per send.
+  void sendv(int dest, int tag, const BufferChain& chain) override;
   [[nodiscard]] Message recv(int source, int tag) override;
   bool iprobe(int source, int tag, Status* st) override;
   Status probe(int source, int tag) override;

@@ -31,7 +31,7 @@ double ordered_reduce(comm::Comm& clients, Roccom& com,
                       const std::function<double(double, double)>& combine,
                       double init) {
   ByteWriter w;
-  const auto panes = com.window(window).panes();
+  const auto& panes = com.window(window).panes();
   w.put<uint32_t>(static_cast<uint32_t>(panes.size()));
   for (const Pane* p : panes) {
     w.put<int32_t>(p->id);

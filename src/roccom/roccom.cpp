@@ -38,15 +38,20 @@ void Window::register_pane(int pane_id, mesh::MeshBlock* block) {
                           "' does not match the window schema");
   }
   panes_.emplace(pane_id, Pane{pane_id, block});
+  pane_list_valid_ = false;
 }
 
 void Window::remove_pane(int pane_id) {
+  pane_list_valid_ = false;
   if (panes_.erase(pane_id) == 0)
     throw RegistryError("window '" + name_ + "': no pane " +
                         std::to_string(pane_id));
 }
 
-void Window::clear_panes() { panes_.clear(); }
+void Window::clear_panes() {
+  panes_.clear();
+  pane_list_valid_ = false;
+}
 
 const Pane& Window::pane(int pane_id) const {
   auto it = panes_.find(pane_id);
@@ -56,11 +61,17 @@ const Pane& Window::pane(int pane_id) const {
   return it->second;
 }
 
-std::vector<const Pane*> Window::panes() const {
-  std::vector<const Pane*> out;
-  out.reserve(panes_.size());
-  for (const auto& [_, p] : panes_) out.push_back(&p);
-  return out;
+const std::vector<const Pane*>& Window::panes() const {
+  if (!pane_list_valid_) {
+    pane_list_.clear();
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: cache rebuild happens only
+    // after pane registration changes, never in the steady-state loop.
+    pane_list_.reserve(panes_.size());
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: reserved above.
+    for (const auto& [_, p] : panes_) pane_list_.push_back(&p);
+    pane_list_valid_ = true;
+  }
+  return pane_list_;
 }
 
 void Window::register_function(const std::string& fname, Function fn) {
@@ -97,6 +108,7 @@ void Roccom::delete_window(const std::string& name) {
 Window& Roccom::window(const std::string& name) {
   auto it = windows_.find(name);
   if (it == windows_.end())
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: lookup-failure error path only.
     throw RegistryError("no window '" + name + "'");
   return *it->second;
 }

@@ -83,8 +83,11 @@ class Window {
   }
   [[nodiscard]] const Pane& pane(int pane_id) const;
 
-  /// Local panes in pane-id order.
-  [[nodiscard]] std::vector<const Pane*> panes() const;
+  /// Local panes in pane-id order.  The list is cached and invalidated by
+  /// pane registration changes, so steady-state callers (the per-step
+  /// marshalling loop) see no per-call materialisation; the reference is
+  /// valid until the next register/remove/clear.
+  [[nodiscard]] const std::vector<const Pane*>& panes() const;
   [[nodiscard]] size_t pane_count() const { return panes_.size(); }
 
   void register_function(const std::string& fname, Function fn);
@@ -98,6 +101,10 @@ class Window {
   std::vector<FieldSpec> schema_;
   std::map<int, Pane> panes_;
   std::map<std::string, Function> functions_;
+  // panes() cache: map nodes are pointer-stable, so the pointers survive
+  // until a pane is actually added or removed.
+  mutable std::vector<const Pane*> pane_list_;
+  mutable bool pane_list_valid_ = false;
 };
 
 /// The per-process registry.  One Roccom instance exists per (simulated or

@@ -181,7 +181,7 @@ void Rochdf::write_attribute(Roccom& com, const IoRequest& req) {
   ROC_TRACE_SPAN_D("rochdf", "snapshot.perceived", req.file);
   const double t0 = telemetry::now();
   const roccom::Window& w = com.window(req.window);
-  const auto panes = w.panes();
+  const auto& panes = w.panes();
   const std::string path =
       proc_file(options_.file_prefix, req.file, comm_.rank());
 

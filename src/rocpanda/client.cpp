@@ -63,11 +63,12 @@ void RocpandaClient::shutdown() {
 
 // --- client-side buffering (the paper's buffer hierarchy) -------------------
 
-void RocpandaClient::ship(const Job& job) {
+ROC_HOT void RocpandaClient::ship(const Job& job) {
   // Background in hierarchy mode: this is the cost the local buffer hides
   // from the application thread.  Re-adopting the job's context makes this
   // span a child of the perceived write that queued it (cross-thread edge).
   telemetry::ScopedTraceContext adopt(job.ctx);
+  ROC_ASSERT_NO_ALLOC("RocpandaClient::ship");
   ROC_TRACE_SPAN("client", "ship.background");
   world_.send(server_, kTagWriteBegin, job.header);
   for (const auto& bytes : job.blocks)
@@ -105,13 +106,15 @@ void RocpandaClient::drain_local() {
   while (!queue_.empty() || shipping_) gate_->wait();
 }
 
-void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
+ROC_HOT void RocpandaClient::write_attribute(Roccom& com,
+                                             const IoRequest& req) {
   // The whole call is the snapshot's *perceived* cost on this rank (the
   // paper's visible output time); timeline.h groups these by file base.
   ROC_TRACE_SPAN_D("client", "snapshot.perceived", req.file);
+  ROC_ASSERT_NO_ALLOC("RocpandaClient::write_attribute");
   const double t0 = telemetry::now();
   const roccom::Window& w = com.window(req.window);
-  const auto panes = w.panes();
+  const auto& panes = w.panes();
 
   WriteHeader h;
   h.file = req.file;
@@ -131,19 +134,26 @@ void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
     // background worker ships to the server.  Buffer-reuse safety comes
     // from the marshalling copy itself.
     Job job;
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: one bounded header per
+    // request, not per block.
     job.header = h.serialize();
     job.ctx = trace_ctx;
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: one reservation per request,
+    // amortised over its blocks.
     job.blocks.reserve(panes.size());
     {
       ROC_TRACE_SPAN("client", "marshal");
       for (const Pane* p : panes) {
-        // Gather the chain into one pooled buffer: the single marshalling
-        // copy.  Everything downstream (queue, send, server buffer) shares
-        // references to these bytes.
-        SharedBuffer bytes =
-            pool_.gather(WireBlock::serialize_chain(*p->block, req.attribute));
+        // Marshal into the reusable scratch chain, then gather into one
+        // pooled buffer: the single marshalling copy.  Everything
+        // downstream (queue, send, server buffer) shares references.
+        WireBlock::serialize_chain_into(*p->block, req.attribute, &pool_,
+                                        scratch_chain_);
+        SharedBuffer bytes = pool_.gather(scratch_chain_);
         env_.charge_local_copy(bytes.size());
         job.bytes += bytes.size();
+        // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: reserved above; growth
+        // is a reference push, amortised per request.
         job.blocks.push_back(std::move(bytes));
       }
     }
@@ -156,6 +166,8 @@ void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
     }
     queued_bytes_ += job.bytes;
     m_bytes_buffered_.add(job.bytes);
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: amortised job-queue growth;
+    // payloads are moved references.
     queue_.push_back(std::move(job));
     gate_->notify_all();
     m_write_seconds_.observe(telemetry::now() - t0);
@@ -164,6 +176,8 @@ void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
 
   {
     ROC_TRACE_SPAN("client", "ship");
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: one bounded header per
+    // request, not per block.
     world_.send(server_, kTagWriteBegin, h.serialize());
 
     // One message per block: the granularity at which the server can yield
@@ -172,12 +186,13 @@ void RocpandaClient::write_attribute(Roccom& com, const IoRequest& req) {
     for (const Pane* p : panes) {
       // The chain's payload segments alias the pane's arrays; sendv gathers
       // them once on their way out (the single marshalling copy), which is
-      // what makes immediate buffer reuse by the caller safe.
-      const BufferChain chain =
-          WireBlock::serialize_chain(*p->block, req.attribute);
-      env_.charge_local_copy(chain.total_bytes());  // marshalling copy
-      sent_bytes += chain.total_bytes();
-      world_.sendv(server_, kTagWriteBlock, chain);
+      // what makes immediate buffer reuse by the caller safe.  The scratch
+      // chain and the pooled header buffer are recycled across panes.
+      WireBlock::serialize_chain_into(*p->block, req.attribute, &pool_,
+                                      scratch_chain_);
+      env_.charge_local_copy(scratch_chain_.total_bytes());  // marshal copy
+      sent_bytes += scratch_chain_.total_bytes();
+      world_.sendv(server_, kTagWriteBlock, scratch_chain_);
     }
 
     // Visible cost ends when the server confirms everything is buffered.

@@ -121,6 +121,11 @@ class RocpandaClient final : public roccom::IoService {
   /// thread drops the last reference.
   BufferPool pool_;
 
+  /// Marshalling scratch: serialize_chain_into refills it per pane, reusing
+  /// the segment-list capacity.  Only touched by the thread that calls
+  /// write_attribute (the chain is consumed before the call returns).
+  BufferChain scratch_chain_;
+
   // Counters behind stats(): registered once, updated lock-free through
   // the cached handles.  See DESIGN.md "Telemetry" for the naming scheme.
   telemetry::MetricsRegistry metrics_;

@@ -6,6 +6,7 @@
 namespace roc::rocpanda {
 
 std::vector<unsigned char> WriteHeader::serialize() const {
+  // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: one header per request, not per block.
   ByteWriter w;
   w.put_string(file);
   w.put_string(window);
@@ -17,8 +18,8 @@ std::vector<unsigned char> WriteHeader::serialize() const {
   return w.take();
 }
 
-WriteHeader WriteHeader::deserialize(const std::vector<unsigned char>& bytes) {
-  ByteReader r(bytes.data(), bytes.size());
+WriteHeader WriteHeader::deserialize(const void* data, size_t n) {
+  ByteReader r(data, n);
   WriteHeader h;
   h.file = r.get_string();
   h.window = r.get_string();
@@ -38,8 +39,8 @@ std::vector<unsigned char> ReadHeader::serialize() const {
   return w.take();
 }
 
-ReadHeader ReadHeader::deserialize(const std::vector<unsigned char>& bytes) {
-  ByteReader r(bytes.data(), bytes.size());
+ReadHeader ReadHeader::deserialize(const void* data, size_t n) {
+  ByteReader r(data, n);
   ReadHeader h;
   h.file = r.get_string();
   h.window = r.get_string();
@@ -110,6 +111,8 @@ Parsed parse_wire(const unsigned char* data, size_t n) {
   const auto nsec = r.get<uint32_t>();
   if (nsec > r.remaining() / kMinSectionTableBytes)
     throw FormatError("section count exceeds stream in WireBlock");
+  // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: bounded per-block header
+  // metadata (one section table per received block, sized up front).
   p.sections.reserve(nsec);
   for (uint32_t i = 0; i < nsec; ++i) {
     Sec s;
@@ -121,6 +124,8 @@ Parsed parse_wire(const unsigned char* data, size_t n) {
     if (s.role == kRoleField && s.ncomp < 1)
       throw FormatError("bad field component count in WireBlock");
     s.count = r.get<uint64_t>();
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: reserved above; bounded
+    // per-block section metadata.
     p.sections.push_back(std::move(s));
   }
   // Lay the payload out; every section must fit in the remaining bytes
@@ -162,8 +167,10 @@ void append_payload(BufferChain& chain, const T* data, size_t count) {
   if constexpr (roc::detail::kHostLittleEndian) {
     chain.append_borrowed(data, count * sizeof(T));
   } else {
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: big-endian conversion fallback only.
     ByteWriter w;
     w.put_raw_array(data, count);
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: big-endian conversion fallback only.
     chain.append(SharedBuffer::adopt(w.take()));
   }
 }
@@ -179,11 +186,19 @@ void put_section_entry(ByteWriter& h, uint8_t role, const std::string& name,
 }
 
 /// Builds the chain for one marshalled block: an owned header segment plus
-/// payload segments borrowed from `geo`/`fields` storage.
-BufferChain build_chain(int pane_id, uint8_t kind,
-                        const mesh::MeshBlock* geo,
-                        const std::vector<const mesh::Field*>& fields) {
-  ByteWriter h;
+/// payload segments borrowed from `geo`/`fields` storage.  With `pool` the
+/// header storage comes from (and returns to) the pool; `out` is refilled
+/// in place, keeping its segment-list capacity.
+void build_chain_into(int pane_id, uint8_t kind, const mesh::MeshBlock* geo,
+                      std::span<const mesh::Field> fields,
+                      BufferPool* pool, BufferChain& out) {
+  out.clear();
+  // Pool-seeded scratch: acquire() hands back recycled storage whose
+  // capacity the ByteWriter keeps, so steady-state marshalling allocates
+  // nothing for the header.
+  // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: ByteWriter is seeded from
+  // pool-acquired storage; steady state reuses recycled capacity.
+  ByteWriter h(pool ? pool->acquire(256) : std::vector<unsigned char>());
   h.put<int32_t>(pane_id);
   h.put<uint8_t>(kind);
   const bool unstructured =
@@ -195,6 +210,7 @@ BufferChain build_chain(int pane_id, uint8_t kind,
   const auto nsec = static_cast<uint32_t>(
       (geo ? 1u + (unstructured ? 1u : 0u) : 0u) + fields.size());
   h.put<uint32_t>(nsec);
+  // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: function-local static, constructed once per process.
   static const std::string kNoName;
   if (geo) {
     put_section_entry(h, kRoleCoords, kNoName, mesh::Centering::kNode, 1,
@@ -203,20 +219,28 @@ BufferChain build_chain(int pane_id, uint8_t kind,
       put_section_entry(h, kRoleConn, kNoName, mesh::Centering::kNode, 1,
                         geo->connectivity().size());
   }
-  for (const mesh::Field* f : fields)
-    put_section_entry(h, kRoleField, f->name, f->centering, f->ncomp,
-                      f->data.size());
+  for (const mesh::Field& f : fields)
+    put_section_entry(h, kRoleField, f.name, f.centering, f.ncomp,
+                      f.data.size());
 
-  BufferChain chain;
-  chain.append(SharedBuffer::adopt(h.take()));
+  // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: pool-less fallback keeps the
+  // legacy adopt; the pooled branch seals through the recycling channel.
+  out.append(pool ? pool->seal(h.take()) : SharedBuffer::adopt(h.take()));
   if (geo) {
-    append_payload(chain, geo->coords().data(), geo->coords().size());
+    append_payload(out, geo->coords().data(), geo->coords().size());
     if (unstructured)
-      append_payload(chain, geo->connectivity().data(),
+      append_payload(out, geo->connectivity().data(),
                      geo->connectivity().size());
   }
-  for (const mesh::Field* f : fields)
-    append_payload(chain, f->data.data(), f->data.size());
+  for (const mesh::Field& f : fields)
+    append_payload(out, f.data.data(), f.data.size());
+}
+
+BufferChain build_chain(int pane_id, uint8_t kind,
+                        const mesh::MeshBlock* geo,
+                        std::span<const mesh::Field> fields) {
+  BufferChain chain;
+  build_chain_into(pane_id, kind, geo, fields, nullptr, chain);
   return chain;
 }
 
@@ -265,14 +289,26 @@ WireBlock WireBlock::from_block(const mesh::MeshBlock& block,
 
 BufferChain WireBlock::serialize_chain(const mesh::MeshBlock& block,
                                        const std::string& attribute) {
+  BufferChain chain;
+  serialize_chain_into(block, attribute, nullptr, chain);
+  return chain;
+}
+
+void WireBlock::serialize_chain_into(const mesh::MeshBlock& block,
+                                     const std::string& attribute,
+                                     BufferPool* pool, BufferChain& out) {
   if (attribute == "all") {
-    std::vector<const mesh::Field*> fields;
-    fields.reserve(block.fields().size());
-    for (const mesh::Field& f : block.fields()) fields.push_back(&f);
-    return build_chain(block.id(), 0, &block, fields);
+    // The block's fields are contiguous, so the whole set marshals as one
+    // span — no per-call pointer scratch (this is an R8 hot path).
+    build_chain_into(block.id(), 0, &block, block.fields(), pool, out);
+    return;
   }
-  if (attribute == "mesh") return build_chain(block.id(), 1, &block, {});
-  return build_chain(block.id(), 2, nullptr, {&block.field(attribute)});
+  if (attribute == "mesh") {
+    build_chain_into(block.id(), 1, &block, {}, pool, out);
+    return;
+  }
+  build_chain_into(block.id(), 2, nullptr, {&block.field(attribute), 1},
+                   pool, out);
 }
 
 uint64_t WireBlock::payload_bytes() const {
@@ -282,15 +318,16 @@ uint64_t WireBlock::payload_bytes() const {
 
 std::vector<unsigned char> WireBlock::serialize() const {
   if (kind_ == Kind::kField)
-    return build_chain(pane_id_, 2, nullptr, {&field_}).to_vector();
-  std::vector<const mesh::Field*> fields;
-  fields.reserve(block_.fields().size());
-  for (const mesh::Field& f : block_.fields()) fields.push_back(&f);
-  return build_chain(pane_id_, static_cast<uint8_t>(kind_), &block_, fields)
+    return build_chain(pane_id_, 2, nullptr, {&field_, 1}).to_vector();
+  return build_chain(pane_id_, static_cast<uint8_t>(kind_), &block_,
+                     block_.fields())
       .to_vector();
 }
 
-WireBlock WireBlock::deserialize(const std::vector<unsigned char>& bytes) {
+// ROC_COLD: the materialising deserialize is the legacy (pass_through=false)
+// ablation path; the hot receive path keeps WireBlockView over wire bytes.
+ROC_COLD WireBlock WireBlock::deserialize(
+    const std::vector<unsigned char>& bytes) {
   const Parsed p = parse_wire(bytes.data(), bytes.size());
   const unsigned char* base = bytes.data();
 
@@ -340,7 +377,9 @@ WireBlock WireBlock::deserialize(const std::vector<unsigned char>& bytes) {
   return wb;
 }
 
-void WireBlock::write_to(shdf::Writer& w, const std::string& window,
+// ROC_COLD: companion of the legacy deserialize above -- writes from a
+// materialised WireBlock; the hot path uses WireBlockView::write_to.
+ROC_COLD void WireBlock::write_to(shdf::Writer& w, const std::string& window,
                          double time, shdf::Codec codec) const {
   switch (kind_) {
     case Kind::kAll:
@@ -366,6 +405,8 @@ WireBlockView WireBlockView::parse(SharedBuffer wire) {
   v.kind_ = p.kind;
   v.mesh_kind_ = p.mesh_kind;
   v.node_dims_ = p.node_dims;
+  // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: bounded per-block section
+  // table, one per received block; entries are moved, not copied.
   v.sections_.reserve(p.sections.size());
   for (Sec& s : p.sections) {
     Section out;
@@ -376,6 +417,8 @@ WireBlockView WireBlockView::parse(SharedBuffer wire) {
     out.count = s.count;
     out.offset = s.offset;
     out.bytes = s.bytes;
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: reserved above; moved
+    // entries of the bounded per-block section table.
     v.sections_.push_back(std::move(out));
   }
   if (v.kind_ != 2) v.node_count_ = v.sections_[0].count / 3;
@@ -389,42 +432,51 @@ uint64_t WireBlockView::payload_bytes() const {
 }
 
 void WireBlockView::write_to(shdf::Writer& w, const std::string& window,
-                             double time, shdf::Codec codec) const {
+                             double time, shdf::Codec codec,
+                             WriteScratch* scratch) const {
   if constexpr (!roc::detail::kHostLittleEndian) {
     // Big-endian hosts cannot alias the little-endian wire payloads;
     // fall back to the materialising path.
+    // ROCANALYZE-ALLOW(r9-copy-discipline): why: big-endian fallback only;
+    // little-endian hosts take the zero-copy path below.
     WireBlock::deserialize(wire_.to_vector()).write_to(w, window, time,
                                                        codec);
     return;
   }
+  // The scratch (prefix string, dataset def, payload chain) is rebuilt in
+  // place per dataset; a caller-retained scratch makes the whole write
+  // allocation-free in steady state.
+  WriteScratch local;
+  WriteScratch& sc = scratch ? *scratch : local;
+  roccom::block_prefix_into(window, pane_id_, sc.prefix);
   const unsigned char* base = wire_.data();
-  auto payload = [&](const Section& s) {
-    BufferChain c;
-    c.append_borrowed(base + s.offset, static_cast<size_t>(s.bytes));
-    return c;
+  auto put = [&](const Section& s, const shdf::DatasetDef& def) {
+    sc.chain.clear();
+    sc.chain.append_borrowed(base + s.offset, static_cast<size_t>(s.bytes));
+    w.put_dataset(def, sc.chain);
   };
   if (kind_ == 2) {
     const Section& s = sections_[0];
-    w.put_dataset(roccom::field_def(window, pane_id_, s.name, s.centering,
-                                    s.ncomp, s.count, time, codec),
-                  payload(s));
+    roccom::field_def_into(sc.prefix, s.name, s.centering, s.ncomp, s.count,
+                           time, codec, sc.def);
+    put(s, sc.def);
     return;
   }
   const Section& cs = sections_[0];
-  w.put_dataset(roccom::coords_def(window, pane_id_, mesh_kind_, node_dims_,
-                                   node_count_, time),
-                payload(cs));
+  roccom::coords_def_into(sc.prefix, pane_id_, mesh_kind_, node_dims_,
+                          node_count_, time, sc.geo_def);
+  put(cs, sc.geo_def);
   size_t next = 1;
   if (mesh_kind_ == mesh::MeshKind::kUnstructured) {
     const Section& ns = sections_[next++];
-    w.put_dataset(roccom::connectivity_def(window, pane_id_, ns.count / 4),
-                  payload(ns));
+    roccom::connectivity_def_into(sc.prefix, ns.count / 4, sc.def);
+    put(ns, sc.def);
   }
   for (; next < sections_.size(); ++next) {
     const Section& s = sections_[next];
-    w.put_dataset(roccom::field_def(window, pane_id_, s.name, s.centering,
-                                    s.ncomp, s.count, time, codec),
-                  payload(s));
+    roccom::field_def_into(sc.prefix, s.name, s.centering, s.ncomp, s.count,
+                           time, codec, sc.def);
+    put(s, sc.def);
   }
 }
 

@@ -54,7 +54,10 @@ struct WriteHeader {
   uint64_t span_id = 0;   ///< Client span the request belongs to.
 
   [[nodiscard]] std::vector<unsigned char> serialize() const;
-  static WriteHeader deserialize(const std::vector<unsigned char>& bytes);
+  static WriteHeader deserialize(const void* data, size_t n);
+  static WriteHeader deserialize(const std::vector<unsigned char>& bytes) {
+    return deserialize(bytes.data(), bytes.size());
+  }
 };
 
 /// Header announcing one client's restart request.
@@ -64,7 +67,10 @@ struct ReadHeader {
   std::vector<int32_t> pane_ids;
 
   [[nodiscard]] std::vector<unsigned char> serialize() const;
-  static ReadHeader deserialize(const std::vector<unsigned char>& bytes);
+  static ReadHeader deserialize(const void* data, size_t n);
+  static ReadHeader deserialize(const std::vector<unsigned char>& bytes) {
+    return deserialize(bytes.data(), bytes.size());
+  }
 };
 
 /// Marshalled attribute data of one block.
@@ -93,6 +99,14 @@ class WireBlock {
   [[nodiscard]] static BufferChain serialize_chain(
       const mesh::MeshBlock& block, const std::string& attribute);
 
+  /// Allocation-disciplined variant for hot loops: the header segment is
+  /// sealed through `pool` (recycled storage) instead of a fresh adopt,
+  /// and `out` is cleared and refilled, reusing its segment-list capacity.
+  /// `pool` may be null (fresh header allocation, as serialize_chain).
+  static void serialize_chain_into(const mesh::MeshBlock& block,
+                                   const std::string& attribute,
+                                   BufferPool* pool, BufferChain& out);
+
   [[nodiscard]] std::vector<unsigned char> serialize() const;
   static WireBlock deserialize(const std::vector<unsigned char>& bytes);
 
@@ -117,6 +131,22 @@ class WireBlock {
   mesh::Field field_;
 };
 
+/// Reusable scratch for WireBlockView::write_to.  A caller writing many
+/// blocks through one writer keeps one of these alive so the per-dataset
+/// prefix/def/chain storage is recycled instead of reallocated — the
+/// server's zero-alloc steady state (rocanalyze R8).
+struct WriteScratch {
+  std::string prefix;     ///< Block group prefix, rebuilt per block.
+  shdf::DatasetDef def;   ///< Field/connectivity definition, rebuilt per
+                          ///< dataset.
+  /// Coords definition, kept separate from `def` so its vector-valued
+  /// node_dims attribute survives between blocks (field_def_into shrinks
+  /// the attribute list, which would destroy the retained vector and
+  /// force a reallocation on every coords rebuild).
+  shdf::DatasetDef geo_def;
+  BufferChain chain;      ///< One borrowed payload segment per dataset.
+};
+
 /// Non-materialising view over one received WireBlock.  parse() reads only
 /// the header; write_to() streams the dataset payloads directly from the
 /// retained wire bytes (which the view keeps alive) into the writer —
@@ -134,9 +164,12 @@ class WireBlockView {
   /// Writes this block's datasets into `w`, byte-identical to
   /// `WireBlock::deserialize(bytes).write_to(...)`, without constructing a
   /// MeshBlock: each dataset payload is a chain segment aliasing the wire
-  /// bytes, gathered to disk by shdf::Writer::put_dataset.
+  /// bytes, gathered to disk by shdf::Writer::put_dataset.  Passing a
+  /// caller-retained `scratch` makes steady-state writes allocation-free;
+  /// with null a call-local scratch is used.
   void write_to(shdf::Writer& w, const std::string& window, double time,
-                shdf::Codec codec = shdf::Codec::kNone) const;
+                shdf::Codec codec = shdf::Codec::kNone,
+                WriteScratch* scratch = nullptr) const;
 
  private:
   struct Section {

@@ -33,7 +33,10 @@ const char* codec_name(Codec c) {
   return "?";
 }
 
-std::vector<unsigned char> encode(Codec c, const void* data, size_t n) {
+// ROC_COLD: compression is the opt-in ablation; the zero-copy pipeline
+// ships Codec::kNone and never materialises through here.
+ROC_COLD std::vector<unsigned char> encode(Codec c, const void* data,
+                                           size_t n) {
   const auto* p = static_cast<const unsigned char*>(data);
   if (c == Codec::kNone) return {p, p + n};
 

@@ -87,6 +87,10 @@ class Writer {
   std::unordered_set<std::string> names_;  ///< Duplicate-name guard.
   uint64_t append_offset_ = kSuperblockBytes;
   bool closed_ = false;
+  // Per-append scratch, retained across put_dataset calls so steady-state
+  // appends reuse the header/segment storage instead of reallocating.
+  ByteWriter hdr_;
+  std::vector<ConstBuffer> segs_;
 };
 
 }  // namespace roc::shdf

@@ -98,6 +98,7 @@ struct PooledAlignedRep {
 }  // namespace
 
 void pool_release(BufferPoolState& s, std::vector<unsigned char> bytes) {
+  ROC_ALLOC_EXEMPT();  // free-list growth is the recycler's own cost
   const size_t b = bucket_of(bytes.capacity());
   MutexLock lock(s.mutex);
   // Annotated for the concurrency checker: release runs on whichever
@@ -114,6 +115,7 @@ void pool_release(BufferPoolState& s, std::vector<unsigned char> bytes) {
 }
 
 void pool_release_aligned(BufferPoolState& s, AlignedBuffer block) {
+  ROC_ALLOC_EXEMPT();
   const size_t b = bucket_of(block.capacity());
   MutexLock lock(s.mutex);
   ROC_CHECK_SHARED_WRITE(&s.free_lists, "buffer_pool.state");
@@ -134,6 +136,11 @@ BufferPool::BufferPool(size_t max_per_bucket)
           max_per_bucket > 0 ? max_per_bucket : 1)) {}
 
 std::vector<unsigned char> BufferPool::acquire(size_t n) {
+  // The sanctioned channel (DESIGN.md copy discipline): a cold-start miss
+  // allocates, steady state recycles.  Exempt so hot ROC_ASSERT_NO_ALLOC
+  // scopes are never charged for pool warm-up -- mirrored by the static
+  // analyzer's CHANNEL_METHODS leaf set (tools/rocanalyze/allocsum.py).
+  ROC_ALLOC_EXEMPT();
   const size_t b = detail::bucket_of(n);
   if (b < detail::kPoolBuckets) {
     MutexLock lock(state_->mutex);
@@ -161,6 +168,8 @@ std::vector<unsigned char> BufferPool::acquire(size_t n) {
 }
 
 SharedBuffer BufferPool::seal(std::vector<unsigned char> bytes) {
+  // One PooledRep control block per seal: the channel's documented cost.
+  ROC_ALLOC_EXEMPT();
   if (bytes.empty()) {
     detail::pool_release(*state_, std::move(bytes));
     return {};
@@ -181,6 +190,7 @@ SharedBuffer BufferPool::gather(const BufferChain& chain) {
 }
 
 AlignedBuffer BufferPool::acquire_aligned(size_t n) {
+  ROC_ALLOC_EXEMPT();
   // Pooled aligned blocks always carry the exact bucket capacity, so the
   // smallest eligible bucket is the one holding kIoAlignment.
   const size_t b = detail::bucket_of(n < kIoAlignment ? kIoAlignment : n);
@@ -203,6 +213,7 @@ AlignedBuffer BufferPool::acquire_aligned(size_t n) {
 }
 
 SharedBuffer BufferPool::seal_aligned(AlignedBuffer block, size_t n) {
+  ROC_ALLOC_EXEMPT();
   require(n <= block.capacity(), "seal_aligned: ", n, " bytes > capacity ",
           block.capacity());
   if (n == 0 || block.empty()) {

@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "util/hot.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -109,8 +110,11 @@ class BufferChain {
 
   BufferChain() = default;
 
-  /// Appends an owned segment (shares a reference, no copy).
+  /// Appends an owned segment (shares a reference, no copy).  Segment-list
+  /// growth is the gather channel's amortised cost, exempt like the pool's
+  /// own recycling (see hot.h).
   void append(SharedBuffer b) {
+    ROC_ALLOC_EXEMPT();
     total_ += b.size();
     Segment s;
     s.view = ConstBuffer(b);
@@ -120,6 +124,7 @@ class BufferChain {
 
   /// Appends a borrowed segment aliasing `[data, data+n)`.
   void append_borrowed(const void* data, size_t n) {
+    ROC_ALLOC_EXEMPT();
     total_ += n;
     segs_.push_back(Segment{ConstBuffer(data, n), SharedBuffer()});
   }

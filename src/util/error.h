@@ -13,6 +13,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "util/hot.h"
+
 namespace roc {
 
 /// Base class for every error thrown by rocpio libraries.
@@ -95,8 +97,9 @@ inline void append_part(std::string& s, T part) {
 
 /// Builds the failure message.  Deliberately out of the inline hot path:
 /// only instantiated and called once a precondition has actually failed.
+/// ROC_COLD: a tripped precondition ends the hot path by definition.
 template <typename... Parts>
-[[noreturn]] inline void require_fail(Parts&&... parts) {
+ROC_COLD [[noreturn]] inline void require_fail(Parts&&... parts) {
   std::string msg;
   (append_part(msg, std::forward<Parts>(parts)), ...);
   notify_require_failure(msg.c_str());
@@ -106,7 +109,7 @@ template <typename... Parts>
 /// Lazily-invoked message builders: require(cond, [&]{ return ...; }).
 template <typename F,
           typename = std::enable_if_t<std::is_invocable_v<F&>>>
-[[noreturn]] inline void require_fail(F&& message_fn) {
+ROC_COLD [[noreturn]] inline void require_fail(F&& message_fn) {
   std::string msg(message_fn());
   notify_require_failure(msg.c_str());
   throw InvalidArgument(std::move(msg));

@@ -1,0 +1,115 @@
+#pragma once
+/// \file hot.h
+/// \brief Hot-path annotations and allocation-discipline scopes.
+///
+/// ROC_HOT marks a hot-path ROOT for tools/rocanalyze (rules R8-R10): the
+/// static analyzer computes the closure of everything reachable from the
+/// annotation and rejects heap allocation, owned-bytes materialisation
+/// and cold-root calls (stdio, formatting, trace sinks) inside it.
+/// ROC_COLD marks an explicitly sanctioned cold branch the closure must
+/// not descend into (slow-path fallbacks, error reporting).  Both expand
+/// to nothing; they are annotations in the thread_annotations.h sense.
+///
+/// ROC_ASSERT_NO_ALLOC(label) opens an RAII scope charging every heap
+/// allocation the current thread performs to `label`.  The label must be
+/// the rocanalyze symbol of the enclosing function ("Class::method"), so
+/// tools/check_alloc_subset.py can match runtime observations against the
+/// static R8 report.  ROC_ALLOC_EXEMPT() brackets the sanctioned
+/// BufferPool channel (acquire/seal recycle their backing stores): its
+/// allocations are counted in the raw thread totals but not charged to
+/// any scope, mirroring the static analyzer's channel accounting.
+///
+/// Like check_hooks.h, product code never links the checker: the scopes
+/// route through a function-pointer gate that src/check/alloc_hook.cpp
+/// installs at static-init time when roc_check is in the image.  Gate
+/// absent (or -DROCPIO_CHECK=OFF): one relaxed atomic load, no code.
+
+#define ROC_HOT
+#define ROC_COLD
+
+#if defined(ROCPIO_CHECK)
+
+#include <atomic>
+
+namespace roc::hot {
+
+/// Interposer entry points (see alloc_hook.cpp).  Token-based so the gate
+/// can nest scopes per thread without this header knowing the layout.
+struct AllocGate {
+  void* (*scope_enter)(const char* label);
+  void (*scope_exit)(void* token);
+  void* (*exempt_enter)();
+  void (*exempt_exit)(void* token);
+};
+
+namespace detail {
+inline std::atomic<const AllocGate*> g_gate{nullptr};
+}  // namespace detail
+
+inline const AllocGate* gate() {
+  return detail::g_gate.load(std::memory_order_acquire);
+}
+
+/// Installs `g` (nullptr to uninstall).  Called by the interposer's
+/// static initializer; product code never calls this.
+inline void set_gate(const AllocGate* g) {
+  detail::g_gate.store(g, std::memory_order_release);
+}
+
+class ScopedNoAlloc {
+ public:
+  explicit ScopedNoAlloc(const char* label) {
+    if (const AllocGate* g = gate()) {
+      gate_ = g;
+      token_ = g->scope_enter(label);
+    }
+  }
+  ~ScopedNoAlloc() {
+    if (gate_ != nullptr) gate_->scope_exit(token_);
+  }
+  ScopedNoAlloc(const ScopedNoAlloc&) = delete;
+  ScopedNoAlloc& operator=(const ScopedNoAlloc&) = delete;
+
+ private:
+  const AllocGate* gate_ = nullptr;
+  void* token_ = nullptr;
+};
+
+class ScopedAllocExempt {
+ public:
+  ScopedAllocExempt() {
+    if (const AllocGate* g = gate()) {
+      gate_ = g;
+      token_ = g->exempt_enter();
+    }
+  }
+  ~ScopedAllocExempt() {
+    if (gate_ != nullptr) gate_->exempt_exit(token_);
+  }
+  ScopedAllocExempt(const ScopedAllocExempt&) = delete;
+  ScopedAllocExempt& operator=(const ScopedAllocExempt&) = delete;
+
+ private:
+  const AllocGate* gate_ = nullptr;
+  void* token_ = nullptr;
+};
+
+}  // namespace roc::hot
+
+#define ROC_HOT_CAT2_(a, b) a##b
+#define ROC_HOT_CAT_(a, b) ROC_HOT_CAT2_(a, b)
+#define ROC_ASSERT_NO_ALLOC(label) \
+  ::roc::hot::ScopedNoAlloc ROC_HOT_CAT_(roc_noalloc_, __LINE__) { label }
+#define ROC_ALLOC_EXEMPT() \
+  ::roc::hot::ScopedAllocExempt ROC_HOT_CAT_(roc_allocex_, __LINE__) {}
+
+#else  // !ROCPIO_CHECK
+
+#define ROC_ASSERT_NO_ALLOC(label) \
+  do {                             \
+  } while (0)
+#define ROC_ALLOC_EXEMPT() \
+  do {                     \
+  } while (0)
+
+#endif  // ROCPIO_CHECK

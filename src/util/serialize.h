@@ -36,8 +36,20 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
+  /// Adopts `storage` as the backing buffer: contents are discarded,
+  /// capacity is kept.  Pairs with take() so hot marshalling paths recycle
+  /// one allocation across blocks (e.g. a BufferPool-acquired vector).
+  explicit ByteWriter(std::vector<unsigned char> storage)
+      : buf_(std::move(storage)) {
+    buf_.clear();
+  }
+
   /// Reserves capacity up-front to avoid reallocation in hot paths.
+  // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: explicit capacity priming API; callers pay it once outside steady state.
   void reserve(size_t bytes) { buf_.reserve(bytes); }
+
+  /// Discards contents, keeps capacity — scratch-writer reuse.
+  void clear() { buf_.clear(); }
 
   template <typename T>
   void put(T v) {
@@ -45,6 +57,7 @@ class ByteWriter {
     // Resize-then-memcpy: unlike insert() of a stack array, this compiles
     // to a bounds check plus an unconditional fixed-size store.
     const size_t at = buf_.size();
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: size bump within retained capacity; reallocates only past the high-water mark (pool-seeded in hot paths).
     buf_.resize(at + sizeof(T));
     if constexpr (!detail::kHostLittleEndian) {
       unsigned char raw[sizeof(T)];
@@ -132,6 +145,8 @@ class ByteReader {
   std::string get_string() {
     const auto n = get<uint32_t>();
     check(n);
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: bounded header-parse string
+    // (length-prefixed names, SSO in the common case).
     std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
     pos_ += n;
     return s;
@@ -174,7 +189,9 @@ class ByteReader {
  private:
   void check(size_t need) const {
     if (data_.size() - pos_ < need)
+      // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: truncated-stream error path only.
       throw FormatError("byte stream truncated: need " +
+                        // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: truncated-stream error path only.
                         std::to_string(need) + " bytes, have " +
                         std::to_string(data_.size() - pos_));
   }

@@ -153,7 +153,10 @@ class AsyncEngine {
   /// Enqueues one write.  Blocks while `queue_depth` operations are
   /// already in flight — this is the backpressure that stops a fast
   /// producer from buffering unbounded bytes.
-  virtual void submit(Sqe sqe) = 0;
+  /// Hot-path root (rocanalyze R8-R10): every async write passes through
+  /// an implementation of this; the decl-level ROC_HOT seeds each
+  /// override into the analyzer's hot closure.
+  ROC_HOT virtual void submit(Sqe sqe) = 0;
 
   /// Appends every available completion to `*out` (non-blocking); returns
   /// how many were appended.

@@ -48,6 +48,7 @@ class File {
     size_t total = 0;
     for (const ConstBuffer& s : segments) total += s.size;
     if (total == 0) return;
+    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: generic gather fallback; the production backends (Posix, Mem, Async) override with copy-free paths.
     std::vector<unsigned char> gathered(total);
     unsigned char* out = gathered.data();
     for (const ConstBuffer& s : segments) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "check/alloc_hook.h"
 #include "comm/thread_comm.h"
 #include "mesh/generators.h"
 #include "rochdf/rochdf.h"
@@ -421,6 +422,48 @@ TEST(RaceTest, FlightRingHammer) {
 #endif
   std::remove(path.c_str());
 }
+
+#if defined(ROCPIO_CHECK)
+/// The allocation interposer under concurrency: per-thread counters must
+/// be exact with siblings allocating at full tilt (they are thread-local
+/// by design -- TSan verifies no shared mutable state backs them), scope
+/// tokens must nest per thread, and the process totals must observe every
+/// allocation exactly once.
+TEST(RaceTest, AllocCounterHammer) {
+  constexpr int kThreads = 4;
+  constexpr int kAllocs = 64;
+  const std::uint64_t total0 = check::total_allocs();
+  std::atomic<int> exact{0};
+  std::atomic<std::uint64_t> charged_sum{0};
+  {
+    std::vector<roc::Thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        void* tok = check::alloc_scope_enter("RaceTest::AllocCounterHammer");
+        const std::uint64_t a0 = check::thread_allocs();
+        const std::uint64_t c0 = check::thread_charged_allocs();
+        for (int i = 0; i < kAllocs; ++i) {
+          auto* p = new int(t + i);
+          asm volatile("" : : "g"(p) : "memory");
+          delete p;
+        }
+        const bool ok = check::thread_allocs() - a0 == kAllocs &&
+                        check::thread_frees() >= kAllocs;
+        charged_sum.fetch_add(check::thread_charged_allocs() - c0,
+                              std::memory_order_relaxed);
+        check::alloc_scope_exit(tok);
+        exact.fetch_add(ok ? 1 : 0, std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_EQ(exact.load(), kThreads);
+  // Every hammer allocation is unsanctioned (no exempt bracket).
+  EXPECT_EQ(charged_sum.load(), std::uint64_t{kThreads} * kAllocs);
+  EXPECT_GE(check::total_allocs() - total0,
+            std::uint64_t{kThreads} * kAllocs);
+}
+#endif  // ROCPIO_CHECK
 
 TEST(RaceTest, LoggerHammer) {
   const LogLevel before = log_level();

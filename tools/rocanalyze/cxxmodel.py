@@ -40,6 +40,11 @@ OWNER_TYPES = ("SharedBuffer", "BufferChain", "std::shared_ptr",
 # Capability (lockable) member types for R2.
 MUTEX_TYPES = ("Mutex", "Gate")
 
+# Types whose by-value pass is a copy-discipline question (R9): ref-counted
+# buffers copy a reference (cheap but ownership-laden), gather lists and
+# type-erased callables copy their backing storage (a real allocation).
+COPY_DISCIPLINE_TYPES = ("SharedBuffer", "BufferChain", "function")
+
 ALLOW_MARKER = "ROCANALYZE-ALLOW"
 ALLOW_RE = re.compile(r"ROCANALYZE-ALLOW\(\s*([\w,\s-]+?)\s*\)\s*:\s*\S")
 
@@ -95,6 +100,14 @@ class Acquire:
 
 
 @dataclass
+class Alloc:
+    """One heap-allocation site inside a method body (R8-R10 input)."""
+    kind: str  # "new" | "make" | "temp" | "growth" | "materialize"
+    what: str  # stable human description (part of the fingerprint symbol)
+    line: int
+
+
+@dataclass
 class Method:
     name: str
     line: int
@@ -102,12 +115,18 @@ class Method:
     is_dtor: bool = False
     no_analysis: bool = False  # ROC_NO_THREAD_SAFETY_ANALYSIS
     requires: tuple = ()       # ROC_REQUIRES(...) capability args
+    hot: bool = False          # ROC_HOT on the definition header
+    cold: bool = False         # ROC_COLD on the definition header
     accesses: list = dc_field(default_factory=list)  # [Access]
     hooks: list = dc_field(default_factory=list)     # [Hook]
     return_views: list = dc_field(default_factory=list)  # [ReturnView]
     calls: list = dc_field(default_factory=list)     # [Call]
     acquires: list = dc_field(default_factory=list)  # [Acquire]
     views: set = dc_field(default_factory=set)  # view-typed locals/params
+    allocs: list = dc_field(default_factory=list)    # [Alloc]
+    byvalue_params: list = dc_field(default_factory=list)  # [(name, cls)]
+    moved: set = dc_field(default_factory=set)  # names passed to std::move
+    log_lines: list = dc_field(default_factory=list)  # ROC_LOG* sites
 
 
 @dataclass
@@ -134,6 +153,8 @@ class ClassInfo:
     line: int
     fields: dict = dc_field(default_factory=dict)   # name -> Field
     methods: list = dc_field(default_factory=list)  # [Method]
+    hot_decls: set = dc_field(default_factory=set)   # ROC_HOT declarations
+    cold_decls: set = dc_field(default_factory=set)  # ROC_COLD declarations
 
     def field_named(self, name):
         return self.fields.get(name)
@@ -275,6 +296,56 @@ def collect_allows(text):
             rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
             allows[lineno] = rules
     return allows
+
+
+# Longest call expression an ALLOW marker is stretched across; beyond this
+# the marker is probably stale, and suppressing 100 lines from one comment
+# would hide real findings.
+_ALLOW_SPAN_CAP = 40
+
+
+def extend_allow_spans(allows, stripped):
+    """Makes ROCANALYZE-ALLOW cover multi-line call expressions.
+
+    `allowed()` scans the finding line and the two lines above it, so a
+    marker suppresses a finding attributed to the line a call OPENS on.
+    But several extractors (call args, growth sites inside wrapped
+    argument lists) attribute to interior or closing lines of a wrapped
+    expression, where the window misses the marker.  Fix at parse time:
+    for each marker, balance every paren group opening within the window
+    the marker can already reach (its own line and the two below) and
+    union the marker's rules into every line that group spans."""
+    if not allows:
+        return
+    lines = stripped.split("\n")
+    starts = [0]
+    for ln in lines:
+        starts.append(starts[-1] + len(ln) + 1)
+    for marker in list(allows):
+        rules = allows[marker]
+        for cand in (marker, marker + 1, marker + 2):
+            if cand < 1 or cand > len(lines):
+                continue
+            text = lines[cand - 1]
+            for i, ch in enumerate(text):
+                if ch != "(":
+                    continue
+                off = starts[cand - 1] + i
+                depth, end_off = 0, -1
+                for j in range(off, min(len(stripped), off + 4000)):
+                    if stripped[j] == "(":
+                        depth += 1
+                    elif stripped[j] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            end_off = j
+                            break
+                if end_off < 0:
+                    continue
+                end_line = line_of(stripped, end_off)
+                if end_line > cand and end_line - cand <= _ALLOW_SPAN_CAP:
+                    for covered in range(cand + 1, end_line + 1):
+                        allows.setdefault(covered, set()).update(rules)
 
 
 SMART_PTR_RE = re.compile(
@@ -474,6 +545,36 @@ GLOBAL_CALL_RE = re.compile(r"(?<![\w>)])::\s*(\w+)\s*\(")
 QUALIFIED_CALL_RE = re.compile(
     r"(?<![\w:])((?:\w+\s*::\s*)+)(\w+)\s*\(")
 LOG_MACRO_RE = re.compile(r"\bROC_(?:LOG|DEBUG|INFO|WARN|ERROR|FATAL)\b")
+
+# --- Allocation-site extraction (R8-R10 inputs) ----------------------------
+
+HOT_ANNOT_RE = re.compile(r"\bROC_HOT\b")
+COLD_ANNOT_RE = re.compile(r"\bROC_COLD\b")
+# `new T` / `new (std::nothrow) T`; `operator new` definitions and
+# placement-new-through-call `new (` are filtered at the use site.
+NEW_EXPR_RE = re.compile(
+    r"\bnew\b\s*(?:\(\s*std\s*::\s*nothrow\s*\)\s*)?((?:\w+\s*::\s*)*\w+)?")
+MAKE_FN_RE = re.compile(r"\bmake_(?:shared|unique)\b")
+# Local declarations of allocating temporaries.  BufferChain is absent on
+# purpose: an empty chain does not allocate, and its growth rides the
+# sanctioned append channel.  ByteWriter is here because its first put
+# allocates the backing vector unless pool-seeded.
+ALLOC_TEMP_DECL_RE = re.compile(
+    r"\b(std\s*::\s*(?:string|vector|deque|list|map|set|unordered_map|"
+    r"unordered_set|function|[oi]?stringstream)|ByteWriter)\b"
+    r"(\s*<[^;{}]*>)?\s+(\w+)\s*[=({;]")
+STR_CONCAT_RE = re.compile(r'"\s*\+(?!\+)|(?<!\+)\+\s*"')
+MOVED_NAME_RE = re.compile(r"\bstd\s*::\s*move\s*\(\s*([\w.>_-]+)\s*\)")
+# Member calls that grow a standard container in place.
+GROWTH_METHODS = frozenset({
+    "push_back", "emplace_back", "emplace", "push_front", "emplace_front",
+    "insert", "resize", "reserve", "assign", "append"})
+# Receiver classes whose growth calls are the sanctioned pool/gather
+# channel, not caller-side allocation (buffer.h owns their accounting).
+GROWTH_EXEMPT_RECV = frozenset({"BufferChain", "BufferPool", "ByteWriter"})
+STD_CONTAINER_CLASSES = frozenset({
+    "vector", "deque", "list", "string", "basic_string", "map", "set",
+    "unordered_map", "unordered_set", "multimap", "multiset"})
 
 LOCAL_DECL_RE = re.compile(
     r"(?:^|[;{}(]\s*)(?:const\s+)?"
@@ -695,6 +796,7 @@ def parse_structure(path, rel, text):
     stripped = strip_comments_and_strings(text)
     fm = FileModel(path=path, rel=rel)
     fm.allows = collect_allows(text)
+    extend_allow_spans(fm.allows, stripped)
     tree = build_scope_tree(stripped)
     # Original lines: runtime lock names live in string literals, which the
     # stripped text blanks.
@@ -817,8 +919,28 @@ def class_level_statements(scope, stripped):
     return out
 
 
+def _annotated_decl_name(stmt):
+    """Method name of a class-level declaration statement carrying a
+    ROC_HOT / ROC_COLD annotation (pure virtuals, out-of-line decls)."""
+    s = GUARDED_RE.sub(" ", stmt)
+    for mm in re.finditer(r"(~?\w+)\s*\(", s):
+        nm = mm.group(1)
+        if nm in CPP_KEYWORDS or re.fullmatch(r"[A-Z][A-Z0-9_]*", nm):
+            continue
+        return nm
+    return ""
+
+
 def harvest_class(ci, scope, stripped, rel, orig_lines=()):
     for stmt, line in class_level_statements(scope, stripped):
+        if HOT_ANNOT_RE.search(stmt):
+            nm = _annotated_decl_name(stmt)
+            if nm:
+                ci.hot_decls.add(nm)
+        if COLD_ANNOT_RE.search(stmt):
+            nm = _annotated_decl_name(stmt)
+            if nm:
+                ci.cold_decls.add(nm)
         f = parse_field_decl(stmt, line)
         if f and f.name not in ci.fields:
             f.decl_file = rel
@@ -889,12 +1011,73 @@ def parse_param_types(header):
     return {}
 
 
+def parse_byvalue_params(header):
+    """[(name, class leaf)] for parameters passed by value whose class is
+    a copy-discipline type (R9 input)."""
+    for pm in re.finditer(r"\(", header):
+        before = header[:pm.start()].rstrip()
+        qm = re.search(r"((?:\w+\s*::\s*)*~?\w+)$", before)
+        if not qm or qm.group(1) in ("if", "for", "while", "switch",
+                                     "catch", "return", "sizeof"):
+            continue
+        out = []
+        for part in _split_top(_balanced(header, pm.start())):
+            dm = re.match(r"^(.*?[\w>])\s*([*&\s][*&\s]*)(\w+)\s*(=.*)?$",
+                          part.strip(), re.S)
+            if not dm:
+                continue
+            sep = dm.group(2)
+            if "*" in sep or "&" in sep:
+                continue  # pointer / reference: a borrow already
+            cls = class_of_type(dm.group(1))
+            if cls in COPY_DISCIPLINE_TYPES:
+                out.append((dm.group(3), cls))
+        return out
+    return []
+
+
+def _classify_alloc_call(c):
+    """(kind, what) when a recorded Call is itself an allocation the
+    caller pays for, else None.  Caller-side attribution is what keeps the
+    sanctioned buffer.h channel honest: bodies in buffer.{h,cpp} are not
+    charged, so the copying escape hatches (to_vector, copy_of, adopt,
+    pool-less gather) must be charged where they are invoked."""
+    if c.callee in GROWTH_METHODS:
+        if not c.recv or c.recv_class in GROWTH_EXEMPT_RECV:
+            return None
+        if c.recv_class and c.recv_class not in STD_CONTAINER_CLASSES:
+            return None
+        return ("growth", c.callee + " on " + cap_leaf(c.recv))
+    if c.callee == "to_vector":
+        return ("materialize",
+                "to_vector on " + (cap_leaf(c.recv) or "buffer"))
+    if c.callee == "copy_of":
+        return ("materialize", "SharedBuffer::copy_of")
+    if c.callee == "adopt":
+        return ("make", "SharedBuffer::adopt")
+    if c.callee == "allocate" and c.recv_class == "AlignedBuffer":
+        return ("make", "AlignedBuffer::allocate")
+    if c.callee == "gather":
+        if "pool" in (c.recv + " " + c.args).lower():
+            return None  # gathers into a BufferPool: sanctioned channel
+        return ("materialize", "gather without pool")
+    if c.callee == "to_string":
+        return ("temp", "to_string")
+    if c.callee == "substr":
+        return ("temp", "substr")
+    if c.callee == "str" and c.recv:
+        return ("temp", "stream str()")
+    return None
+
+
 def harvest_method(ci, scope, stripped, cross_fields=None):
     name = scope.name.rsplit("::", 1)[-1]
     m = Method(name=name, line=line_of(stripped, scope.start))
     m.is_ctor = (name == ci.name)
     m.is_dtor = (name == "~" + ci.name)
     m.no_analysis = bool(NO_TSA_RE.search(scope.header))
+    m.hot = bool(HOT_ANNOT_RE.search(scope.header))
+    m.cold = bool(COLD_ANNOT_RE.search(scope.header))
     reqs = []
     for rm in REQUIRES_RE.finditer(scope.header):
         reqs.extend(normalize_cap(a) for a in rm.group(1).split(","))
@@ -1134,10 +1317,46 @@ def analyze_body(ci, m, scope, stripped, cross_fields=None):
                  recv_class=segs[-1])
     # Log statements expand to a locked+buffered emit in util/log.cpp; model
     # them as a call so R6 sees logging under a lock.  Only lock-held uses
-    # matter (keeps the model small).
+    # enter the call graph (keeps the lock model small); every occurrence is
+    # recorded for R10, where hot-path logging is a cost root regardless of
+    # what is held.
     for cm in LOG_MACRO_RE.finditer(call_body):
+        m.log_lines.append(line_of(stripped, base + cm.start()))
         if held_at(cm.start()):
             add_call(cm.start(), "log_line", "")
+
+    # --- Allocation sites (R8-R10) -----------------------------------------
+
+    def add_alloc(kind, what, off):
+        m.allocs.append(Alloc(kind=kind, what=what,
+                              line=line_of(stripped, base + off)))
+
+    for nm_ in NEW_EXPR_RE.finditer(call_body):
+        if nm_.group(1) is None:
+            continue  # placement new / `operator new(` — not a heap expr
+        before = call_body[max(0, nm_.start() - 10):nm_.start()]
+        if before.rstrip().endswith("operator"):
+            continue  # the interposer's own definitions
+        add_alloc("new", "new " + nm_.group(1).rsplit("::", 1)[-1],
+                  nm_.start())
+    for mm_ in MAKE_FN_RE.finditer(call_body):
+        add_alloc("make", call_body[mm_.start():mm_.end()], mm_.start())
+    for dm_ in ALLOC_TEMP_DECL_RE.finditer(call_body):
+        ty = dm_.group(1).replace(" ", "").rsplit("::", 1)[-1]
+        add_alloc("temp", ty + " local " + dm_.group(3), dm_.start())
+    for sc_ in STR_CONCAT_RE.finditer(call_body):
+        add_alloc("temp", "string concatenation", sc_.start())
+    for c in m.calls:
+        cls_ = _classify_alloc_call(c)
+        if cls_:
+            m.allocs.append(Alloc(kind=cls_[0], what=cls_[1], line=c.line))
+
+    m.byvalue_params = parse_byvalue_params(scope.header)
+    # Moves in the header catch the ctor-init-list sink idiom
+    # (`Foo(SharedBuffer b) : b_(std::move(b)) {}`).
+    for mv_ in MOVED_NAME_RE.finditer(scope.header + body):
+        m.moved.add(mv_.group(1))
+        m.moved.add(cap_leaf(mv_.group(1)))
 
     # View-typed locals and parameters (R7).
     for vm in re.finditer(r"\b(?:" + view_alt + r")\s*[*&]?\s+(\w+)\s*[=({;]",

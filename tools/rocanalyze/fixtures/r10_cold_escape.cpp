@@ -1,0 +1,24 @@
+// rocanalyze fixture: a curated cold root called from a ROC_HOT method.
+// Never compiled; rocanalyze_test.py asserts r10-cold-escape fires (and
+// nothing else).  ship() is the annotated root; the journal fwrite is a
+// stdio cold root reached with NO lock held -- this is R10's cost
+// finding, distinct from R6's blocking-under-lock (which needs a held
+// capability on the path).
+
+class Segment {
+ public:
+  const void* data() const;
+  unsigned long size() const;
+};
+
+class ShipJournal {
+ public:
+  ROC_HOT void ship(const Segment& seg) {
+    deliver(seg);
+    fwrite(seg.data(), 1, seg.size(), journal_);  // <- r10-cold-escape
+  }
+
+ private:
+  void deliver(const Segment& seg) {}
+  FILE* journal_ = nullptr;
+};

@@ -1,0 +1,39 @@
+// rocanalyze fixture: allocations reachable from a ROC_HOT root.  Never
+// compiled; rocanalyze_test.py asserts r8-hotpath-alloc fires (and
+// nothing else).  pump() is the annotated root; its helpers allocate
+// three distinct ways (raw new, a std::vector temporary, untracked
+// container growth), each charged through the interprocedural closure.
+// flush_summary() is the sanctioned escape: the closure never descends
+// through a ROC_COLD edge, so its std::string temporary is not charged.
+
+class Frame {
+ public:
+  Frame(int id, unsigned long bytes);
+};
+
+class HotEncoder {
+ public:
+  ROC_HOT void pump(const Frame* frames, int count) {
+    stage_header(count);
+    encode_payload(frames, count);
+    flush_summary();  // cold branch: cut from the hot closure
+  }
+
+  void stage_header(int count) {
+    header_ = new Frame(0, count);  // <- r8-hotpath-alloc (new)
+  }
+
+  void encode_payload(const Frame* frames, int count) {
+    std::vector<int> sizes;  // <- r8-hotpath-alloc (temp)
+    for (int i = 0; i < count; ++i) {
+      sizes.push_back(i);  // <- r8-hotpath-alloc (growth)
+    }
+  }
+
+  ROC_COLD void flush_summary() {
+    std::string text = "summary";  // not charged: behind the cold cutoff
+  }
+
+ private:
+  Frame* header_ = nullptr;
+};

@@ -1,0 +1,34 @@
+// rocanalyze fixture: copy-discipline violations.  Never compiled;
+// rocanalyze_test.py asserts r9-copy-discipline fires (and nothing
+// else).  Both clauses are planted: retain() takes a SharedBuffer by
+// value and never moves it (a const& borrow suffices, so the copy pays a
+// refcount bump for nothing), and forward() -- a ROC_HOT root --
+// materialises owned bytes from a borrowing slice with to_vector()
+// instead of keeping the view.
+
+class SharedBuffer {
+ public:
+  const unsigned char* data() const;
+  unsigned long size() const;
+};
+
+class WireSlice {
+ public:
+  // Owning copy of the viewed bytes -- the escape hatch R9 charges.
+  int to_vector() const;
+};
+
+class BlockCache {
+ public:
+  void retain(SharedBuffer keep) {  // <- r9-copy-discipline (by value)
+    last_ = keep;
+  }
+
+  ROC_HOT void forward(const WireSlice& slice) {
+    auto owned = slice.to_vector();  // <- r9-copy-discipline (materialize)
+    (void)owned;
+  }
+
+ private:
+  SharedBuffer last_;
+};

@@ -28,6 +28,21 @@ Seven rule families (see rules.py for the full catalogue):
                           submit backpressure, join, raw syscalls).
   R7 view suspension      borrowing views must not cross into async
                           submissions / thread handoffs unpinned.
+  R8 hot-path allocation  nothing reachable from a ROC_HOT root may
+                          allocate outside the sanctioned BufferPool
+                          channel or an explicit ROC_COLD branch; findings
+                          carry the witness chain from the root.
+                          --hot-report-out exports the closure; roccheck's
+                          alloc interposer cross-validates it
+                          (static ⊇ dynamic, tools/check_alloc_subset.py).
+  R9 copy discipline      by-value SharedBuffer / BufferChain /
+                          std::function parameters must be moved into
+                          their final home, and ConstBuffer borrows must
+                          not be materialised into owned bytes on a hot
+                          path.
+  R10 cold escape         hot-reachable code must not call curated cold
+                          roots (stdio, to_text/to_json, trace-file
+                          writers, log emission).
 
 Engines:
   * libclang (python clang.cindex over build/compile_commands.json) when
@@ -151,9 +166,9 @@ def main(argv=None):
                     help="auto prefers libclang and degrades to the "
                          "lexical engine; libclang skips (exit 0) when "
                          "unavailable")
-    ap.add_argument("--rules", default="r1,r2,r3,r4,r5,r6,r7",
+    ap.add_argument("--rules", default="r1,r2,r3,r4,r5,r6,r7,r8,r9,r10",
                     help="comma-separated rule ids or family prefixes "
-                         f"(families r1..r7; ids: {', '.join(ALL_RULES)})")
+                         f"(families r1..r10; ids: {', '.join(ALL_RULES)})")
     ap.add_argument("--strict", action="store_true",
                     help="also fail on stale baseline entries and on "
                          "entries whose justification lacks a `why:` tag")
@@ -163,6 +178,11 @@ def main(argv=None):
     ap.add_argument("--lock-graph-dot", default="",
                     help="write the static lock-order graph as Graphviz "
                          "DOT")
+    ap.add_argument("--hot-report-out", default="",
+                    help="write the R8 hot-closure witness report as JSON "
+                         "(roots, hot-reachable functions with chains and "
+                         "allocation sites; consumed by "
+                         "tools/check_alloc_subset.py)")
     ap.add_argument("--baseline", default=DEFAULT_BASELINE,
                     help="baseline file (default: committed baseline.json)")
     ap.add_argument("--no-baseline", action="store_true",
@@ -224,14 +244,20 @@ def main(argv=None):
                   file=sys.stderr)
             return 2
 
-    from rules import INTERPROC_RULES
+    from rules import ALLOC_RULES, INTERPROC_RULES
     analysis = None
     if (any(r in rules for r in INTERPROC_RULES) or args.lock_graph_out
             or args.lock_graph_dot):
         import lockset
         analysis = lockset.analyze(models)
+    alloc_analysis = None
+    if any(r in rules for r in ALLOC_RULES) or args.hot_report_out:
+        import allocsum
+        alloc_analysis = allocsum.analyze(
+            models, analysis.prog if analysis is not None else None)
 
-    findings = run_rules(models, structs, rules=rules, analysis=analysis)
+    findings = run_rules(models, structs, rules=rules, analysis=analysis,
+                         alloc_analysis=alloc_analysis)
 
     if args.lock_graph_out:
         with open(args.lock_graph_out, "w", encoding="utf-8") as fh:
@@ -240,6 +266,10 @@ def main(argv=None):
     if args.lock_graph_dot:
         with open(args.lock_graph_dot, "w", encoding="utf-8") as fh:
             fh.write(analysis.graph_dot())
+    if args.hot_report_out:
+        with open(args.hot_report_out, "w", encoding="utf-8") as fh:
+            json.dump(alloc_analysis.hot_report_json(), fh, indent=2)
+            fh.write("\n")
 
     if args.out:
         payload = {"engine": engine.name, "rules": rules,

@@ -29,6 +29,9 @@ EXPECTED = {
     "r5_lock_cycle.cpp": {"r5-lock-cycle"},
     "r6_blocking_chain.cpp": {"r6-blocking-under-lock"},
     "r7_view_async.cpp": {"r7-view-suspension"},
+    "r8_hotpath_alloc.cpp": {"r8-hotpath-alloc"},
+    "r9_copy_discipline.cpp": {"r9-copy-discipline"},
+    "r10_cold_escape.cpp": {"r10-cold-escape"},
 }
 
 
@@ -116,6 +119,8 @@ class TestSuppression(unittest.TestCase):
              "    append_record(rec, n);"),
             ("r7_view_async.cpp", "r7-view-suspension",
              "    engine_->submit(view, cursor_);"),
+            ("r10_cold_escape.cpp", "r10-cold-escape",
+             "    fwrite(seg.data(), 1, seg.size(), journal_);"),
         ]
         for name, rule, anchor in cases:
             with self.subTest(rule=rule):
@@ -132,6 +137,61 @@ class TestSuppression(unittest.TestCase):
                 self.assertEqual(findings, [], f"{rule} not suppressed")
                 self.assertEqual(rc, 0)
 
+    # A charged allocation buried in the argument list of a multi-line
+    # call: the ALLOW marker sits above the call, the `new` anchors on the
+    # last argument line -- more than two lines below the marker, so only
+    # the paren-span extension (cxxmodel.extend_allow_spans) covers it.
+    MULTILINE_HOT = """
+class Frame {
+ public:
+  Frame();
+};
+class Pump {
+ public:
+  ROC_HOT void pump() {
+    stage(
+        1,
+        2,
+        new Frame());
+  }
+  void stage(int a, int b, Frame* f);
+};
+"""
+
+    def test_allow_extends_over_multiline_call_arguments(self):
+        plain = os.path.join(self.dir, "multiline.cpp")
+        with open(plain, "w", encoding="utf-8") as fh:
+            fh.write(self.MULTILINE_HOT)
+        rc, findings, _, _ = analyze([plain])
+        self.assertEqual({f["rule"] for f in findings}, {"r8-hotpath-alloc"})
+        lines = self.MULTILINE_HOT.splitlines()
+        call_line = lines.index("    stage(") + 1
+        # The finding anchors outside the plain marker window (marker line
+        # plus two below); suppression must ride the paren span.
+        self.assertGreater(findings[0]["line"], call_line + 2)
+        src = self.MULTILINE_HOT.replace(
+            "    stage(",
+            "    // ROCANALYZE-ALLOW(r8-hotpath-alloc): why: self-test\n"
+            "    stage(")
+        allowed = os.path.join(self.dir, "multiline_allowed.cpp")
+        with open(allowed, "w", encoding="utf-8") as fh:
+            fh.write(src)
+        rc, findings, _, _ = analyze([allowed])
+        self.assertEqual(findings, [])
+        self.assertEqual(rc, 0)
+
+    def test_r9_byvalue_move_sink_is_clean(self):
+        # std::move-ing the by-value parameter into its final home is the
+        # sanctioned sink idiom: only the hot-path materialise remains.
+        src = self.read_fixture("r9_copy_discipline.cpp")
+        src = src.replace("last_ = keep;", "last_ = std::move(keep);")
+        path = os.path.join(self.dir, "moved.cpp")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(src)
+        _, findings, _, _ = analyze([path])
+        self.assertEqual([f["symbol"] for f in findings],
+                         ["forward:materialize:to_vector on slice"])
+
     def test_fingerprints_survive_line_drift(self):
         src = self.read_fixture("r1_dangling_view.cpp")
         a = os.path.join(self.dir, "fixture.cpp")
@@ -145,6 +205,101 @@ class TestSuppression(unittest.TestCase):
                          {f["fingerprint"] for f in after})
         self.assertNotEqual([f["line"] for f in before],
                             [f["line"] for f in after])
+
+    def test_r8_fingerprints_survive_line_drift(self):
+        # Interprocedural findings carry witness chains with file:line
+        # frames; the fingerprint must not absorb those drifting lines.
+        src = self.read_fixture("r8_hotpath_alloc.cpp")
+        a = os.path.join(self.dir, "r8drift.cpp")
+        with open(a, "w", encoding="utf-8") as fh:
+            fh.write(src)
+        _, before, _, _ = analyze([a])
+        with open(a, "w", encoding="utf-8") as fh:
+            fh.write("\n\n// shifted by a header comment\n\n" + src)
+        _, after, _, _ = analyze([a])
+        self.assertEqual({f["fingerprint"] for f in before},
+                         {f["fingerprint"] for f in after})
+        self.assertNotEqual([f["line"] for f in before],
+                            [f["line"] for f in after])
+
+
+class TestAllocClosure(unittest.TestCase):
+    """Hot-closure construction details R8 rests on (allocsum.py), driven
+    in-process: root discovery through class-level ROC_HOT declarations
+    (a pure virtual seeds every override via the name union), ROC_COLD
+    cutoffs, and witness-chain propagation to the allocation site."""
+
+    SRC_ENGINE = """
+class Engine {
+ public:
+  ROC_HOT virtual void submit(int sqe) = 0;
+};
+class UringEngine : public Engine {
+ public:
+  void submit(int sqe) { ring_ = new int; }
+ private:
+  int* ring_ = nullptr;
+};
+"""
+    SRC_SPINE = """
+class Spine {
+ public:
+  ROC_HOT void pump() {
+    step_a();
+    report();
+  }
+  void step_a() { step_b(); }
+  void step_b() { scratch_ = new char; }
+  ROC_COLD void report() { summary_ = new char; }
+ private:
+  char* scratch_ = nullptr;
+  char* summary_ = nullptr;
+};
+"""
+
+    @classmethod
+    def setUpClass(cls):
+        sys.path.insert(0, HERE)
+        import allocsum
+        import cxxmodel
+        cls.dir = tempfile.mkdtemp(prefix="rocanalyze_alloc_")
+        for name, src in (("engine.cpp", cls.SRC_ENGINE),
+                          ("spine.cpp", cls.SRC_SPINE)):
+            with open(os.path.join(cls.dir, name), "w",
+                      encoding="utf-8") as fh:
+                fh.write(src)
+        models, _ = cxxmodel.LexicalEngine(
+            cls.dir, ["engine.cpp", "spine.cpp"]).build()
+        cls.analysis = allocsum.analyze(models)
+
+    @classmethod
+    def tearDownClass(cls):
+        shutil.rmtree(cls.dir, ignore_errors=True)
+        sys.path.remove(HERE)
+
+    def test_hot_decl_on_pure_virtual_seeds_overrides(self):
+        # Mirrors AsyncEngine::submit in src/vfs/async.h: the annotation
+        # lives on the interface, the allocation in an override.
+        self.assertIn(("UringEngine", "submit"), self.analysis.hot)
+
+    def test_cold_annotation_cuts_the_closure(self):
+        self.assertIn(("Spine", "step_b"), self.analysis.hot)
+        self.assertNotIn(("Spine", "report"), self.analysis.hot)
+
+    def test_witness_chain_records_the_call_path(self):
+        root, chain = self.analysis.hot[("Spine", "step_b")]
+        self.assertEqual(root, "Spine::pump")
+        self.assertEqual(chain[0], "Spine::pump")
+        self.assertIn("Spine::pump -> Spine::step_a", chain[1])
+        self.assertIn("Spine::step_a -> Spine::step_b", chain[2])
+
+    def test_hot_report_charges_the_deep_allocation(self):
+        report = self.analysis.hot_report_json()
+        self.assertIn("Spine::pump", report["roots"])
+        self.assertIn("UringEngine::submit", report["roots"])
+        allocs = report["hot_functions"]["Spine::step_b"]["allocs"]
+        self.assertEqual([a["kind"] for a in allocs], ["new"])
+        self.assertNotIn("Spine::report", report["hot_functions"])
 
 
 class TestCallGraph(unittest.TestCase):

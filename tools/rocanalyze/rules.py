@@ -41,6 +41,22 @@ Interprocedural rules (call graph + lock-set dataflow, see lockset.py):
                     full call chain.
   r7-view-suspension  A borrowing view handed to an async submission or
                     cross-thread handoff without a pinning SharedBuffer.
+
+Allocation / copy-discipline rules (hot closure over the same call graph,
+see allocsum.py):
+
+  r8-hotpath-alloc  A heap allocation site (new, make_shared/unique,
+                    container growth, allocating temporaries) in a method
+                    reachable from a ROC_HOT root, outside the sanctioned
+                    BufferPool channel, with the witness chain.
+  r9-copy-discipline  A by-value pass of SharedBuffer / BufferChain /
+                    std::function that is never moved (a borrow
+                    suffices), or an owned-bytes materialisation
+                    (to_vector, copy_of, pool-less gather) on a hot path.
+  r10-cold-escape   A hot-reachable method calling a curated cold root
+                    (stdio, to_text/to_json, trace-file writers, log
+                    emission) -- cost roots, complementing R6's blocking
+                    roots.
 """
 
 from __future__ import annotations
@@ -58,10 +74,15 @@ ALL_RULES = (
     "r5-lock-cycle",
     "r6-blocking-under-lock",
     "r7-view-suspension",
+    "r8-hotpath-alloc",
+    "r9-copy-discipline",
+    "r10-cold-escape",
 )
 
 INTERPROC_RULES = ("r5-lock-cycle", "r6-blocking-under-lock",
                    "r7-view-suspension")
+
+ALLOC_RULES = ("r8-hotpath-alloc", "r9-copy-discipline", "r10-cold-escape")
 
 # The one sanctioned home of byte-level struct (de)serialization.
 SERIALIZE_ALLOWLIST = ("src/util/serialize.h",)
@@ -97,7 +118,8 @@ class Finding:
                 f"({self.fingerprint})")
 
 
-def run_rules(models, structs, rules=ALL_RULES, analysis=None):
+def run_rules(models, structs, rules=ALL_RULES, analysis=None,
+              alloc_analysis=None):
     findings = []
     for fm in models:
         if "r1-stored-view" in rules or "r1-return-view" in rules:
@@ -118,6 +140,17 @@ def run_rules(models, structs, rules=ALL_RULES, analysis=None):
             findings.extend(lockset.rule_r6(analysis, Finding))
         if "r7-view-suspension" in rules:
             findings.extend(lockset.rule_r7(analysis, Finding))
+    if any(r in rules for r in ALLOC_RULES):
+        import allocsum  # deferred, same reason as lockset
+        if alloc_analysis is None:
+            alloc_analysis = allocsum.analyze(
+                models, analysis.prog if analysis is not None else None)
+        if "r8-hotpath-alloc" in rules:
+            findings.extend(allocsum.rule_r8(alloc_analysis, Finding))
+        if "r9-copy-discipline" in rules:
+            findings.extend(allocsum.rule_r9(alloc_analysis, Finding))
+        if "r10-cold-escape" in rules:
+            findings.extend(allocsum.rule_r10(alloc_analysis, Finding))
     findings = [f for f in findings if f.rule in rules]
     # Drop inline-suppressed findings, and duplicates (a class split across
     # header and .cpp is modeled in both files).
